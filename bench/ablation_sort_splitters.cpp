@@ -1,0 +1,77 @@
+// Ablation — heterogeneity-aware splitters in parallel sample sort.
+//
+// Sample sort is a fourth algorithm-machine combination (sub-cubic work,
+// alltoall communication). Its heterogeneity lever is the *splitter
+// policy*: uniform splitters assign every rank ~N/p keys; speed-
+// proportional splitters cut at cumulative marked-speed fractions. This
+// bench quantifies the benefit and runs the metric pipeline over it.
+#include <iostream>
+
+#include "common.hpp"
+#include "hetscale/algos/sort.hpp"
+#include "hetscale/scal/iso_solver.hpp"
+#include "hetscale/scal/metrics.hpp"
+
+int main() {
+  using namespace hetscale;
+  bench::print_header(
+      "Ablation  Sample-sort splitter policy",
+      "Uniform vs marked-speed-proportional splitters on mixed ensembles.");
+
+  Table timing("Sort time for 200k keys (switched fabric)");
+  timing.set_header(
+      {"Nodes", "T uniform (s)", "T speed-aware (s)", "speedup"});
+  for (int nodes : {4, 8, 16}) {
+    auto run = [&](algos::SortSplitters splitters) {
+      auto machine =
+          vmpi::Machine::switched(machine::sunwulf::mm_ensemble(nodes));
+      algos::SortOptions options;
+      options.n = 200000;
+      options.splitters = splitters;
+      return algos::run_parallel_sort(machine, options).run.elapsed;
+    };
+    const double uniform = run(algos::SortSplitters::kUniform);
+    const double aware = run(algos::SortSplitters::kSpeedProportional);
+    timing.add_row({std::to_string(nodes), Table::fixed(uniform, 4),
+                    Table::fixed(aware, 4),
+                    Table::fixed(uniform / aware, 3)});
+  }
+  std::cout << timing << '\n';
+
+  // The metric pipeline over the sort combination.
+  Table psi_table("Isospeed-efficiency scalability of sort (E_s = 0.25)");
+  psi_table.set_header({"Step", "N", "psi"});
+  double prev_c = 0;
+  double prev_w = 0;
+  std::string prev_name;
+  for (int nodes : {4, 8, 16}) {
+    scal::SortCombination combo("sort-" + std::to_string(nodes),
+                                bench::mm_config(nodes));
+    scal::IsoSolveOptions options;
+    options.n_min = static_cast<std::int64_t>(combo.processor_count()) *
+                    combo.processor_count();
+    const auto point = scal::required_problem_size(combo, 0.25, options);
+    if (!point.found) {
+      psi_table.add_row({combo.name(), "unreachable", "-"});
+      continue;
+    }
+    std::string psi = "-";
+    if (prev_c > 0) {
+      psi = Table::fixed(
+          scal::isospeed_efficiency_scalability(
+              prev_c, prev_w, combo.marked_speed(), combo.work(point.n)),
+          3);
+    }
+    psi_table.add_row({prev_name.empty() ? combo.name()
+                                         : prev_name + " -> " + combo.name(),
+                       std::to_string(point.n), psi});
+    prev_c = combo.marked_speed();
+    prev_w = combo.work(point.n);
+    prev_name = combo.name();
+  }
+  std::cout << psi_table;
+  std::cout << "(sort's W = 6N log N grows barely faster than its O(N) "
+               "communication — required N rises steeply, a different "
+               "scalability regime from GE/MM)\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro-benchmarks of the simulation engine: event throughput, message
+// passing, collectives, and a whole GE step — how much simulated work the
+// harness can drive per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "hetscale/algos/ge.hpp"
+#include "hetscale/des/scheduler.hpp"
+#include "hetscale/des/timeline.hpp"
+#include "hetscale/machine/sunwulf.hpp"
+#include "hetscale/support/units.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace {
+
+using namespace hetscale;
+using des::Task;
+
+void BM_SchedulerDelayEvents(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Scheduler sched;
+    sched.spawn([](des::Scheduler& s, int n) -> Task<void> {
+      for (int i = 0; i < n; ++i) co_await s.delay(1.0);
+    }(sched, events));
+    sched.run();
+    benchmark::DoNotOptimize(sched.now());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SchedulerDelayEvents)->Arg(1000)->Arg(100000);
+
+void BM_TimelineReserve(benchmark::State& state) {
+  des::Timeline timeline;
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timeline.reserve(t, 1.0));
+    t += 0.5;
+  }
+}
+BENCHMARK(BM_TimelineReserve);
+
+machine::Cluster blades(int n) {
+  machine::Cluster cluster;
+  for (int i = 0; i < n; ++i) {
+    cluster.add_node("n" + std::to_string(i),
+                     machine::sunwulf::sunblade_spec());
+  }
+  return cluster;
+}
+
+void BM_PingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto machine = vmpi::Machine::switched(blades(2));
+    machine.run([rounds](vmpi::Comm& comm) -> Task<void> {
+      for (int i = 0; i < rounds; ++i) {
+        if (comm.rank() == 0) {
+          co_await comm.send(1, 1, 1024.0, {});
+          co_await comm.recv(1, 2);
+        } else {
+          co_await comm.recv(0, 1);
+          co_await comm.send(0, 2, 1024.0, {});
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_PingPong)->Arg(1000);
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto machine = vmpi::Machine::switched(blades(ranks));
+    machine.run([](vmpi::Comm& comm) -> Task<void> {
+      for (int i = 0; i < 100; ++i) co_await comm.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * ranks);
+}
+BENCHMARK(BM_Barrier)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_GeTimingOnlyRun(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    auto machine =
+        vmpi::Machine::switched(machine::sunwulf::ge_ensemble(4));
+    algos::GeOptions options;
+    options.n = n;
+    options.with_data = false;
+    benchmark::DoNotOptimize(
+        algos::run_parallel_ge(machine, options).run.elapsed);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GeTimingOnlyRun)->Arg(128)->Arg(512);
+
+void BM_GeWithDataRun(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    auto machine =
+        vmpi::Machine::switched(machine::sunwulf::ge_ensemble(4));
+    algos::GeOptions options;
+    options.n = n;
+    options.with_data = true;
+    benchmark::DoNotOptimize(
+        algos::run_parallel_ge(machine, options).residual);
+  }
+}
+BENCHMARK(BM_GeWithDataRun)->Arg(128);
+
+}  // namespace

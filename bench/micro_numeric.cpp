@@ -1,0 +1,70 @@
+// Micro-benchmarks of the numeric substrate.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "hetscale/kernels/blas1.hpp"
+#include "hetscale/numeric/linsolve.hpp"
+#include "hetscale/numeric/matmul.hpp"
+#include "hetscale/numeric/matrix.hpp"
+#include "hetscale/numeric/polynomial.hpp"
+#include "hetscale/support/rng.hpp"
+
+namespace {
+
+using namespace hetscale;
+using numeric::Matrix;
+
+void BM_SolveDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::random_diagonally_dominant(n, rng);
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric::solve_dense(a, b));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SolveDense)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+void BM_Multiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric::multiply(a, b));
+  }
+}
+BENCHMARK(BM_Multiply)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_EliminateRow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> pivot(n, 1.0);
+  std::vector<double> row(n, 2.0);
+  double rhs = 1.0;
+  for (auto _ : state) {
+    std::vector<double> work = row;
+    kernels::eliminate_row(pivot, 0.5, work, rhs, 0);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * 8);
+}
+BENCHMARK(BM_EliminateRow)->Arg(256)->Arg(2048);
+
+void BM_Polyfit(benchmark::State& state) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  const numeric::Polynomial truth({0.1, 2e-4, -5e-8, 1e-12});
+  for (double x = 50; x <= 2000; x += 50) {
+    xs.push_back(x);
+    ys.push_back(truth(x));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric::polyfit(xs, ys, 3));
+  }
+}
+BENCHMARK(BM_Polyfit);
+
+}  // namespace

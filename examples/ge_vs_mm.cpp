@@ -1,0 +1,57 @@
+// GE vs MM — quantifying which algorithm-machine combination scales better
+// (the paper's §4.4.3 comparison), with the full ladder of Sunwulf systems
+// and both per-step and cumulative ψ.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "hetscale/machine/sunwulf.hpp"
+#include "hetscale/scal/series.hpp"
+#include "hetscale/support/table.hpp"
+
+int main() {
+  using namespace hetscale;
+
+  auto build_series = [](bool ge, double target) {
+    std::vector<std::unique_ptr<scal::Combination>> owned;
+    std::vector<scal::Combination*> ptrs;
+    for (int nodes : {2, 4, 8, 16}) {
+      scal::ClusterCombination::Config config;
+      config.cluster = ge ? machine::sunwulf::ge_ensemble(nodes)
+                          : machine::sunwulf::mm_ensemble(nodes);
+      const std::string name =
+          (ge ? "GE-" : "MM-") + std::to_string(nodes);
+      if (ge) {
+        owned.push_back(std::make_unique<scal::GeCombination>(
+            name, std::move(config)));
+      } else {
+        owned.push_back(std::make_unique<scal::MmCombination>(
+            name, std::move(config)));
+      }
+      ptrs.push_back(owned.back().get());
+    }
+    auto report = scal::scalability_series(ptrs, target);
+    return std::make_pair(std::move(owned), std::move(report));
+  };
+
+  const auto [ge_owned, ge] = build_series(true, 0.3);
+  const auto [mm_owned, mm] = build_series(false, 0.2);
+
+  Table table("GE (E_s = 0.3) vs MM (E_s = 0.2) on the Sunwulf ladder");
+  table.set_header({"Step", "GE psi", "MM psi", "more scalable"});
+  for (std::size_t i = 0; i < ge.steps.size(); ++i) {
+    table.add_row({ge.steps[i].from + " -> " + ge.steps[i].to,
+                   Table::fixed(ge.steps[i].psi, 3),
+                   Table::fixed(mm.steps[i].psi, 3),
+                   mm.steps[i].psi > ge.steps[i].psi ? "MM" : "GE"});
+  }
+  table.add_row({"cumulative", Table::fixed(ge.cumulative_psi(), 4),
+                 Table::fixed(mm.cumulative_psi(), 4),
+                 mm.cumulative_psi() > ge.cumulative_psi() ? "MM" : "GE"});
+  std::cout << table
+            << "\nWhy MM wins: it is perfectly parallel (no back "
+               "substitution) and communicates O(p) messages once, while GE "
+               "broadcasts and synchronizes N times. The metric turns that "
+               "intuition into one number per scaling step.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Parallel Matrix Multiplication (paper §4.1.2).
+//
+// The paper's simple row-based heuristic under the HoHe strategy of
+// Kalinov–Lastovetsky [6]: homogeneous processes, one per processor, with a
+// heterogeneous distribution of the matrix over them.
+//   1. Process 0 distributes the rows of A proportionally to marked speeds
+//      (row-based heterogeneous block distribution).
+//   2. Process 0 distributes B (every rank receives the full matrix).
+//   3. Every rank computes its rows of C = A B — no communication at all
+//      during computation.
+//   4. Process 0 collects the result rows.
+// Each rank therefore works on ~N·C_i/C rows and performs 2 N^2 · rows
+// flops; the total workload is W(N) = 2 N^3, perfectly parallel (α = 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hetscale/numeric/matrix.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace hetscale::algos {
+
+/// Which row distribution step 1 uses (ablation hook; the paper uses
+/// the heterogeneous one).
+enum class MmDistribution {
+  kHeterogeneousBlock,  ///< rows ∝ marked speed (paper)
+  kHomogeneousBlock,    ///< equal rows per rank (baseline)
+};
+
+struct MmOptions {
+  std::int64_t n = 0;       ///< matrix order N (required, >= 1)
+  bool with_data = true;    ///< perform real arithmetic alongside timing
+  std::uint64_t seed = 43;
+  MmDistribution distribution = MmDistribution::kHeterogeneousBlock;
+  std::vector<double> speeds;  ///< per-rank marked speeds; empty = measure
+};
+
+struct MmResult {
+  vmpi::RunResult run;
+  std::int64_t n = 0;
+  double work_flops = 0.0;     ///< W(N) = 2 N^3
+  double charged_flops = 0.0;  ///< flops actually charged (== work, tested)
+  /// Only populated when with_data:
+  numeric::Matrix a;  ///< the inputs, for external verification
+  numeric::Matrix b;
+  numeric::Matrix c;  ///< the parallel product
+};
+
+/// Run parallel MM on (and consuming) the given single-shot machine.
+MmResult run_parallel_mm(vmpi::Machine& machine, const MmOptions& options);
+
+}  // namespace hetscale::algos

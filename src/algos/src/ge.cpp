@@ -1,0 +1,431 @@
+#include "hetscale/algos/ge.hpp"
+
+#include <any>
+#include <memory>
+#include <utility>
+
+#include "hetscale/dist/distribution.hpp"
+#include "hetscale/kernels/blas1.hpp"
+#include "hetscale/kernels/flops.hpp"
+#include "hetscale/marked/suite.hpp"
+#include "hetscale/numeric/linsolve.hpp"
+#include "hetscale/numeric/matrix.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::algos {
+
+namespace {
+
+using des::Task;
+using vmpi::Comm;
+
+constexpr int kRoot = 0;
+constexpr int kTagRows = 100;
+constexpr int kTagCollect = 101;
+/// Pipelined variant: pivot of step i travels with tag kTagPivotBase + i.
+constexpr int kTagPivotBase = 2000;
+constexpr double kMetadataBytes = 16.0;
+
+using Pack = std::shared_ptr<std::vector<double>>;
+
+struct RankData {
+  std::vector<std::int64_t> rows;  ///< owned global row indices, ascending
+  std::vector<std::vector<double>> a_rows;  ///< with_data: full-length rows
+  std::vector<double> rhs;
+  std::size_t next = 0;  ///< first local index with global row >= step i
+};
+
+struct GeShared {
+  std::int64_t n = 0;
+  bool with_data = true;
+  bool barrier_each_step = true;
+  std::vector<int> owners;
+  std::vector<RankData> ranks;
+  numeric::Matrix a0;       ///< original system (kept for the residual)
+  std::vector<double> b0;
+  double charged = 0.0;
+  std::vector<double> solution;
+  double residual = 0.0;
+};
+
+/// Pack the rows owned by `data` as [row cols..., rhs] per row.
+Pack pack_rows(const GeShared& sh, const RankData& data) {
+  auto pack = std::make_shared<std::vector<double>>();
+  pack->reserve(data.rows.size() * static_cast<std::size_t>(sh.n + 1));
+  for (std::size_t k = 0; k < data.rows.size(); ++k) {
+    pack->insert(pack->end(), data.a_rows[k].begin(), data.a_rows[k].end());
+    pack->push_back(data.rhs[k]);
+  }
+  return pack;
+}
+
+void unpack_rows(const GeShared& sh, RankData& data, const Pack& pack) {
+  const auto stride = static_cast<std::size_t>(sh.n + 1);
+  HETSCALE_CHECK(pack->size() == data.rows.size() * stride,
+                 "row pack size mismatch");
+  data.a_rows.resize(data.rows.size());
+  data.rhs.resize(data.rows.size());
+  for (std::size_t k = 0; k < data.rows.size(); ++k) {
+    const double* base = pack->data() + k * stride;
+    data.a_rows[k].assign(base, base + sh.n);
+    data.rhs[k] = base[static_cast<std::size_t>(sh.n)];
+  }
+}
+
+/// Stage 0: process 0 distributes rows (heterogeneous cyclic), preceded by
+/// the metadata broadcast of the paper's overhead expression.
+Task<void> ge_distribute(Comm& comm, GeShared& sh, RankData& mine) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const std::int64_t n = sh.n;
+  const double bytes_per_row = static_cast<double>(n + 1) * 8.0;
+
+  co_await comm.bcast(kRoot, kMetadataBytes, {});
+
+  if (rank == kRoot) {
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == kRoot) continue;
+      auto& theirs = sh.ranks[static_cast<std::size_t>(dst)];
+      std::any payload;
+      if (sh.with_data) {
+        auto pack = std::make_shared<std::vector<double>>();
+        pack->reserve(theirs.rows.size() * static_cast<std::size_t>(n + 1));
+        for (auto g : theirs.rows) {
+          auto row = sh.a0.row(static_cast<std::size_t>(g));
+          pack->insert(pack->end(), row.begin(), row.end());
+          pack->push_back(sh.b0[static_cast<std::size_t>(g)]);
+        }
+        payload = pack;
+      }
+      co_await comm.send(dst, kTagRows,
+                         bytes_per_row * static_cast<double>(theirs.rows.size()),
+                         std::move(payload));
+    }
+    if (sh.with_data) {
+      for (auto g : mine.rows) {
+        auto row = sh.a0.row(static_cast<std::size_t>(g));
+        mine.a_rows.emplace_back(row.begin(), row.end());
+        mine.rhs.push_back(sh.b0[static_cast<std::size_t>(g)]);
+      }
+    }
+  } else {
+    auto message = co_await comm.recv(kRoot, kTagRows);
+    if (sh.with_data) unpack_rows(sh, mine, message.value<Pack>());
+  }
+}
+
+/// Stage 2: collection + back substitution on process 0 (the sequential
+/// portion, α = O(1/N)).
+Task<void> ge_collect(Comm& comm, GeShared& sh, RankData& mine) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const std::int64_t n = sh.n;
+  const double bytes_per_row = static_cast<double>(n + 1) * 8.0;
+
+  if (rank != kRoot) {
+    std::any payload;
+    if (sh.with_data) payload = pack_rows(sh, mine);
+    co_await comm.send(kRoot, kTagCollect,
+                       bytes_per_row * static_cast<double>(mine.rows.size()),
+                       std::move(payload));
+    co_return;
+  }
+
+  numeric::Matrix u;
+  std::vector<double> y;
+  if (sh.with_data) {
+    u = numeric::Matrix(static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n));
+    y.resize(static_cast<std::size_t>(n));
+    for (std::size_t k = 0; k < mine.rows.size(); ++k) {
+      const auto g = static_cast<std::size_t>(mine.rows[k]);
+      auto dst = u.row(g);
+      std::copy(mine.a_rows[k].begin(), mine.a_rows[k].end(), dst.begin());
+      y[g] = mine.rhs[k];
+    }
+  }
+  for (int src = 0; src < p; ++src) {
+    if (src == kRoot) continue;
+    auto message = co_await comm.recv(src, kTagCollect);
+    if (sh.with_data) {
+      auto& theirs = sh.ranks[static_cast<std::size_t>(src)];
+      const auto pack = message.value<Pack>();
+      const auto stride = static_cast<std::size_t>(n + 1);
+      HETSCALE_CHECK(pack->size() == theirs.rows.size() * stride,
+                     "collected pack size mismatch");
+      for (std::size_t k = 0; k < theirs.rows.size(); ++k) {
+        const auto g = static_cast<std::size_t>(theirs.rows[k]);
+        const double* base = pack->data() + k * stride;
+        auto dst = u.row(g);
+        std::copy(base, base + n, dst.begin());
+        y[g] = base[static_cast<std::size_t>(n)];
+      }
+    }
+  }
+
+  sh.charged += kernels::ge_backsub_flops(n);
+  co_await comm.compute(kernels::ge_backsub_flops(n));
+  if (sh.with_data) {
+    sh.solution = numeric::back_substitute(u, y);
+    sh.residual = numeric::residual_inf_norm(sh.a0, sh.solution, sh.b0);
+  }
+}
+
+/// Normalize local row `local` as pivot row `i` (with_data) and return its
+/// trailing columns + rhs for broadcasting.
+std::pair<Pack, double> normalize_pivot(GeShared& sh, RankData& mine,
+                                        std::int64_t i, std::size_t local) {
+  Pack pivot;
+  double pivot_rhs = 0.0;
+  if (sh.with_data) {
+    auto& row = mine.a_rows[local];
+    const double diag = row[static_cast<std::size_t>(i)];
+    HETSCALE_CHECK(diag != 0.0, "zero pivot in pivot-free parallel GE");
+    const double inv = 1.0 / diag;
+    for (std::int64_t c = i; c < sh.n; ++c) {
+      row[static_cast<std::size_t>(c)] *= inv;
+    }
+    mine.rhs[local] *= inv;
+    pivot = std::make_shared<std::vector<double>>(row.begin() + i, row.end());
+    pivot_rhs = mine.rhs[local];
+  }
+  return {std::move(pivot), pivot_rhs};
+}
+
+/// Eliminate owned local rows [first, end) at step i against the pivot.
+void eliminate_rows(GeShared& sh, RankData& mine, std::int64_t i,
+                    std::size_t first, const Pack& pivot, double pivot_rhs) {
+  if (!sh.with_data) return;
+  std::span<const double> piv(*pivot);
+  for (std::size_t k = first; k < mine.rows.size(); ++k) {
+    auto row = std::span<double>(mine.a_rows[k])
+                   .subspan(static_cast<std::size_t>(i));
+    kernels::eliminate_row(piv, pivot_rhs, row, mine.rhs[k], 0);
+  }
+}
+
+/// Stage 1, as the paper specifies it: per step, two broadcasts (pivot row
+/// + rhs) and a barrier.
+Task<void> ge_eliminate_paper(Comm& comm, GeShared& sh, RankData& mine) {
+  const int rank = comm.rank();
+  const std::int64_t n = sh.n;
+
+  auto charge = [&](double flops) {
+    sh.charged += flops;
+    return comm.compute(flops);
+  };
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int owner = sh.owners[static_cast<std::size_t>(i)];
+    while (mine.next < mine.rows.size() && mine.rows[mine.next] < i) {
+      ++mine.next;
+    }
+    const std::int64_t trailing = n - i;
+
+    Pack pivot;
+    double pivot_rhs = 0.0;
+    if (rank == owner) {
+      co_await charge(kernels::ge_normalize_flops(n, i));
+      HETSCALE_CHECK(!sh.with_data ||
+                         (mine.next < mine.rows.size() &&
+                          mine.rows[mine.next] == i),
+                     "owner does not hold the pivot row");
+      std::tie(pivot, pivot_rhs) = normalize_pivot(sh, mine, i, mine.next);
+    }
+
+    // Two broadcasts per step, as in the paper's model N(2 T_bcast + T_bar).
+    // Payloads are built in named locals — GCC's coroutine lowering
+    // double-destroys temporaries materialized in conditional operators
+    // inside co_await expressions.
+    std::any row_payload;
+    std::any rhs_payload;
+    if (rank == owner) {
+      row_payload = pivot;
+      rhs_payload = pivot_rhs;
+    }
+    std::any row_any = co_await comm.bcast(
+        owner, static_cast<double>(trailing) * 8.0, std::move(row_payload));
+    std::any rhs_any =
+        co_await comm.bcast(owner, 8.0, std::move(rhs_payload));
+    if (sh.with_data && rank != owner) {
+      pivot = std::any_cast<Pack>(row_any);
+      pivot_rhs = std::any_cast<double>(rhs_any);
+    }
+
+    std::size_t first = mine.next;
+    if (first < mine.rows.size() && mine.rows[first] == i) ++first;
+    const auto count = mine.rows.size() - first;
+    if (count > 0) {
+      co_await charge(static_cast<double>(count) *
+                      kernels::ge_eliminate_row_flops(n, i));
+      eliminate_rows(sh, mine, i, first, pivot, pivot_rhs);
+    }
+    if (sh.barrier_each_step) co_await comm.barrier();
+  }
+}
+
+/// Stage 1, pipelined (lookahead-1): the owner of row i+1 eliminates it
+/// first and fires the next pivot with isend, overlapping the distribution
+/// with everyone's remaining step-i eliminations. One message per pivot,
+/// no barriers; arithmetic identical per row, only the schedule differs.
+Task<void> ge_eliminate_pipelined(Comm& comm, GeShared& sh, RankData& mine) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const std::int64_t n = sh.n;
+
+  auto charge = [&](double flops) {
+    sh.charged += flops;
+    return comm.compute(flops);
+  };
+
+  auto pivot_bytes = [&](std::int64_t i) {
+    return static_cast<double>(n - i + 1) * 8.0;  // trailing row + rhs
+  };
+
+  auto send_pivot = [&](std::int64_t i, const Pack& pivot,
+                        double pivot_rhs) {
+    std::any payload;
+    if (sh.with_data) {
+      auto pack = std::make_shared<std::vector<double>>(*pivot);
+      pack->push_back(pivot_rhs);
+      payload = pack;
+    }
+    const int tag = kTagPivotBase + static_cast<int>(i);
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == rank) continue;
+      comm.isend(dst, tag, pivot_bytes(i), payload);
+    }
+  };
+
+  // Bootstrap: the owner of row 0 prepares and fires pivot 0.
+  Pack held_pivot;       // the pivot this rank owns for the *next* step
+  double held_rhs = 0.0;
+  if (rank == sh.owners[0]) {
+    co_await charge(kernels::ge_normalize_flops(n, 0));
+    while (mine.next < mine.rows.size() && mine.rows[mine.next] < 0) {
+      ++mine.next;
+    }
+    std::tie(held_pivot, held_rhs) = normalize_pivot(sh, mine, 0, 0);
+    send_pivot(0, held_pivot, held_rhs);
+  }
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int owner = sh.owners[static_cast<std::size_t>(i)];
+    while (mine.next < mine.rows.size() && mine.rows[mine.next] < i) {
+      ++mine.next;
+    }
+
+    Pack pivot;
+    double pivot_rhs = 0.0;
+    if (rank == owner) {
+      pivot = std::move(held_pivot);
+      pivot_rhs = held_rhs;
+    } else {
+      auto message =
+          co_await comm.recv(owner, kTagPivotBase + static_cast<int>(i));
+      if (sh.with_data) {
+        const auto pack = message.value<Pack>();
+        pivot_rhs = pack->back();
+        pivot = std::make_shared<std::vector<double>>(pack->begin(),
+                                                      pack->end() - 1);
+      }
+    }
+
+    std::size_t first = mine.next;
+    if (first < mine.rows.size() && mine.rows[first] == i) ++first;
+
+    // Lookahead: if this rank owns row i+1, update it first and fire the
+    // next pivot before touching the rest of the block.
+    std::size_t remaining_first = first;
+    if (i + 1 < n &&
+        rank == sh.owners[static_cast<std::size_t>(i + 1)]) {
+      HETSCALE_CHECK(!sh.with_data ||
+                         (first < mine.rows.size() &&
+                          mine.rows[first] == i + 1),
+                     "lookahead owner does not hold row i+1");
+      co_await charge(kernels::ge_eliminate_row_flops(n, i));
+      eliminate_rows(sh, mine, i, first, pivot, pivot_rhs);
+      // eliminate_rows updated [first, end); re-do bookkeeping: we only
+      // wanted row i+1 now, so do it precisely instead:
+      remaining_first = first + 1;
+      co_await charge(kernels::ge_normalize_flops(n, i + 1));
+      std::tie(held_pivot, held_rhs) =
+          normalize_pivot(sh, mine, i + 1, first);
+      send_pivot(i + 1, held_pivot, held_rhs);
+    }
+
+    const auto count = mine.rows.size() - remaining_first;
+    if (count > 0) {
+      co_await charge(static_cast<double>(count) *
+                      kernels::ge_eliminate_row_flops(n, i));
+      if (remaining_first == first) {
+        eliminate_rows(sh, mine, i, remaining_first, pivot, pivot_rhs);
+      }
+      // (when the lookahead ran, eliminate_rows above already covered the
+      // whole [first, end) range with identical arithmetic)
+    }
+  }
+}
+
+Task<void> ge_rank(Comm& comm, GeShared& sh, bool pipelined) {
+  RankData& mine = sh.ranks[static_cast<std::size_t>(comm.rank())];
+  co_await ge_distribute(comm, sh, mine);
+  if (pipelined) {
+    co_await ge_eliminate_pipelined(comm, sh, mine);
+  } else {
+    co_await ge_eliminate_paper(comm, sh, mine);
+  }
+  co_await ge_collect(comm, sh, mine);
+}
+
+}  // namespace
+
+GeResult run_parallel_ge(vmpi::Machine& machine, const GeOptions& options) {
+  HETSCALE_REQUIRE(options.n >= 1, "GE needs n >= 1");
+  const int p = machine.world_size();
+
+  auto shared = std::make_shared<GeShared>();
+  shared->n = options.n;
+  shared->with_data = options.with_data;
+  shared->barrier_each_step = options.barrier_each_step;
+  shared->ranks.resize(static_cast<std::size_t>(p));
+
+  std::vector<double> speeds = options.speeds;
+  if (speeds.empty()) speeds = marked::rank_marked_speeds(machine.cluster());
+  HETSCALE_REQUIRE(static_cast<int>(speeds.size()) == p,
+                   "need one marked speed per rank");
+
+  shared->owners =
+      options.distribution == GeDistribution::kHeterogeneousCyclic
+          ? dist::het_cyclic_owners(speeds, options.n)
+          : dist::cyclic_owners(p, options.n);
+  for (std::int64_t g = 0; g < options.n; ++g) {
+    shared->ranks[static_cast<std::size_t>(
+                      shared->owners[static_cast<std::size_t>(g)])]
+        .rows.push_back(g);
+  }
+
+  if (options.with_data) {
+    Rng rng(options.seed);
+    shared->a0 = numeric::Matrix::random_diagonally_dominant(
+        static_cast<std::size_t>(options.n), rng);
+    shared->b0.resize(static_cast<std::size_t>(options.n));
+    for (auto& v : shared->b0) v = rng.uniform(-1.0, 1.0);
+  }
+
+  const bool pipelined = options.pipelined;
+  auto run = machine.run([shared, pipelined](Comm& comm) -> Task<void> {
+    return ge_rank(comm, *shared, pipelined);
+  });
+
+  GeResult result;
+  result.run = std::move(run);
+  result.n = options.n;
+  result.work_flops = numeric::ge_workload(static_cast<double>(options.n));
+  result.charged_flops = shared->charged;
+  result.solution = std::move(shared->solution);
+  result.residual = shared->residual;
+  return result;
+}
+
+}  // namespace hetscale::algos

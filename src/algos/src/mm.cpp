@@ -1,0 +1,196 @@
+#include "hetscale/algos/mm.hpp"
+
+#include <any>
+#include <memory>
+#include <utility>
+
+#include "hetscale/dist/distribution.hpp"
+#include "hetscale/kernels/flops.hpp"
+#include "hetscale/marked/suite.hpp"
+#include "hetscale/numeric/linsolve.hpp"
+#include "hetscale/numeric/matmul.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::algos {
+
+namespace {
+
+using des::Task;
+using vmpi::Comm;
+
+constexpr int kRoot = 0;
+constexpr int kTagARows = 200;
+constexpr int kTagCollect = 201;
+constexpr double kMetadataBytes = 16.0;
+
+using MatPtr = std::shared_ptr<numeric::Matrix>;
+
+struct MmShared {
+  std::int64_t n = 0;
+  bool with_data = true;
+  std::vector<std::int64_t> counts;   ///< rows of A per rank
+  std::vector<std::int64_t> offsets;  ///< first row per rank
+  numeric::Matrix a;  ///< root's inputs
+  numeric::Matrix b;
+  numeric::Matrix c;  ///< gathered result at root
+  double charged = 0.0;
+};
+
+Task<void> mm_rank(Comm& comm, MmShared& sh) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const std::int64_t n = sh.n;
+  const auto my_count = sh.counts[static_cast<std::size_t>(rank)];
+  const auto my_offset = sh.offsets[static_cast<std::size_t>(rank)];
+  const double row_bytes = static_cast<double>(n) * 8.0;
+
+  co_await comm.bcast(kRoot, kMetadataBytes, {});
+
+  // ---- Step 1: distribute A's rows (heterogeneous block) ----
+  numeric::Matrix my_a;  // my block of A (non-root, with_data)
+  if (rank == kRoot) {
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == kRoot) continue;
+      const auto count = sh.counts[static_cast<std::size_t>(dst)];
+      std::any payload;
+      if (sh.with_data) {
+        const auto begin = static_cast<std::size_t>(
+            sh.offsets[static_cast<std::size_t>(dst)]);
+        auto block = std::make_shared<numeric::Matrix>(
+            static_cast<std::size_t>(count), static_cast<std::size_t>(n));
+        for (std::size_t r = 0; r < static_cast<std::size_t>(count); ++r) {
+          auto src = sh.a.row(begin + r);
+          std::copy(src.begin(), src.end(), block->row(r).begin());
+        }
+        payload = block;
+      }
+      co_await comm.send(dst, kTagARows,
+                         row_bytes * static_cast<double>(count),
+                         std::move(payload));
+    }
+  } else {
+    auto message = co_await comm.recv(kRoot, kTagARows);
+    if (sh.with_data) my_a = std::move(*message.value<MatPtr>());
+  }
+
+  // ---- Step 2: distribute B (full matrix to every rank) ----
+  // Payload hoisted into a named local (see ge.cpp for the GCC coroutine
+  // temporary-lifetime pitfall this avoids).
+  std::any b_payload;
+  if (rank == kRoot && sh.with_data) {
+    b_payload = std::make_shared<numeric::Matrix>(sh.b);
+  }
+  std::any b_any = co_await comm.bcast(
+      kRoot, row_bytes * static_cast<double>(n), std::move(b_payload));
+  MatPtr b_holder;  // keeps the broadcast payload alive on non-root ranks
+  const numeric::Matrix* my_b = nullptr;
+  if (sh.with_data) {
+    if (rank == kRoot) {
+      my_b = &sh.b;
+    } else {
+      b_holder = std::any_cast<MatPtr>(b_any);
+      my_b = b_holder.get();
+    }
+  }
+
+  // ---- Step 3: local computation, no communication ----
+  sh.charged += kernels::mm_rows_flops(n, my_count);
+  co_await comm.compute(kernels::mm_rows_flops(n, my_count));
+  numeric::Matrix my_c;
+  if (sh.with_data && my_count > 0) {
+    const numeric::Matrix& a_block =
+        rank == kRoot ? sh.a : my_a;
+    const auto begin =
+        rank == kRoot ? static_cast<std::size_t>(my_offset) : std::size_t{0};
+    my_c = numeric::multiply_rows(a_block, *my_b, begin,
+                                  begin + static_cast<std::size_t>(my_count));
+  }
+
+  // ---- Step 4: collect C at process 0 ----
+  if (rank != kRoot) {
+    std::any payload;
+    if (sh.with_data) {
+      payload = std::make_shared<numeric::Matrix>(std::move(my_c));
+    }
+    co_await comm.send(kRoot, kTagCollect,
+                       row_bytes * static_cast<double>(my_count),
+                       std::move(payload));
+    co_return;
+  }
+
+  if (sh.with_data) {
+    sh.c = numeric::Matrix(static_cast<std::size_t>(n),
+                           static_cast<std::size_t>(n));
+    for (std::size_t r = 0; r < static_cast<std::size_t>(my_count); ++r) {
+      auto src = my_c.row(r);
+      auto dst = sh.c.row(static_cast<std::size_t>(my_offset) + r);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  for (int src = 0; src < p; ++src) {
+    if (src == kRoot) continue;
+    auto message = co_await comm.recv(src, kTagCollect);
+    if (sh.with_data) {
+      const auto block = message.value<MatPtr>();
+      const auto begin =
+          static_cast<std::size_t>(sh.offsets[static_cast<std::size_t>(src)]);
+      for (std::size_t r = 0; r < block->rows(); ++r) {
+        auto brow = block->row(r);
+        auto dst = sh.c.row(begin + r);
+        std::copy(brow.begin(), brow.end(), dst.begin());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MmResult run_parallel_mm(vmpi::Machine& machine, const MmOptions& options) {
+  HETSCALE_REQUIRE(options.n >= 1, "MM needs n >= 1");
+  const int p = machine.world_size();
+
+  auto shared = std::make_shared<MmShared>();
+  shared->n = options.n;
+  shared->with_data = options.with_data;
+
+  std::vector<double> speeds = options.speeds;
+  if (speeds.empty()) speeds = marked::rank_marked_speeds(machine.cluster());
+  HETSCALE_REQUIRE(static_cast<int>(speeds.size()) == p,
+                   "need one marked speed per rank");
+
+  shared->counts =
+      options.distribution == MmDistribution::kHeterogeneousBlock
+          ? dist::het_block_counts(speeds, options.n)
+          : dist::block_counts(p, options.n);
+  {
+    auto offsets = dist::block_offsets(shared->counts);
+    offsets.pop_back();
+    shared->offsets = std::move(offsets);
+  }
+
+  if (options.with_data) {
+    Rng rng(options.seed);
+    shared->a = numeric::Matrix::random(static_cast<std::size_t>(options.n),
+                                        static_cast<std::size_t>(options.n),
+                                        rng);
+    shared->b = numeric::Matrix::random(static_cast<std::size_t>(options.n),
+                                        static_cast<std::size_t>(options.n),
+                                        rng);
+  }
+
+  auto run = machine.run([shared](Comm& comm) -> Task<void> {
+    return mm_rank(comm, *shared);
+  });
+
+  MmResult result;
+  result.run = std::move(run);
+  result.n = options.n;
+  result.work_flops = numeric::mm_workload(static_cast<double>(options.n));
+  result.charged_flops = shared->charged;
+  result.a = std::move(shared->a);
+  result.b = std::move(shared->b);
+  result.c = std::move(shared->c);
+  return result;
+}
+
+}  // namespace hetscale::algos

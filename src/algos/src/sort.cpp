@@ -1,0 +1,228 @@
+#include "hetscale/algos/sort.hpp"
+
+#include <algorithm>
+#include <any>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "hetscale/dist/distribution.hpp"
+#include "hetscale/marked/suite.hpp"
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/rng.hpp"
+
+namespace hetscale::algos {
+
+namespace {
+
+using des::Task;
+using vmpi::Comm;
+
+constexpr int kRoot = 0;
+constexpr int kTagKeys = 400;
+constexpr int kTagCollect = 401;
+constexpr double kMetadataBytes = 16.0;
+constexpr double kBytesPerKey = 8.0;
+
+using Vec = std::shared_ptr<std::vector<double>>;
+
+struct SortShared {
+  std::int64_t n = 0;
+  SortSplitters splitters = SortSplitters::kSpeedProportional;
+  std::vector<double> speeds;
+  std::vector<std::int64_t> counts;  ///< initial keys per rank
+  std::vector<double> keys0;         ///< input at root
+  std::vector<double> sorted;        ///< output at root
+  std::vector<std::int64_t> bucket_counts;
+  double charged = 0.0;
+};
+
+/// 3 ops per key per log2(N) level — one sorting pass.
+double sort_pass_flops(std::int64_t keys, std::int64_t n) {
+  return 3.0 * static_cast<double>(keys) *
+         std::log2(static_cast<double>(n));
+}
+
+Task<void> sort_rank(Comm& comm, SortShared& sh) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const std::int64_t n = sh.n;
+  const auto my_count = sh.counts[static_cast<std::size_t>(rank)];
+
+  auto charge = [&](double flops) {
+    sh.charged += flops;
+    return comm.compute(flops);
+  };
+
+  co_await comm.bcast(kRoot, kMetadataBytes, {});
+
+  // ---- Phase 1: distribute keys proportionally to marked speeds ----
+  std::vector<double> local;
+  if (rank == kRoot) {
+    const auto offsets = dist::block_offsets(sh.counts);
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == kRoot) continue;
+      auto pack = std::make_shared<std::vector<double>>(
+          sh.keys0.begin() + offsets[static_cast<std::size_t>(dst)],
+          sh.keys0.begin() + offsets[static_cast<std::size_t>(dst) + 1]);
+      co_await comm.send(
+          dst, kTagKeys,
+          kBytesPerKey *
+              static_cast<double>(sh.counts[static_cast<std::size_t>(dst)]),
+          std::move(pack));
+    }
+    local.assign(sh.keys0.begin(),
+                 sh.keys0.begin() + offsets[1]);
+  } else {
+    auto message = co_await comm.recv(kRoot, kTagKeys);
+    local = std::move(*message.value<Vec>());
+  }
+
+  // ---- Phase 2: local sort ----
+  co_await charge(sort_pass_flops(my_count, n));
+  std::sort(local.begin(), local.end());
+
+  // ---- Phase 3: regular sampling (with oversampling) and splitters ----
+  // Each rank contributes s >> p-1 local quantiles so the combined sample
+  // resolves *arbitrary* cut fractions — required for speed-proportional
+  // splitters, whose cut points are not multiples of 1/p.
+  std::vector<double> splitters;
+  if (p > 1) {
+    HETSCALE_CHECK(!local.empty(),
+                   "sample sort needs every rank to own at least one key");
+    const int oversample = std::max(32, 4 * (p - 1));
+    auto samples = std::make_shared<std::vector<double>>();
+    for (int k = 1; k <= oversample; ++k) {
+      const auto at = static_cast<std::size_t>(
+          static_cast<double>(local.size()) * k / (oversample + 1));
+      samples->push_back(local[std::min(at, local.size() - 1)]);
+    }
+    auto gathered = co_await comm.gather(
+        kRoot, kBytesPerKey * static_cast<double>(oversample), samples);
+    std::any splitters_any;
+    if (rank == kRoot) {
+      std::vector<double> all;
+      for (const auto& part : gathered) {
+        const auto vec = std::any_cast<Vec>(part);
+        all.insert(all.end(), vec->begin(), vec->end());
+      }
+      std::sort(all.begin(), all.end());
+      auto chosen = std::make_shared<std::vector<double>>();
+      double cumulative = 0.0;
+      double total_speed = 0.0;
+      for (double c : sh.speeds) total_speed += c;
+      for (int k = 1; k < p; ++k) {
+        double fraction;
+        if (sh.splitters == SortSplitters::kSpeedProportional) {
+          cumulative += sh.speeds[static_cast<std::size_t>(k - 1)];
+          fraction = cumulative / total_speed;
+        } else {
+          fraction = static_cast<double>(k) / p;
+        }
+        const auto at = static_cast<std::size_t>(
+            fraction * static_cast<double>(all.size()));
+        chosen->push_back(all[std::min(at, all.size() - 1)]);
+      }
+      splitters_any = chosen;
+    }
+    splitters_any = co_await comm.bcast(
+        kRoot, kBytesPerKey * static_cast<double>(p - 1),
+        std::move(splitters_any));
+    splitters = *std::any_cast<Vec>(splitters_any);
+  }
+
+  // ---- Phase 4: bucket partition + alltoall ----
+  std::vector<double> received;
+  if (p > 1) {
+    std::vector<std::any> parts;
+    std::vector<double> parts_bytes;
+    auto cursor = local.begin();
+    for (int d = 0; d < p; ++d) {
+      auto until = d + 1 < p
+                       ? std::upper_bound(cursor, local.end(),
+                                          splitters[static_cast<std::size_t>(d)])
+                       : local.end();
+      auto bucket = std::make_shared<std::vector<double>>(cursor, until);
+      parts_bytes.push_back(kBytesPerKey *
+                            static_cast<double>(bucket->size()));
+      parts.emplace_back(std::move(bucket));
+      cursor = until;
+    }
+    auto incoming = co_await comm.alltoall(parts_bytes, std::move(parts));
+    for (const auto& part : incoming) {
+      const auto vec = std::any_cast<Vec>(part);
+      received.insert(received.end(), vec->begin(), vec->end());
+    }
+  } else {
+    received = std::move(local);
+  }
+  sh.bucket_counts[static_cast<std::size_t>(rank)] =
+      static_cast<std::int64_t>(received.size());
+
+  // ---- Phase 5: final local sort of the bucket ----
+  co_await charge(
+      sort_pass_flops(static_cast<std::int64_t>(received.size()), n));
+  std::sort(received.begin(), received.end());
+
+  // ---- Phase 6: gather — concatenation by rank is globally sorted ----
+  auto mine = std::make_shared<std::vector<double>>(std::move(received));
+  const double bytes = kBytesPerKey * static_cast<double>(mine->size());
+  if (rank != kRoot) {
+    co_await comm.send(kRoot, kTagCollect, bytes, std::move(mine));
+    co_return;
+  }
+  sh.sorted.reserve(static_cast<std::size_t>(n));
+  sh.sorted.insert(sh.sorted.end(), mine->begin(), mine->end());
+  for (int src = 1; src < p; ++src) {
+    auto message = co_await comm.recv(src, kTagCollect);
+    const auto vec = message.value<Vec>();
+    sh.sorted.insert(sh.sorted.end(), vec->begin(), vec->end());
+  }
+}
+
+}  // namespace
+
+double sort_workload(std::int64_t n) {
+  HETSCALE_REQUIRE(n >= 2, "sort workload needs n >= 2");
+  return 6.0 * static_cast<double>(n) * std::log2(static_cast<double>(n));
+}
+
+SortResult run_parallel_sort(vmpi::Machine& machine,
+                             const SortOptions& options) {
+  const int p = machine.world_size();
+  HETSCALE_REQUIRE(options.n >= static_cast<std::int64_t>(p) * p &&
+                       options.n >= 2,
+                   "sample sort needs n >= p^2 keys");
+
+  auto shared = std::make_shared<SortShared>();
+  shared->n = options.n;
+  shared->splitters = options.splitters;
+  shared->bucket_counts.assign(static_cast<std::size_t>(p), 0);
+
+  shared->speeds = options.speeds;
+  if (shared->speeds.empty()) {
+    shared->speeds = marked::rank_marked_speeds(machine.cluster());
+  }
+  HETSCALE_REQUIRE(static_cast<int>(shared->speeds.size()) == p,
+                   "need one marked speed per rank");
+  shared->counts = dist::het_block_counts(shared->speeds, options.n);
+
+  Rng rng(options.seed);
+  shared->keys0.resize(static_cast<std::size_t>(options.n));
+  for (auto& key : shared->keys0) key = rng.uniform(0.0, 1.0);
+
+  auto run = machine.run([shared](Comm& comm) -> Task<void> {
+    return sort_rank(comm, *shared);
+  });
+
+  SortResult result;
+  result.run = std::move(run);
+  result.n = options.n;
+  result.work_flops = sort_workload(options.n);
+  result.charged_flops = shared->charged;
+  result.sorted = std::move(shared->sorted);
+  result.bucket_counts = std::move(shared->bucket_counts);
+  return result;
+}
+
+}  // namespace hetscale::algos

@@ -1,0 +1,47 @@
+#include "hetscale/des/scheduler.hpp"
+
+namespace hetscale::des {
+
+Scheduler::~Scheduler() {
+  for (auto handle : roots_) {
+    if (handle) handle.destroy();
+  }
+}
+
+void Scheduler::schedule_at(SimTime t, std::coroutine_handle<> handle) {
+  HETSCALE_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
+  HETSCALE_REQUIRE(handle != nullptr, "cannot schedule a null coroutine");
+  queue_.push(Event{t, next_sequence_++, handle});
+}
+
+void Scheduler::spawn(Task<void> task) {
+  HETSCALE_REQUIRE(task.valid(), "cannot spawn an empty task");
+  auto handle = task.release();  // scheduler takes ownership of the frame
+  roots_.push_back(handle);
+  schedule_at(now_, handle);
+}
+
+void Scheduler::run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    HETSCALE_CHECK(event.time >= now_, "event queue went back in time");
+    now_ = event.time;
+    ++events_processed_;
+    event.handle.resume();
+  }
+  // Surface failures and deadlocks from root processes.
+  for (auto handle : roots_) {
+    if (!handle) continue;
+    if (!handle.done()) {
+      throw ModelError(
+          "simulation deadlock: a root process is still blocked after the "
+          "event queue drained (e.g. a recv with no matching send)");
+    }
+    if (handle.promise().exception) {
+      std::rethrow_exception(handle.promise().exception);
+    }
+  }
+}
+
+}  // namespace hetscale::des

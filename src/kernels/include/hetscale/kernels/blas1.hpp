@@ -1,0 +1,29 @@
+// Row-level computational kernels shared by the parallel algorithms.
+//
+// These do the *real* arithmetic; the corresponding flop counts that get
+// charged to virtual time live in flops.hpp — keeping the two adjacent makes
+// the accounting auditable.
+#pragma once
+
+#include <span>
+
+namespace hetscale::kernels {
+
+/// y += a * x. Requires equal lengths.
+void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// Dot product. Requires equal lengths.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// x *= a.
+void scale(double a, std::span<double> x);
+
+/// One Gaussian-elimination row update: given the (already normalized, unit
+/// diagonal) pivot row and a target row, subtract factor * pivot from the
+/// target starting at column `lead`, where factor = row[lead]; also updates
+/// the target's right-hand-side entry given the pivot's.
+/// Returns the elimination factor.
+double eliminate_row(std::span<const double> pivot_row, double pivot_rhs,
+                     std::span<double> row, double& rhs, std::size_t lead);
+
+}  // namespace hetscale::kernels

@@ -1,0 +1,32 @@
+// Flop accounting for the kernels and algorithm phases.
+//
+// Virtual time is charged from these counts; they are also summed by tests
+// against the closed-form workload polynomials W(N) in numeric/linsolve.hpp
+// to guarantee the simulator charges exactly the paper's workload.
+#pragma once
+
+#include <cstdint>
+
+namespace hetscale::kernels {
+
+/// Flops to normalize the GE pivot row i of an N x N system (divide the
+/// trailing N - i entries of the row plus the rhs entry by the pivot).
+double ge_normalize_flops(std::int64_t n, std::int64_t i);
+
+/// Flops to eliminate ONE row j > i at step i: a multiply-add across the
+/// trailing N - i matrix entries plus the rhs entry.
+double ge_eliminate_row_flops(std::int64_t n, std::int64_t i);
+
+/// Flops of sequential back substitution on an N x N upper-triangular
+/// system (the paper GE's stage 2, executed on process 0).
+double ge_backsub_flops(std::int64_t n);
+
+/// Flops for one rank's share of C = A * B when it owns `rows` rows of A:
+/// rows * N multiply-adds per output column.
+double mm_rows_flops(std::int64_t n, std::int64_t rows);
+
+/// Flops of one Jacobi 5-point sweep over `rows` interior rows of an N-wide
+/// grid (4 adds + 1 multiply per cell, plus the residual accumulation).
+double jacobi_sweep_flops(std::int64_t n, std::int64_t rows);
+
+}  // namespace hetscale::kernels

@@ -1,0 +1,37 @@
+#include "hetscale/kernels/blas1.hpp"
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::kernels {
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  HETSCALE_REQUIRE(x.size() == y.size(), "axpy length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  HETSCALE_REQUIRE(x.size() == y.size(), "dot length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void scale(double a, std::span<double> x) {
+  for (double& v : x) v *= a;
+}
+
+double eliminate_row(std::span<const double> pivot_row, double pivot_rhs,
+                     std::span<double> row, double& rhs, std::size_t lead) {
+  HETSCALE_REQUIRE(pivot_row.size() == row.size(), "row length mismatch");
+  HETSCALE_REQUIRE(lead < row.size(), "lead column out of range");
+  const double factor = row[lead];
+  if (factor != 0.0) {
+    for (std::size_t c = lead; c < row.size(); ++c) {
+      row[c] -= factor * pivot_row[c];
+    }
+    rhs -= factor * pivot_rhs;
+  }
+  return factor;
+}
+
+}  // namespace hetscale::kernels

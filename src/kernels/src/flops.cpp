@@ -1,0 +1,32 @@
+#include "hetscale/kernels/flops.hpp"
+
+namespace hetscale::kernels {
+
+double ge_normalize_flops(std::int64_t n, std::int64_t i) {
+  // (N - i) trailing matrix entries + 1 rhs entry, one division each.
+  return static_cast<double>(n - i) + 1.0;
+}
+
+double ge_eliminate_row_flops(std::int64_t n, std::int64_t i) {
+  // (N - i) matrix entries + 1 rhs entry, one multiply + one subtract each.
+  return 2.0 * (static_cast<double>(n - i) + 1.0);
+}
+
+double ge_backsub_flops(std::int64_t n) {
+  // Row ii needs (n - 1 - ii) multiply-adds plus one divide: sum = n^2 - n
+  // multiply-add flops + n divides ≈ n^2.
+  const double dn = static_cast<double>(n);
+  return dn * dn;
+}
+
+double mm_rows_flops(std::int64_t n, std::int64_t rows) {
+  const double dn = static_cast<double>(n);
+  return 2.0 * static_cast<double>(rows) * dn * dn;
+}
+
+double jacobi_sweep_flops(std::int64_t n, std::int64_t rows) {
+  // 4 neighbour adds + 1 scale + 1 residual mul-add per interior cell.
+  return 6.0 * static_cast<double>(rows) * static_cast<double>(n);
+}
+
+}  // namespace hetscale::kernels

@@ -1,0 +1,56 @@
+// Marked speed (paper §3.1, Definitions 1–2) and the benchmark suite that
+// measures it.
+//
+// "The marked speed of a computing node is a (benchmarked) sustained speed
+//  of that node" — we model the paper's use of the NAS Parallel Benchmarks:
+// a small suite of kernels (EP, LU, FT, BT, MG) is *run* on a single CPU of
+// the node inside the simulator, each sustaining a kernel-specific fraction
+// of the node's nominal rate (NodeSpec::benchmark_bias), and the node's
+// marked speed is the average measured rate. Once measured, the marked speed
+// is treated as a constant of the study.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hetscale/machine/cluster.hpp"
+
+namespace hetscale::marked {
+
+/// The suite's kernel names, in NodeSpec::benchmark_bias order.
+inline constexpr std::array<std::string_view, 5> kKernelNames{
+    "EP", "LU", "FT", "BT", "MG"};
+
+/// Nominal flop count of each kernel run (problem-class constant; scaled by
+/// `scale`). Values are arbitrary but distinct so kernel runtimes differ.
+std::array<double, 5> kernel_flops(double scale = 1.0);
+
+/// Result of one benchmark kernel on one node.
+struct BenchmarkResult {
+  std::string kernel;
+  double seconds = 0.0;
+  double rate_flops = 0.0;  ///< measured sustained speed (flop/s)
+};
+
+/// Run the whole suite on a single CPU of a node of the given spec, through
+/// the full vmpi/DES stack (a 1-rank machine). Deterministic.
+std::vector<BenchmarkResult> run_suite(const machine::NodeSpec& spec,
+                                       double scale = 1.0);
+
+/// Definition 1: the node's marked speed — the average sustained rate over
+/// the suite (flop/s, per CPU).
+double node_marked_speed(const machine::NodeSpec& spec, double scale = 1.0);
+
+/// Definition 2: the system's marked speed — the sum of the marked speeds of
+/// every participating processor: C = Σ_i C_i (flop/s).
+double system_marked_speed(const machine::Cluster& cluster,
+                           double scale = 1.0);
+
+/// Per-rank marked speeds in vmpi rank order (the HoHe processor order) —
+/// this is what heterogeneous data distribution is proportional to.
+std::vector<double> rank_marked_speeds(const machine::Cluster& cluster,
+                                       double scale = 1.0);
+
+}  // namespace hetscale::marked

@@ -1,0 +1,72 @@
+#include "hetscale/marked/suite.hpp"
+
+#include <memory>
+
+#include "hetscale/numeric/stats.hpp"
+#include "hetscale/support/error.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace hetscale::marked {
+
+std::array<double, 5> kernel_flops(double scale) {
+  HETSCALE_REQUIRE(scale > 0.0, "scale must be positive");
+  // Order: EP, LU, FT, BT, MG. Of the order of NPB class-W single-node
+  // workloads (tens of Mflop) so suite runs take simulated seconds.
+  return {scale * 40e6, scale * 75e6, scale * 55e6, scale * 90e6,
+          scale * 30e6};
+}
+
+std::vector<BenchmarkResult> run_suite(const machine::NodeSpec& spec,
+                                       double scale) {
+  HETSCALE_REQUIRE(spec.benchmark_bias.size() == kKernelNames.size(),
+                   "NodeSpec must carry one benchmark bias per suite kernel");
+  const auto flops = kernel_flops(scale);
+
+  // A single-CPU machine of just this node: the benchmark is *run*, not
+  // computed on paper, so any future change to compute-time semantics is
+  // automatically reflected in marked speeds.
+  machine::Cluster cluster;
+  cluster.add_node("bench-node", spec, /*cpus_used=*/1);
+  auto machine = vmpi::Machine::shared_bus(std::move(cluster));
+
+  auto results = std::make_shared<std::vector<BenchmarkResult>>();
+  auto bias = spec.benchmark_bias;
+  machine.run([&, results](vmpi::Comm& comm) -> des::Task<void> {
+    for (std::size_t k = 0; k < kKernelNames.size(); ++k) {
+      const des::SimTime start = comm.now();
+      co_await comm.compute(flops[k], bias[k]);
+      const double seconds = comm.now() - start;
+      results->push_back(BenchmarkResult{std::string(kKernelNames[k]), seconds,
+                                         flops[k] / seconds});
+    }
+  });
+  return *results;
+}
+
+double node_marked_speed(const machine::NodeSpec& spec, double scale) {
+  const auto results = run_suite(spec, scale);
+  std::vector<double> rates;
+  rates.reserve(results.size());
+  for (const auto& r : results) rates.push_back(r.rate_flops);
+  return numeric::mean(rates);
+}
+
+double system_marked_speed(const machine::Cluster& cluster, double scale) {
+  double total = 0.0;
+  for (const auto& node : cluster.nodes()) {
+    total += node.cpus_used * node_marked_speed(node.spec, scale);
+  }
+  return total;
+}
+
+std::vector<double> rank_marked_speeds(const machine::Cluster& cluster,
+                                       double scale) {
+  std::vector<double> speeds;
+  for (const auto& node : cluster.nodes()) {
+    const double c = node_marked_speed(node.spec, scale);
+    for (int cpu = 0; cpu < node.cpus_used; ++cpu) speeds.push_back(c);
+  }
+  return speeds;
+}
+
+}  // namespace hetscale::marked

@@ -1,0 +1,79 @@
+// Network models.
+//
+// A Network answers one question analytically: if `bytes` leave node `src`
+// for node `dst` at virtual time `depart`, when does the message arrive, and
+// when is the sender's CPU free again? The vmpi runtime builds blocking
+// sends, receives, and collectives on top of this; collective costs (linear
+// in p over a shared medium, like the paper's measured T_bcast ≈ 0.23·p ms)
+// then *emerge* instead of being hard-coded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hetscale/des/scheduler.hpp"
+
+namespace hetscale::net {
+
+using des::SimTime;
+
+/// Latency/bandwidth of one class of path.
+struct LinkParams {
+  double latency_s = 5e-5;        ///< end-to-end latency per message
+  double bandwidth_Bps = 12.5e6;  ///< sustained payload bandwidth
+
+  /// Pure transmission time of a payload on this link.
+  double wire_time(double bytes) const { return bytes / bandwidth_Bps; }
+};
+
+/// Result of a point-to-point transfer.
+struct TransferResult {
+  SimTime arrival;      ///< when the full message is available at dst
+  SimTime sender_free;  ///< when the sending CPU can proceed
+};
+
+/// Common knobs shared by all network models.
+///
+/// Defaults are calibrated to the paper's testbed (100 Mb Ethernet, MPICH
+/// on ~500 MHz SPARC): ~12.5 MB/s sustained, ~50 us wire latency, and
+/// ~100 us of software cost per message — which reproduces the paper's
+/// measured T_send ≈ 0.1 ms + per-byte and T_bcast ≈ 0.2 ms per rank.
+struct NetworkParams {
+  LinkParams remote{5e-5, 12.5e6};  ///< inter-node path (100 Mb Ethernet)
+  LinkParams local{5e-6, 400e6};    ///< intra-node path (shared memory copy)
+  double per_message_overhead_s = 1e-4;  ///< software send/recv setup cost
+};
+
+/// Cumulative traffic statistics.
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  double bytes = 0.0;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkParams params) : params_(params) {}
+  virtual ~Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Model a message of `bytes` from node `src` to node `dst`, departing at
+  /// `depart`. Transfers between ranks on the same node take the local path.
+  TransferResult transfer(int src_node, int dst_node, double bytes,
+                          SimTime depart);
+
+  const NetworkParams& params() const { return params_; }
+  const NetworkStats& stats() const { return stats_; }
+
+ protected:
+  /// Model-specific remote path; local transfers are handled by the base.
+  virtual TransferResult remote_transfer(int src_node, int dst_node,
+                                         double bytes, SimTime depart) = 0;
+
+  NetworkParams params_;
+
+ private:
+  NetworkStats stats_;
+};
+
+}  // namespace hetscale::net

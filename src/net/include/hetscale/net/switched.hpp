@@ -1,0 +1,26 @@
+// SwitchedNetwork: full-bisection switch; only each node's injection port
+// serializes. Used by the ablation benches to ask "how much of GE's poor
+// scalability is the shared medium?".
+#pragma once
+
+#include <vector>
+
+#include "hetscale/des/timeline.hpp"
+#include "hetscale/net/network.hpp"
+
+namespace hetscale::net {
+
+class SwitchedNetwork final : public Network {
+ public:
+  explicit SwitchedNetwork(NetworkParams params = {}) : Network(params) {}
+
+ private:
+  TransferResult remote_transfer(int src_node, int dst_node, double bytes,
+                                 SimTime depart) override;
+
+  des::Timeline& tx_port(int node);
+
+  std::vector<des::Timeline> tx_ports_;
+};
+
+}  // namespace hetscale::net

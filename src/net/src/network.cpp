@@ -1,0 +1,25 @@
+#include "hetscale/net/network.hpp"
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::net {
+
+TransferResult Network::transfer(int src_node, int dst_node, double bytes,
+                                 SimTime depart) {
+  HETSCALE_REQUIRE(bytes >= 0.0, "message size must be non-negative");
+  HETSCALE_REQUIRE(src_node >= 0 && dst_node >= 0, "node ids must be >= 0");
+  HETSCALE_REQUIRE(depart >= 0.0, "departure time must be >= 0");
+  ++stats_.messages;
+  stats_.bytes += bytes;
+
+  const SimTime ready = depart + params_.per_message_overhead_s;
+  if (src_node == dst_node) {
+    // Intra-node: a memory copy, no shared medium involved.
+    const SimTime done =
+        ready + params_.local.latency_s + params_.local.wire_time(bytes);
+    return TransferResult{done, done};
+  }
+  return remote_transfer(src_node, dst_node, bytes, ready);
+}
+
+}  // namespace hetscale::net

@@ -1,0 +1,23 @@
+#include "hetscale/net/shared_bus.hpp"
+
+namespace hetscale::net {
+
+TransferResult SharedBusNetwork::remote_transfer(int /*src_node*/,
+                                                 int /*dst_node*/,
+                                                 double bytes,
+                                                 SimTime depart) {
+  // The frame occupies the medium for its full wire time; delivery completes
+  // one latency after the last bit leaves the wire. The sender blocks until
+  // its frame has been transmitted (synchronous send over a shared segment).
+  const SimTime wire_done =
+      medium_.reserve(depart, params_.remote.wire_time(bytes));
+  const SimTime arrival = wire_done + params_.remote.latency_s;
+  return TransferResult{arrival, wire_done};
+}
+
+double SharedBusNetwork::utilization(SimTime horizon) const {
+  if (horizon <= 0.0) return 0.0;
+  return medium_.busy_time() / horizon;
+}
+
+}  // namespace hetscale::net

@@ -1,0 +1,22 @@
+#include "hetscale/net/switched.hpp"
+
+namespace hetscale::net {
+
+des::Timeline& SwitchedNetwork::tx_port(int node) {
+  if (static_cast<std::size_t>(node) >= tx_ports_.size()) {
+    tx_ports_.resize(static_cast<std::size_t>(node) + 1);
+  }
+  return tx_ports_[static_cast<std::size_t>(node)];
+}
+
+TransferResult SwitchedNetwork::remote_transfer(int src_node, int /*dst_node*/,
+                                                double bytes, SimTime depart) {
+  // Each node owns a full-duplex link into the switch: its transmissions
+  // serialize with each other but not with any other node's.
+  const SimTime wire_done =
+      tx_port(src_node).reserve(depart, params_.remote.wire_time(bytes));
+  const SimTime arrival = wire_done + params_.remote.latency_s;
+  return TransferResult{arrival, wire_done};
+}
+
+}  // namespace hetscale::net

@@ -1,0 +1,48 @@
+// Sequential dense linear solvers — the single-node reference that parallel
+// GE is validated against, and the building block for polynomial fitting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hetscale/numeric/matrix.hpp"
+
+namespace hetscale::numeric {
+
+/// Pivoting strategy for Gaussian elimination.
+enum class Pivoting {
+  kNone,     ///< the paper's parallel GE eliminates in natural row order
+  kPartial,  ///< row partial pivoting (reference solver)
+};
+
+/// Solve A x = b by Gaussian elimination + back substitution.
+/// A and b are taken by value (the elimination is destructive).
+/// Throws NumericError on a (near-)zero pivot.
+std::vector<double> solve_dense(Matrix a, std::vector<double> b,
+                                Pivoting pivoting = Pivoting::kPartial);
+
+/// Reduce [A|b] in place to upper-triangular form (the paper's stage 1).
+/// Rows are normalized so the diagonal becomes 1, matching the paper's
+/// description ("the diagonal elements have the value 1").
+void forward_eliminate(Matrix& a, std::span<double> b,
+                       Pivoting pivoting = Pivoting::kNone);
+
+/// Back substitution on an upper-triangular system with unit or non-unit
+/// diagonal (stage 2). Requires a.rows() == a.cols() == b.size().
+std::vector<double> back_substitute(const Matrix& a, std::span<const double> b);
+
+/// Flop count of dense GE + back substitution on an n x n system, the
+/// workload polynomial used throughout the paper's GE experiments:
+///   W(N) = 2/3 N^3 + 5/2 N^2 - N/6.
+/// Derivation: step i normalizes the pivot row ((N-i)+1 divides) and
+/// eliminates the N-i-1 rows below it (2((N-i)+1) flops each); back
+/// substitution adds N^2. Summing over i gives the polynomial above, and
+/// the parallel GE in algos/ charges *exactly* this many flops (tested).
+/// (The scanned paper's own polynomial is corrupted; this is the standard
+/// count for the algorithm it describes — see DESIGN.md.)
+double ge_workload(double n);
+
+/// Flop count of the N x N matrix-multiplication workload, W(N) = 2 N^3.
+double mm_workload(double n);
+
+}  // namespace hetscale::numeric

@@ -1,0 +1,18 @@
+// Sequential matrix multiplication reference.
+#pragma once
+
+#include "hetscale/numeric/matrix.hpp"
+
+namespace hetscale::numeric {
+
+/// C = A * B, straightforward i-k-j loop order (cache friendly for row-major).
+/// Requires a.cols() == b.rows().
+Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// C = A * B restricted to a contiguous row slice [row_begin, row_end) of A.
+/// Returns the (row_end - row_begin) x b.cols() block of C. This is exactly
+/// the per-rank computation of the paper's row-distributed parallel MM.
+Matrix multiply_rows(const Matrix& a, const Matrix& b, std::size_t row_begin,
+                     std::size_t row_end);
+
+}  // namespace hetscale::numeric

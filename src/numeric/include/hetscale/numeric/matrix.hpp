@@ -1,0 +1,73 @@
+// Dense row-major matrix and vector helpers.
+//
+// The parallel algorithms in `algos/` operate on real data (a rank owns real
+// rows of A); this type is the shared container. It is deliberately simple —
+// contiguous storage, span-based row access, no expression templates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hetscale/support/rng.hpp"
+
+namespace hetscale::numeric {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Matrix filled from `data` (row-major); data.size() must equal rows*cols.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Mutable view of row r.
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  /// Random entries uniform in [lo, hi) from the given generator.
+  static Matrix random(std::size_t rows, std::size_t cols, Rng& rng,
+                       double lo = -1.0, double hi = 1.0);
+
+  /// Random diagonally dominant n x n matrix — safe for pivot-free Gaussian
+  /// elimination, which is what the paper's parallel GE performs.
+  static Matrix random_diagonally_dominant(std::size_t n, Rng& rng);
+
+  friend bool operator==(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Max-norm of (a - b); requires equal shapes.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Max-norm of elementwise difference of two vectors of equal length.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// y = A x (dense). Requires x.size() == A.cols().
+std::vector<double> mat_vec(const Matrix& a, std::span<const double> x);
+
+/// Infinity-norm of the residual b - A x.
+double residual_inf_norm(const Matrix& a, std::span<const double> x,
+                         std::span<const double> b);
+
+}  // namespace hetscale::numeric

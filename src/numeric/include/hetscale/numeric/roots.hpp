@@ -1,0 +1,36 @@
+// Scalar root finding on monotone curves.
+//
+// The iso-solver needs "the problem size at which the speed-efficiency curve
+// crosses a target" — i.e. the root of an increasing function of N, both in
+// the continuous trend-line form and directly over integer problem sizes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace hetscale::numeric {
+
+struct BisectOptions {
+  double x_tolerance = 1e-9;   ///< stop when the bracket is this narrow
+  int max_iterations = 200;    ///< hard iteration cap
+};
+
+/// Find x in [lo, hi] with f(x) == 0 by bisection. Requires f(lo) and f(hi)
+/// to have opposite signs (or one of them to be zero). Throws NumericError
+/// if the root is not bracketed.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const BisectOptions& options = {});
+
+/// Smallest x in [lo, hi] with f(x) >= target, for a non-decreasing f over
+/// integers. Returns -1 if even f(hi) < target. Evaluates f O(log(hi-lo))
+/// times — important because here an evaluation is a whole simulated run.
+std::int64_t first_at_least(const std::function<double(std::int64_t)>& f,
+                            double target, std::int64_t lo, std::int64_t hi);
+
+/// Expand [lo, hi] geometrically until f changes sign across it, then bisect.
+/// `hi_limit` bounds the expansion. Throws NumericError on failure.
+double bracket_and_bisect(const std::function<double(double)>& f, double lo,
+                          double hi, double hi_limit,
+                          const BisectOptions& options = {});
+
+}  // namespace hetscale::numeric

@@ -1,0 +1,85 @@
+#include "hetscale/numeric/linsolve.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::numeric {
+
+namespace {
+constexpr double kPivotTolerance = 1e-12;
+
+void swap_rows(Matrix& a, std::span<double> b, std::size_t i, std::size_t j) {
+  if (i == j) return;
+  auto ri = a.row(i);
+  auto rj = a.row(j);
+  for (std::size_t c = 0; c < ri.size(); ++c) std::swap(ri[c], rj[c]);
+  std::swap(b[i], b[j]);
+}
+}  // namespace
+
+void forward_eliminate(Matrix& a, std::span<double> b, Pivoting pivoting) {
+  const std::size_t n = a.rows();
+  HETSCALE_REQUIRE(a.cols() == n, "matrix must be square");
+  HETSCALE_REQUIRE(b.size() == n, "rhs length must match matrix order");
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pivoting == Pivoting::kPartial) {
+      std::size_t best = i;
+      for (std::size_t r = i + 1; r < n; ++r)
+        if (std::abs(a(r, i)) > std::abs(a(best, i))) best = r;
+      swap_rows(a, b, i, best);
+    }
+    const double pivot = a(i, i);
+    if (std::abs(pivot) < kPivotTolerance) {
+      throw NumericError("Gaussian elimination hit a (near-)zero pivot");
+    }
+    // Normalize the pivot row so the diagonal entry becomes 1 (as in the
+    // paper's description of the reduced form Ux = y).
+    auto prow = a.row(i);
+    const double inv = 1.0 / pivot;
+    for (std::size_t c = i; c < n; ++c) prow[c] *= inv;
+    b[i] *= inv;
+    for (std::size_t r = i + 1; r < n; ++r) {
+      const double factor = a(r, i);
+      if (factor == 0.0) continue;
+      auto row = a.row(r);
+      for (std::size_t c = i; c < n; ++c) row[c] -= factor * prow[c];
+      b[r] -= factor * b[i];
+    }
+  }
+}
+
+std::vector<double> back_substitute(const Matrix& a,
+                                    std::span<const double> b) {
+  const std::size_t n = a.rows();
+  HETSCALE_REQUIRE(a.cols() == n, "matrix must be square");
+  HETSCALE_REQUIRE(b.size() == n, "rhs length must match matrix order");
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    auto row = a.row(ii);
+    for (std::size_t c = ii + 1; c < n; ++c) acc -= row[c] * x[c];
+    const double diag = row[ii];
+    if (std::abs(diag) < kPivotTolerance) {
+      throw NumericError("back substitution hit a (near-)zero diagonal");
+    }
+    x[ii] = acc / diag;
+  }
+  return x;
+}
+
+std::vector<double> solve_dense(Matrix a, std::vector<double> b,
+                                Pivoting pivoting) {
+  forward_eliminate(a, b, pivoting);
+  return back_substitute(a, b);
+}
+
+double ge_workload(double n) {
+  return (2.0 / 3.0) * n * n * n + 2.5 * n * n - n / 6.0;
+}
+
+double mm_workload(double n) { return 2.0 * n * n * n; }
+
+}  // namespace hetscale::numeric

@@ -1,0 +1,31 @@
+#include "hetscale/numeric/matmul.hpp"
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::numeric {
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  return multiply_rows(a, b, 0, a.rows());
+}
+
+Matrix multiply_rows(const Matrix& a, const Matrix& b, std::size_t row_begin,
+                     std::size_t row_end) {
+  HETSCALE_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  HETSCALE_REQUIRE(row_begin <= row_end && row_end <= a.rows(),
+                   "row slice out of range");
+  const std::size_t n = b.cols();
+  Matrix c(row_end - row_begin, n);
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    auto arow = a.row(i);
+    auto crow = c.row(i - row_begin);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      auto brow = b.row(k);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace hetscale::numeric

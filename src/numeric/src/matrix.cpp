@@ -1,0 +1,103 @@
+#include "hetscale/numeric/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::numeric {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  HETSCALE_REQUIRE(data_.size() == rows_ * cols_,
+                   "data size must equal rows * cols");
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  HETSCALE_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  HETSCALE_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  HETSCALE_REQUIRE(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  HETSCALE_REQUIRE(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, Rng& rng, double lo,
+                      double hi) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::random_diagonally_dominant(std::size_t n, Rng& rng) {
+  Matrix m = random(n, n, rng, -1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) off += std::abs(m(i, j));
+    m(i, i) = off + 1.0;  // strictly dominant
+  }
+  return m;
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  HETSCALE_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                   "shape mismatch");
+  return max_abs_diff(a.data(), b.data());
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  HETSCALE_REQUIRE(a.size() == b.size(), "length mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+std::vector<double> mat_vec(const Matrix& a, std::span<const double> x) {
+  HETSCALE_REQUIRE(x.size() == a.cols(), "dimension mismatch in mat_vec");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+double residual_inf_norm(const Matrix& a, std::span<const double> x,
+                         std::span<const double> b) {
+  HETSCALE_REQUIRE(b.size() == a.rows(), "dimension mismatch in residual");
+  const auto ax = mat_vec(a, x);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    worst = std::max(worst, std::abs(ax[i] - b[i]));
+  return worst;
+}
+
+}  // namespace hetscale::numeric

@@ -1,0 +1,71 @@
+#include "hetscale/numeric/roots.hpp"
+
+#include <cmath>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::numeric {
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const BisectOptions& options) {
+  HETSCALE_REQUIRE(lo <= hi, "bisect requires lo <= hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if (flo * fhi > 0.0) {
+    throw NumericError("bisect: root is not bracketed by [lo, hi]");
+  }
+  for (int it = 0; it < options.max_iterations && (hi - lo) > options.x_tolerance;
+       ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if (flo * fmid < 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::int64_t first_at_least(const std::function<double(std::int64_t)>& f,
+                            double target, std::int64_t lo, std::int64_t hi) {
+  HETSCALE_REQUIRE(lo <= hi, "first_at_least requires lo <= hi");
+  if (f(hi) < target) return -1;
+  if (f(lo) >= target) return lo;
+  // Invariant: f(lo) < target <= f(hi).
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (f(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double bracket_and_bisect(const std::function<double(double)>& f, double lo,
+                          double hi, double hi_limit,
+                          const BisectOptions& options) {
+  HETSCALE_REQUIRE(lo < hi, "bracket_and_bisect requires lo < hi");
+  HETSCALE_REQUIRE(hi <= hi_limit, "initial hi must not exceed hi_limit");
+  double flo = f(lo);
+  double fhi = f(hi);
+  while (flo * fhi > 0.0 && hi < hi_limit) {
+    const double width = hi - lo;
+    lo = hi;
+    flo = fhi;
+    hi = std::min(hi + 2.0 * width, hi_limit);
+    fhi = f(hi);
+  }
+  if (flo * fhi > 0.0) {
+    throw NumericError("bracket_and_bisect: no sign change up to hi_limit");
+  }
+  return bisect(f, lo, hi, options);
+}
+
+}  // namespace hetscale::numeric

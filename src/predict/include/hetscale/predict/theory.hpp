@@ -1,0 +1,32 @@
+// The paper's theoretical results (§3.4).
+//
+// Theorem 1: for a balanced-load algorithm with sequential fraction α, if a
+// problem size keeping speed-efficiency constant exists, then
+//     ψ(C, C') = (t0 + To) / (t0' + To')
+// where t0 is the sequential-portion execution time and To the total
+// communication overhead on each system.
+//
+// Corollary 1: α = 0 and To constant  ⇒  ψ = 1.
+// Corollary 2: α = 0                  ⇒  ψ = To / To'.
+//
+// Also exposed: the scaled problem size W' implied by the theorem's proof,
+//     W' = W · C'·(t0' + To') / (C·(t0 + To)),
+// used to cross-check the solver against the closed form.
+#pragma once
+
+namespace hetscale::predict {
+
+/// Theorem 1: ψ = (t0 + To) / (t0' + To').
+double theorem1_scalability(double t0_from, double to_from, double t0_to,
+                            double to_to);
+
+/// Corollary 2: ψ = To / To' (perfectly parallel algorithm).
+double corollary2_scalability(double to_from, double to_to);
+
+/// The scaled work W' that keeps speed-efficiency constant (Theorem 1's
+/// proof): W' = W · C'(t0' + To') / (C (t0 + To)).
+double theorem1_scaled_work(double w_from, double c_from, double t0_from,
+                            double to_from, double c_to, double t0_to,
+                            double to_to);
+
+}  // namespace hetscale::predict

@@ -1,0 +1,32 @@
+#include "hetscale/predict/theory.hpp"
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::predict {
+
+double theorem1_scalability(double t0_from, double to_from, double t0_to,
+                            double to_to) {
+  HETSCALE_REQUIRE(t0_from >= 0.0 && to_from >= 0.0 && t0_to >= 0.0 &&
+                       to_to >= 0.0,
+                   "times must be non-negative");
+  const double denom = t0_to + to_to;
+  HETSCALE_REQUIRE(denom > 0.0, "scaled system must have positive overhead");
+  return (t0_from + to_from) / denom;
+}
+
+double corollary2_scalability(double to_from, double to_to) {
+  return theorem1_scalability(0.0, to_from, 0.0, to_to);
+}
+
+double theorem1_scaled_work(double w_from, double c_from, double t0_from,
+                            double to_from, double c_to, double t0_to,
+                            double to_to) {
+  HETSCALE_REQUIRE(w_from > 0.0, "work must be positive");
+  HETSCALE_REQUIRE(c_from > 0.0 && c_to > 0.0,
+                   "marked speeds must be positive");
+  const double base = c_from * (t0_from + to_from);
+  HETSCALE_REQUIRE(base > 0.0, "base system must have positive overhead");
+  return w_from * c_to * (t0_to + to_to) / base;
+}
+
+}  // namespace hetscale::predict

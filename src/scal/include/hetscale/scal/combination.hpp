@@ -1,0 +1,166 @@
+// Algorithm-system combinations — the unit the metric is defined over.
+//
+// "An algorithm-system combination is scalable if the achieved
+//  speed-efficiency of the combination can remain constant with increasing
+//  system ensemble size, provided the problem size can be increased with
+//  the system size." (Definition 4)
+//
+// A Combination bundles an algorithm with a concrete (simulated) system and
+// can be *measured* at any problem size N. Measurements are cached: the
+// marked speed is a constant of the study (Definition 1), and the simulator
+// is deterministic, so re-measuring the same N is pure waste.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hetscale/algos/sort.hpp"
+#include "hetscale/machine/cluster.hpp"
+#include "hetscale/net/network.hpp"
+#include "hetscale/numeric/polynomial.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace hetscale::scal {
+
+/// One measured point of a combination (a row of the paper's Table 2).
+struct Measurement {
+  std::int64_t n = 0;
+  double work_flops = 0.0;
+  double seconds = 0.0;
+  double speed_flops = 0.0;       ///< S = W/T
+  double speed_efficiency = 0.0;  ///< E_s = S/C
+  double overhead_s = 0.0;        ///< critical-path T_o (see RunResult)
+};
+
+enum class NetworkKind { kSharedBus, kSwitched };
+
+/// Build a single-shot machine for one run of a combination.
+vmpi::Machine make_machine(const machine::Cluster& cluster, NetworkKind kind,
+                           const net::NetworkParams& params);
+
+class Combination {
+ public:
+  virtual ~Combination() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// C — the system's marked speed (flop/s), a constant of the study.
+  virtual double marked_speed() const = 0;
+
+  /// W(N) — the workload polynomial of the algorithm.
+  virtual double work(std::int64_t n) const = 0;
+
+  /// Run (simulate) the combination at problem size N; cached.
+  virtual const Measurement& measure(std::int64_t n) = 0;
+};
+
+/// Common machinery for combinations that run on a simulated cluster.
+class ClusterCombination : public Combination {
+ public:
+  struct Config {
+    machine::Cluster cluster;
+    /// Default matches the modeled testbed: a switched 100 Mb Ethernet
+    /// (per-node injection serialization). Shared-bus is the ablation.
+    NetworkKind network = NetworkKind::kSwitched;
+    net::NetworkParams net_params{};
+    bool with_data = false;  ///< timing-only by default for sweeps
+  };
+
+  ClusterCombination(std::string name, Config config);
+
+  const std::string& name() const override { return name_; }
+  double marked_speed() const override { return marked_speed_; }
+  const Measurement& measure(std::int64_t n) override;
+
+  const machine::Cluster& cluster() const { return config_.cluster; }
+  const std::vector<double>& rank_speeds() const { return rank_speeds_; }
+  int processor_count() const { return config_.cluster.processor_count(); }
+
+ protected:
+  /// Run the algorithm once on a fresh machine; return (work, elapsed,
+  /// critical-path overhead).
+  struct RunOutcome {
+    double work_flops = 0.0;
+    double seconds = 0.0;
+    double overhead_s = 0.0;
+  };
+  virtual RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) = 0;
+
+  const Config& config() const { return config_; }
+
+ private:
+  std::string name_;
+  Config config_;
+  double marked_speed_ = 0.0;        ///< measured once, then constant
+  std::vector<double> rank_speeds_;  ///< per-rank marked speeds
+  std::map<std::int64_t, Measurement> cache_;
+};
+
+/// GE on a cluster (the paper's first combination).
+class GeCombination final : public ClusterCombination {
+ public:
+  GeCombination(std::string name, Config config);
+  double work(std::int64_t n) const override;
+
+ private:
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) override;
+};
+
+/// MM on a cluster (the paper's second combination).
+class MmCombination final : public ClusterCombination {
+ public:
+  MmCombination(std::string name, Config config);
+  double work(std::int64_t n) const override;
+
+ private:
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) override;
+};
+
+/// Sample sort on a cluster (extension; see algos/sort.hpp). Always runs
+/// on real keys — its load balance is data-dependent by nature.
+class SortCombination final : public ClusterCombination {
+ public:
+  SortCombination(std::string name, Config config,
+                  algos::SortSplitters splitters =
+                      algos::SortSplitters::kSpeedProportional);
+  double work(std::int64_t n) const override;
+
+ private:
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) override;
+  algos::SortSplitters splitters_;
+};
+
+/// Jacobi on a cluster (extension; see algos/jacobi.hpp).
+class JacobiCombination final : public ClusterCombination {
+ public:
+  JacobiCombination(std::string name, Config config, std::int64_t sweeps);
+  double work(std::int64_t n) const override;
+
+ private:
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) override;
+  std::int64_t sweeps_;
+};
+
+/// A sampled speed-efficiency curve (the data behind Figs. 1–2).
+struct EfficiencyCurve {
+  std::string label;
+  std::vector<Measurement> samples;
+
+  std::vector<double> sizes() const;
+  std::vector<double> efficiencies() const;
+};
+
+/// Measure the combination at each size.
+EfficiencyCurve sample_efficiency_curve(Combination& combination,
+                                        std::span<const std::int64_t> sizes);
+
+/// Least-squares polynomial trend line through (N, E_s) samples — the
+/// paper's "Poly." curves in Figs. 1 and 2.
+numeric::Polynomial fit_trend(const EfficiencyCurve& curve,
+                              std::size_t degree = 3);
+
+}  // namespace hetscale::scal

@@ -1,0 +1,157 @@
+#include "hetscale/scal/combination.hpp"
+
+#include <utility>
+
+#include "hetscale/algos/ge.hpp"
+#include "hetscale/algos/jacobi.hpp"
+#include "hetscale/algos/mm.hpp"
+#include "hetscale/algos/sort.hpp"
+#include "hetscale/marked/suite.hpp"
+#include "hetscale/numeric/linsolve.hpp"
+#include "hetscale/scal/metrics.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::scal {
+
+vmpi::Machine make_machine(const machine::Cluster& cluster, NetworkKind kind,
+                           const net::NetworkParams& params) {
+  if (kind == NetworkKind::kSharedBus) {
+    return vmpi::Machine::shared_bus(cluster, params);
+  }
+  return vmpi::Machine::switched(cluster, params);
+}
+
+ClusterCombination::ClusterCombination(std::string name, Config config)
+    : name_(std::move(name)), config_(std::move(config)) {
+  rank_speeds_ = marked::rank_marked_speeds(config_.cluster);
+  marked_speed_ = 0.0;
+  for (double c : rank_speeds_) marked_speed_ += c;
+}
+
+const Measurement& ClusterCombination::measure(std::int64_t n) {
+  HETSCALE_REQUIRE(n >= 1, "problem size must be >= 1");
+  if (auto it = cache_.find(n); it != cache_.end()) return it->second;
+
+  auto machine =
+      make_machine(config_.cluster, config_.network, config_.net_params);
+  const RunOutcome outcome = run_once(machine, n);
+
+  Measurement m;
+  m.n = n;
+  m.work_flops = outcome.work_flops;
+  m.seconds = outcome.seconds;
+  m.speed_flops = achieved_speed(outcome.work_flops, outcome.seconds);
+  m.speed_efficiency =
+      speed_efficiency(outcome.work_flops, outcome.seconds, marked_speed_);
+  m.overhead_s = outcome.overhead_s;
+  return cache_.emplace(n, m).first->second;
+}
+
+GeCombination::GeCombination(std::string name, Config config)
+    : ClusterCombination(std::move(name), std::move(config)) {}
+
+double GeCombination::work(std::int64_t n) const {
+  return numeric::ge_workload(static_cast<double>(n));
+}
+
+ClusterCombination::RunOutcome GeCombination::run_once(vmpi::Machine& machine,
+                                                       std::int64_t n) {
+  algos::GeOptions options;
+  options.n = n;
+  options.with_data = config().with_data;
+  options.speeds = rank_speeds();
+  const auto result = algos::run_parallel_ge(machine, options);
+  return RunOutcome{result.work_flops, result.run.elapsed,
+                    result.run.overhead_s()};
+}
+
+MmCombination::MmCombination(std::string name, Config config)
+    : ClusterCombination(std::move(name), std::move(config)) {}
+
+double MmCombination::work(std::int64_t n) const {
+  return numeric::mm_workload(static_cast<double>(n));
+}
+
+ClusterCombination::RunOutcome MmCombination::run_once(vmpi::Machine& machine,
+                                                       std::int64_t n) {
+  algos::MmOptions options;
+  options.n = n;
+  options.with_data = config().with_data;
+  options.speeds = rank_speeds();
+  const auto result = algos::run_parallel_mm(machine, options);
+  return RunOutcome{result.work_flops, result.run.elapsed,
+                    result.run.overhead_s()};
+}
+
+SortCombination::SortCombination(std::string name, Config config,
+                                 algos::SortSplitters splitters)
+    : ClusterCombination(std::move(name), std::move(config)),
+      splitters_(splitters) {}
+
+double SortCombination::work(std::int64_t n) const {
+  return algos::sort_workload(n);
+}
+
+ClusterCombination::RunOutcome SortCombination::run_once(
+    vmpi::Machine& machine, std::int64_t n) {
+  algos::SortOptions options;
+  options.n = n;
+  options.splitters = splitters_;
+  options.speeds = rank_speeds();
+  const auto result = algos::run_parallel_sort(machine, options);
+  return RunOutcome{result.work_flops, result.run.elapsed,
+                    result.run.overhead_s()};
+}
+
+JacobiCombination::JacobiCombination(std::string name, Config config,
+                                     std::int64_t sweeps)
+    : ClusterCombination(std::move(name), std::move(config)),
+      sweeps_(sweeps) {
+  HETSCALE_REQUIRE(sweeps_ >= 1, "Jacobi needs sweeps >= 1");
+}
+
+double JacobiCombination::work(std::int64_t n) const {
+  return algos::jacobi_workload(n, sweeps_);
+}
+
+ClusterCombination::RunOutcome JacobiCombination::run_once(
+    vmpi::Machine& machine, std::int64_t n) {
+  algos::JacobiOptions options;
+  options.n = n;
+  options.sweeps = sweeps_;
+  options.with_data = config().with_data;
+  options.speeds = rank_speeds();
+  const auto result = algos::run_parallel_jacobi(machine, options);
+  return RunOutcome{result.work_flops, result.run.elapsed,
+                    result.run.overhead_s()};
+}
+
+std::vector<double> EfficiencyCurve::sizes() const {
+  std::vector<double> xs;
+  xs.reserve(samples.size());
+  for (const auto& m : samples) xs.push_back(static_cast<double>(m.n));
+  return xs;
+}
+
+std::vector<double> EfficiencyCurve::efficiencies() const {
+  std::vector<double> ys;
+  ys.reserve(samples.size());
+  for (const auto& m : samples) ys.push_back(m.speed_efficiency);
+  return ys;
+}
+
+EfficiencyCurve sample_efficiency_curve(Combination& combination,
+                                        std::span<const std::int64_t> sizes) {
+  EfficiencyCurve curve;
+  curve.label = combination.name();
+  curve.samples.reserve(sizes.size());
+  for (auto n : sizes) curve.samples.push_back(combination.measure(n));
+  return curve;
+}
+
+numeric::Polynomial fit_trend(const EfficiencyCurve& curve,
+                              std::size_t degree) {
+  return numeric::polyfit(curve.sizes(), curve.efficiencies(), degree);
+}
+
+}  // namespace hetscale::scal

@@ -1,0 +1,68 @@
+#include "hetscale/scal/exec_time.hpp"
+
+#include "hetscale/numeric/roots.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::scal {
+
+double iso_efficiency_time(double work, double marked_speed,
+                           double speed_efficiency) {
+  HETSCALE_REQUIRE(work > 0.0, "work must be positive");
+  HETSCALE_REQUIRE(marked_speed > 0.0, "marked speed must be positive");
+  HETSCALE_REQUIRE(speed_efficiency > 0.0 && speed_efficiency <= 1.0,
+                   "speed-efficiency must be in (0, 1]");
+  return work / (speed_efficiency * marked_speed);
+}
+
+double scaled_time_ratio(double psi_a, double psi_b) {
+  HETSCALE_REQUIRE(psi_a > 0.0 && psi_b > 0.0,
+                   "scalabilities must be positive");
+  // T' = W'/(e C') and ψ = C'W/(C W')  =>  T' = W/(e C) · 1/ψ · ... with a
+  // common starting point (same W, e, C across combinations on systems of
+  // equal C'), T_a'/T_b' = ψ_b / ψ_a.
+  return psi_b / psi_a;
+}
+
+CrossingPoint find_time_crossing(Combination& a, Combination& b,
+                                 std::int64_t n_lo, std::int64_t n_hi) {
+  HETSCALE_REQUIRE(n_lo >= 1 && n_hi > n_lo, "invalid size range");
+  CrossingPoint crossing;
+
+  auto b_wins = [&](std::int64_t n) {
+    return b.measure(n).seconds <= a.measure(n).seconds;
+  };
+
+  if (b_wins(n_lo)) {
+    crossing.exists = true;
+    crossing.n = n_lo;
+  } else {
+    // Gallop until b wins, then bisect for the first winning size.
+    std::int64_t lo = n_lo;
+    std::int64_t hi = n_lo;
+    bool found = false;
+    while (hi < n_hi) {
+      hi = std::min(n_hi, hi * 2);
+      if (b_wins(hi)) {
+        found = true;
+        break;
+      }
+      lo = hi;
+    }
+    if (!found) return crossing;  // no crossing in range
+    while (hi - lo > 1) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      if (b_wins(mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    crossing.exists = true;
+    crossing.n = hi;
+  }
+  crossing.time_a = a.measure(crossing.n).seconds;
+  crossing.time_b = b.measure(crossing.n).seconds;
+  return crossing;
+}
+
+}  // namespace hetscale::scal

@@ -1,0 +1,102 @@
+#include "hetscale/scal/iso_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "hetscale/numeric/roots.hpp"
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/log.hpp"
+
+namespace hetscale::scal {
+
+namespace {
+
+IsoSolveResult direct_search(Combination& combination, double target_es,
+                             const IsoSolveOptions& options) {
+  IsoSolveResult result;
+  result.target_es = target_es;
+
+  auto es_at = [&](std::int64_t n) {
+    return combination.measure(n).speed_efficiency;
+  };
+
+  // Doubling bracket: find hi with E_s(hi) >= target.
+  std::int64_t lo = options.n_min;
+  std::int64_t hi = lo;
+  while (es_at(hi) < target_es) {
+    if (hi >= options.n_max) return result;  // unreachable: not found
+    lo = hi;
+    hi = std::min(options.n_max, hi * 2);
+  }
+  const std::int64_t n =
+      numeric::first_at_least(es_at, target_es, std::min(lo, hi), hi);
+  HETSCALE_CHECK(n >= 0, "bracketed target vanished during bisection");
+  result.found = true;
+  result.n = n;
+  result.achieved_es = es_at(n);
+  return result;
+}
+
+IsoSolveResult trend_line(Combination& combination, double target_es,
+                          const IsoSolveOptions& options) {
+  HETSCALE_REQUIRE(options.trend_samples >= options.trend_degree + 1,
+                   "need more trend samples than polynomial coefficients");
+  HETSCALE_REQUIRE(options.trend_n_lo >= 1 &&
+                       options.trend_n_hi > options.trend_n_lo,
+                   "invalid trend sampling window");
+  IsoSolveResult result;
+  result.target_es = target_es;
+
+  // Geometric ladder of sample sizes across the window.
+  std::vector<std::int64_t> sizes;
+  const double ratio =
+      std::pow(static_cast<double>(options.trend_n_hi) /
+                   static_cast<double>(options.trend_n_lo),
+               1.0 / static_cast<double>(options.trend_samples - 1));
+  double x = static_cast<double>(options.trend_n_lo);
+  for (std::size_t i = 0; i < options.trend_samples; ++i) {
+    const auto n = static_cast<std::int64_t>(std::llround(x));
+    if (sizes.empty() || n > sizes.back()) sizes.push_back(n);
+    x *= ratio;
+  }
+  const auto curve = sample_efficiency_curve(combination, sizes);
+  const auto trend = fit_trend(curve, options.trend_degree);
+
+  // Read the crossing off the trend line, allowing mild extrapolation.
+  const double lo = static_cast<double>(sizes.front());
+  const double hi = static_cast<double>(sizes.back());
+  double n_cross = -1.0;
+  try {
+    n_cross = numeric::bracket_and_bisect(
+        [&](double n) { return trend(n) - target_es; }, lo, hi, 4.0 * hi);
+  } catch (const NumericError&) {
+    HETSCALE_WARN("trend line never crosses target E_s "
+                  << target_es << " for " << combination.name());
+    return result;  // not found
+  }
+
+  // The paper's verification step: measure at the read-off size.
+  const auto n = static_cast<std::int64_t>(std::llround(n_cross));
+  result.found = true;
+  result.n = std::max<std::int64_t>(n, 1);
+  result.achieved_es = combination.measure(result.n).speed_efficiency;
+  return result;
+}
+
+}  // namespace
+
+IsoSolveResult required_problem_size(Combination& combination,
+                                     double target_es,
+                                     const IsoSolveOptions& options) {
+  HETSCALE_REQUIRE(target_es > 0.0 && target_es < 1.0,
+                   "target speed-efficiency must be in (0, 1)");
+  HETSCALE_REQUIRE(options.n_min >= 1 && options.n_max > options.n_min,
+                   "invalid search range");
+  if (options.method == IsoSolveOptions::Method::kDirectSearch) {
+    return direct_search(combination, target_es, options);
+  }
+  return trend_line(combination, target_es, options);
+}
+
+}  // namespace hetscale::scal

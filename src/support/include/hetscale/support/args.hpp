@@ -1,0 +1,54 @@
+// Minimal command-line flag parsing for the CLI tool and examples.
+//
+// Supports `--flag value`, `--flag=value`, and boolean `--flag`; collects
+// positional arguments in order. No external dependencies, strict by
+// default (unknown flags are errors).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hetscale {
+
+class ArgParser {
+ public:
+  /// Declare a flag. `def` is the rendered default for --help.
+  ArgParser& add_flag(const std::string& name, const std::string& help,
+                      std::optional<std::string> def = std::nullopt);
+
+  /// Declare a boolean flag (present = true).
+  ArgParser& add_bool(const std::string& name, const std::string& help);
+
+  /// Parse argv (excluding argv[0]). Throws PreconditionError on unknown
+  /// flags or a missing value.
+  void parse(int argc, const char* const* argv);
+  void parse(const std::vector<std::string>& args);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;           ///< throws if absent
+  std::string get_or(const std::string& name, const std::string& def) const;
+  double get_double(const std::string& name, double def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Rendered usage text.
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool boolean = false;
+    std::optional<std::string> def;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Split "a,b,c" into trimmed pieces (empty pieces dropped).
+std::vector<std::string> split(const std::string& text, char sep);
+
+}  // namespace hetscale

@@ -1,0 +1,34 @@
+// CSV emission for benchmark data series (figures).
+//
+// Figure-reproducing benches print their (x, series...) samples as CSV so the
+// curves can be plotted externally; the same writer is reused by tests to
+// snapshot efficiency curves.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hetscale {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quoting only when needed).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render the full document.
+  std::string str() const;
+
+  void write_to(std::ostream& os) const;
+
+  /// Escape a single field (quote if it contains comma, quote, or newline).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hetscale

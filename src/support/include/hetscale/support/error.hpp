@@ -1,0 +1,63 @@
+// Error handling primitives for hetscale.
+//
+// The library follows the C++ Core Guidelines' advice (E.2, I.6): report
+// violations of preconditions and unrecoverable model errors via exceptions
+// carrying enough context to diagnose the failing call.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hetscale {
+
+/// Base class of all exceptions thrown by hetscale libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A simulation-model invariant was violated (indicates a bug or an
+/// inconsistent model configuration, e.g. negative virtual time).
+class ModelError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A numeric routine could not produce a meaningful result (singular matrix,
+/// bracketing failure in a root finder, ill-conditioned fit, ...).
+class NumericError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(std::string_view expr, std::string_view func,
+                                     std::string_view msg);
+[[noreturn]] void throw_model(std::string_view expr, std::string_view func,
+                              std::string_view msg);
+}  // namespace detail
+
+}  // namespace hetscale
+
+/// Check a documented precondition of a public function.
+#define HETSCALE_REQUIRE(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hetscale::detail::throw_precondition(#expr, __func__, (msg));      \
+    }                                                                      \
+  } while (false)
+
+/// Check an internal model invariant.
+#define HETSCALE_CHECK(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hetscale::detail::throw_model(#expr, __func__, (msg));             \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,36 @@
+// Minimal leveled logging.
+//
+// The simulator is a library first; logging defaults to WARN so tests and
+// benches stay quiet, and examples flip it to INFO to narrate their runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hetscale {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+}  // namespace hetscale
+
+#define HETSCALE_LOG(level, expr)                                           \
+  do {                                                                      \
+    if (static_cast<int>(level) >= static_cast<int>(::hetscale::log_level())) { \
+      std::ostringstream hetscale_log_os;                                   \
+      hetscale_log_os << expr;                                              \
+      ::hetscale::detail::log_write(level, hetscale_log_os.str());          \
+    }                                                                       \
+  } while (false)
+
+#define HETSCALE_DEBUG(expr) HETSCALE_LOG(::hetscale::LogLevel::kDebug, expr)
+#define HETSCALE_INFO(expr) HETSCALE_LOG(::hetscale::LogLevel::kInfo, expr)
+#define HETSCALE_WARN(expr) HETSCALE_LOG(::hetscale::LogLevel::kWarn, expr)
+#define HETSCALE_ERROR(expr) HETSCALE_LOG(::hetscale::LogLevel::kError, expr)

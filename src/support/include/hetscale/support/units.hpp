@@ -1,0 +1,39 @@
+// Physical units used throughout the simulator.
+//
+// All virtual time is kept in seconds (double), all computational work in
+// floating-point operations (double, since counts exceed 2^32 routinely), all
+// rates in flop/s, and all message sizes in bytes. The helpers here exist so
+// that call sites can state their units explicitly instead of sprinkling
+// magic factors of 1e6.
+#pragma once
+
+namespace hetscale::units {
+
+/// Flop/s corresponding to `x` Mflop/s.
+constexpr double mflops(double x) { return x * 1e6; }
+
+/// Flop count corresponding to `x` Mflop.
+constexpr double mflop(double x) { return x * 1e6; }
+
+/// Convert a rate in flop/s to Mflop/s (for reporting).
+constexpr double to_mflops(double flops_per_s) { return flops_per_s / 1e6; }
+
+/// Seconds corresponding to `x` milliseconds.
+constexpr double ms(double x) { return x * 1e-3; }
+
+/// Seconds corresponding to `x` microseconds.
+constexpr double us(double x) { return x * 1e-6; }
+
+/// Convert seconds to milliseconds (for reporting).
+constexpr double to_ms(double seconds) { return seconds * 1e3; }
+
+/// Bytes/s corresponding to a link speed of `x` Mbit/s.
+constexpr double mbit_per_s(double x) { return x * 1e6 / 8.0; }
+
+/// Bytes/s corresponding to a link speed of `x` MByte/s.
+constexpr double mbyte_per_s(double x) { return x * 1e6; }
+
+/// Bytes occupied by `n` doubles.
+constexpr double doubles(double n) { return n * 8.0; }
+
+}  // namespace hetscale::units

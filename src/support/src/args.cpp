@@ -1,0 +1,135 @@
+#include "hetscale/support/args.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale {
+
+ArgParser& ArgParser::add_flag(const std::string& name,
+                               const std::string& help,
+                               std::optional<std::string> def) {
+  HETSCALE_REQUIRE(!name.empty() && name[0] != '-',
+                   "flag name must be given without dashes");
+  specs_[name] = Spec{help, false, std::move(def)};
+  return *this;
+}
+
+ArgParser& ArgParser::add_bool(const std::string& name,
+                               const std::string& help) {
+  HETSCALE_REQUIRE(!name.empty() && name[0] != '-',
+                   "flag name must be given without dashes");
+  specs_[name] = Spec{help, true, std::nullopt};
+  return *this;
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    const auto it = specs_.find(name);
+    HETSCALE_REQUIRE(it != specs_.end(), "unknown flag: --" + name);
+    if (it->second.boolean) {
+      HETSCALE_REQUIRE(!has_inline_value,
+                       "boolean flag --" + name + " takes no value");
+      values_[name] = "true";
+      continue;
+    }
+    if (!has_inline_value) {
+      HETSCALE_REQUIRE(i + 1 < args.size(),
+                       "flag --" + name + " needs a value");
+      value = args[++i];
+    }
+    values_[name] = value;
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end()) {
+    return it->second;
+  }
+  const auto spec = specs_.find(name);
+  if (spec != specs_.end() && spec->second.def.has_value()) {
+    return *spec->second.def;
+  }
+  throw PreconditionError("required flag --" + name + " was not provided");
+}
+
+std::string ArgParser::get_or(const std::string& name,
+                              const std::string& def) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : def;
+}
+
+double ArgParser::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  HETSCALE_REQUIRE(end != nullptr && *end == '\0',
+                   "flag --" + name + " is not a number: " + it->second);
+  return value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const auto value =
+      static_cast<std::int64_t>(std::strtoll(it->second.c_str(), &end, 10));
+  HETSCALE_REQUIRE(end != nullptr && *end == '\0',
+                   "flag --" + name + " is not an integer: " + it->second);
+  return value;
+}
+
+std::string ArgParser::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.boolean) os << " <value>";
+    os << "  " << spec.help;
+    if (spec.def) os << " (default: " << *spec.def << ")";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string piece;
+  std::istringstream is(text);
+  while (std::getline(is, piece, sep)) {
+    // Trim spaces.
+    const auto begin = piece.find_first_not_of(' ');
+    const auto end = piece.find_last_not_of(' ');
+    if (begin == std::string::npos) continue;
+    out.push_back(piece.substr(begin, end - begin + 1));
+  }
+  return out;
+}
+
+}  // namespace hetscale

@@ -1,0 +1,50 @@
+#include "hetscale/support/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HETSCALE_REQUIRE(!header_.empty(), "CSV header must have at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  HETSCALE_REQUIRE(row.size() == header_.size(),
+                   "CSV row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_to(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << escape(row[c]);
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  write_to(os);
+  return os.str();
+}
+
+}  // namespace hetscale

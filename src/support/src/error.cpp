@@ -1,0 +1,26 @@
+#include "hetscale/support/error.hpp"
+
+#include <sstream>
+
+namespace hetscale::detail {
+
+namespace {
+std::string compose(std::string_view kind, std::string_view expr,
+                    std::string_view func, std::string_view msg) {
+  std::ostringstream os;
+  os << kind << " in " << func << ": `" << expr << "` — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_precondition(std::string_view expr, std::string_view func,
+                        std::string_view msg) {
+  throw PreconditionError(compose("precondition violated", expr, func, msg));
+}
+
+void throw_model(std::string_view expr, std::string_view func,
+                 std::string_view msg) {
+  throw ModelError(compose("model invariant violated", expr, func, msg));
+}
+
+}  // namespace hetscale::detail

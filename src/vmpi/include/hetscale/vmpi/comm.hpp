@@ -1,0 +1,142 @@
+// Comm — the per-rank communication handle of the virtual-time MPI runtime.
+//
+// Programming model (mirrors the MPI subset the paper's algorithms use):
+//   * one rank per processor (HoHe: process count == processor count),
+//   * blocking send / recv with tags and source wildcards,
+//   * collectives (bcast, barrier, gather, scatter, reduce) built from
+//     point-to-point messages, so their cost comes from the network model.
+//
+// Timing semantics:
+//   * compute(flops) advances this rank's virtual time by flops / rate;
+//   * send blocks until the network says the sender is free;
+//   * recv completes at max(time recv was called, message arrival).
+// With source-specific receives (all algorithms here) these semantics are
+// exact. With kAnySource, matching is post-order and completion may be
+// conservatively late if a later-posted message would have arrived earlier.
+#pragma once
+
+#include <any>
+#include <vector>
+
+#include "hetscale/des/task.hpp"
+#include "hetscale/vmpi/message.hpp"
+
+namespace hetscale::vmpi {
+
+class Machine;
+
+class Comm {
+ public:
+  Comm(Machine& machine, int rank, int size)
+      : machine_(&machine), rank_(rank), size_(size) {}
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Current virtual time.
+  des::SimTime now() const;
+
+  /// Delivered compute rate of this rank's processor (flop/s).
+  double rate_flops() const;
+
+  /// Advance virtual time by flops / (rate_flops() * efficiency). The *real*
+  /// arithmetic, if any, is done inline by the caller; this charges its cost.
+  /// `efficiency` models kernels that sustain more or less than the node's
+  /// nominal dense-kernel rate (used by the marked-speed suite).
+  des::Task<void> compute(double flops, double efficiency = 1.0);
+
+  /// Blocking send of a message of modeled size `bytes` carrying `payload`.
+  des::Task<void> send(int dst, int tag, double bytes, std::any payload);
+
+  /// Handle of a nonblocking send.
+  struct SendRequest {
+    des::SimTime sender_free = 0.0;  ///< when the sending link is drained
+  };
+
+  /// Nonblocking send: the message is injected (the network reserves the
+  /// link as usual, so later sends queue behind it) but the caller
+  /// continues immediately — computation/communication overlap. Optionally
+  /// await wait_send() to synchronize with the link drain (MPI_Wait-like);
+  /// fire-and-forget is also valid.
+  SendRequest isend(int dst, int tag, double bytes, std::any payload);
+
+  /// Suspend until the nonblocking send's link time has passed.
+  des::Task<void> wait_send(const SendRequest& request);
+
+  /// Blocking receive matching (source, tag); wildcards kAnySource/kAnyTag.
+  des::Task<Message> recv(int source, int tag);
+
+  // ---- Collectives (see file comment) ----
+
+  /// Root's payload of modeled size `bytes` is delivered to every rank.
+  /// Small messages use a flat tree (linear in p, like the paper's measured
+  /// T_bcast ≈ const·p); messages at or above the machine's
+  /// large_bcast_threshold use the MPICH-style van de Geijn algorithm
+  /// (scatter + ring allgather), whose cost is ~2·bytes/B + Θ(p) latency —
+  /// essential to reproduce MM's behaviour (DESIGN.md §6).
+  des::Task<std::any> bcast(int root, double bytes, std::any payload);
+
+  /// All ranks synchronize (gather of tokens to root, then release).
+  des::Task<void> barrier();
+
+  /// Every rank contributes (`bytes`, `payload`); the root returns the
+  /// vector indexed by rank, other ranks return an empty vector.
+  des::Task<std::vector<std::any>> gather(int root, double bytes,
+                                          std::any payload);
+
+  /// The root distributes parts[r] (modeled size parts_bytes[r]) to rank r;
+  /// every rank returns its own part.
+  des::Task<std::any> scatter(int root, const std::vector<double>& parts_bytes,
+                              std::vector<std::any> parts);
+
+  /// Every rank contributes (`bytes`, `payload`); every rank returns the
+  /// full vector indexed by rank. Ring algorithm: p-1 rounds of concurrent
+  /// neighbour exchanges.
+  des::Task<std::vector<std::any>> allgather(double bytes, std::any payload);
+
+  /// Personalized all-to-all: rank r contributes parts[d] for every
+  /// destination d (modeled size parts_bytes[d]) and returns the vector of
+  /// parts addressed to it, indexed by source. Shifted-pairwise schedule:
+  /// p-1 rounds, in round k rank r sends to r+k and receives from r-k.
+  des::Task<std::vector<std::any>> alltoall(
+      const std::vector<double>& parts_bytes, std::vector<std::any> parts);
+
+  /// Reduction operators over doubles.
+  enum class ReduceOp { kSum, kMin, kMax, kProd };
+
+  /// Reduction of a double to the root (others get 0.0).
+  des::Task<double> reduce(int root, double value, ReduceOp op);
+
+  /// Sum-reduction of a double to the root (others get 0.0).
+  des::Task<double> reduce_sum(int root, double value);
+
+  /// Reduction delivered to every rank.
+  des::Task<double> allreduce(double value, ReduceOp op);
+
+  /// Sum-reduction delivered to every rank.
+  des::Task<double> allreduce_sum(double value);
+
+ private:
+  static constexpr int kTagBcast = 1 << 28;
+  static constexpr int kTagBarrierIn = (1 << 28) + 1;
+  static constexpr int kTagBarrierOut = (1 << 28) + 2;
+  static constexpr int kTagGather = (1 << 28) + 3;
+  static constexpr int kTagScatter = (1 << 28) + 4;
+  static constexpr int kTagBcastScatter = (1 << 28) + 5;
+  static constexpr int kTagBcastRing = (1 << 28) + 6;
+  static constexpr int kTagAllgather = (1 << 28) + 7;
+  static constexpr int kTagAlltoall = (1 << 28) + 8;
+
+  des::Task<std::any> bcast_flat(int root, double bytes, std::any payload);
+  des::Task<std::any> bcast_binomial(int root, double bytes,
+                                     std::any payload);
+  des::Task<std::any> bcast_large(int root, double bytes, std::any payload);
+  /// Modeled size of a zero-payload control token (MPI header-ish).
+  static constexpr double kTokenBytes = 16.0;
+
+  Machine* machine_;
+  int rank_;
+  int size_;
+};
+
+}  // namespace hetscale::vmpi

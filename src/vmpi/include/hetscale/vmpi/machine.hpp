@@ -1,0 +1,108 @@
+// Machine — binds a Cluster, a Network, and a Scheduler into a runnable
+// virtual parallel computer, and launches SPMD programs on it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hetscale/des/scheduler.hpp"
+#include "hetscale/des/task.hpp"
+#include "hetscale/machine/cluster.hpp"
+#include "hetscale/net/network.hpp"
+#include "hetscale/vmpi/comm.hpp"
+#include "hetscale/vmpi/message.hpp"
+#include "hetscale/vmpi/trace.hpp"
+
+namespace hetscale::vmpi {
+
+/// Per-rank accounting of where virtual time went.
+struct RankStats {
+  double compute_s = 0.0;   ///< time inside compute()
+  double comm_s = 0.0;      ///< time blocked in send/recv (collectives incl.)
+  std::uint64_t messages_sent = 0;
+  double bytes_sent = 0.0;
+  des::SimTime finish = 0.0;  ///< when this rank's program returned
+};
+
+/// Result of one SPMD run.
+struct RunResult {
+  des::SimTime elapsed = 0.0;  ///< max over ranks of finish time
+  std::vector<RankStats> ranks;
+  net::NetworkStats network;
+
+  /// Communication overhead in the sense of the paper's T = T_c + T_o
+  /// decomposition, taken on the critical path: elapsed minus the largest
+  /// per-rank compute time.
+  double overhead_s() const;
+
+  /// Aggregate compute seconds across ranks.
+  double total_compute_s() const;
+};
+
+/// Short-message broadcast algorithm.
+enum class BcastAlgorithm {
+  kFlatTree,  ///< root sends to each rank in turn — Θ(p), the behaviour the
+              ///< paper measured on Sunwulf (T_bcast ≈ const·p)
+  kBinomialTree,  ///< Θ(log p) rounds — what modern MPIs do (ablation)
+};
+
+/// Tuning knobs of the message-passing runtime itself (not the wire).
+struct CollectiveTuning {
+  BcastAlgorithm small_bcast = BcastAlgorithm::kFlatTree;
+  /// Broadcasts of at least this many bytes switch to the van de Geijn
+  /// scatter + ring-allgather algorithm regardless of `small_bcast`.
+  /// 12288 bytes is MPICH's historical long-message broadcast threshold.
+  double large_bcast_threshold_bytes = 12288.0;
+};
+
+class Machine {
+ public:
+  /// Takes ownership of the network model.
+  Machine(machine::Cluster cluster, std::unique_ptr<net::Network> network);
+
+  /// Convenience: the paper's testbed shape (shared 100 Mb Ethernet).
+  static Machine shared_bus(machine::Cluster cluster,
+                            net::NetworkParams params = {});
+
+  /// Convenience: full-bisection switch (ablation).
+  static Machine switched(machine::Cluster cluster,
+                          net::NetworkParams params = {});
+
+  int world_size() const { return static_cast<int>(processors_.size()); }
+  const machine::Cluster& cluster() const { return cluster_; }
+  const machine::Processor& processor(int rank) const;
+  net::Network& network() { return *network_; }
+  des::Scheduler& scheduler() { return scheduler_; }
+  Mailbox& mailbox(int rank);
+  RankStats& rank_stats(int rank);
+
+  const CollectiveTuning& tuning() const { return tuning_; }
+  void set_tuning(const CollectiveTuning& tuning) { tuning_ = tuning; }
+
+  /// Turn on execution tracing (before run()); the recorder lives as long
+  /// as the machine. Null when tracing is off.
+  TraceRecorder& enable_tracing();
+  TraceRecorder* tracer() { return tracer_.get(); }
+
+  /// An SPMD program: called once per rank to create that rank's coroutine.
+  using Program = std::function<des::Task<void>(Comm&)>;
+
+  /// Launch `program` on every rank and run the simulation to completion.
+  /// A Machine is single-shot: construct a fresh one per run.
+  RunResult run(const Program& program);
+
+ private:
+  machine::Cluster cluster_;
+  std::unique_ptr<net::Network> network_;
+  des::Scheduler scheduler_;
+  std::vector<machine::Processor> processors_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<RankStats> stats_;
+  std::vector<Comm> comms_;
+  CollectiveTuning tuning_;
+  std::unique_ptr<TraceRecorder> tracer_;
+  bool ran_ = false;
+};
+
+}  // namespace hetscale::vmpi

@@ -1,0 +1,70 @@
+// Messages and per-rank mailboxes.
+//
+// A Message carries both a *modeled* size in bytes (what the network model
+// times) and a *real* payload (what the algorithm computes with) — virtual
+// time and real data are deliberately decoupled (DESIGN.md §6.1).
+#pragma once
+
+#include <any>
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "hetscale/des/scheduler.hpp"
+
+namespace hetscale::vmpi {
+
+/// Wildcards for Comm::recv.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  double bytes = 0.0;           ///< modeled on-the-wire size
+  std::any payload;             ///< real data (often shared_ptr to bulk data)
+  des::SimTime arrival = 0.0;   ///< when the message is fully available
+
+  /// Convenience accessor: any_cast the payload (throws std::bad_any_cast on
+  /// a type mismatch, which in practice means mismatched send/recv code).
+  template <class T>
+  T value() const {
+    return std::any_cast<T>(payload);
+  }
+};
+
+/// The receive queue of one rank. Exactly one coroutine (the rank itself)
+/// ever receives from a mailbox, so at most one waiter is registered.
+class Mailbox {
+ public:
+  explicit Mailbox(des::Scheduler& scheduler) : scheduler_(&scheduler) {}
+
+  /// Deposit a message (called from the sender's coroutine). If the rank is
+  /// blocked in recv, its resumption is scheduled at the message's arrival.
+  void post(Message message);
+
+  /// Remove and return the first pending message matching (source, tag),
+  /// honouring wildcards; messages are matched in post order (MPI's
+  /// non-overtaking rule). Arrival times are NOT consulted here — the caller
+  /// waits out a future arrival itself.
+  std::optional<Message> take_match(int source, int tag);
+
+  /// Awaitable: suspend until the next post. Only one waiter may exist.
+  auto wait_for_post() { return WaitAwaiter{*this}; }
+
+  std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  struct WaitAwaiter {
+    Mailbox& box;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle);
+    void await_resume() const noexcept {}
+  };
+
+  des::Scheduler* scheduler_;
+  std::deque<Message> pending_;
+  std::coroutine_handle<> waiter_;
+};
+
+}  // namespace hetscale::vmpi

@@ -1,0 +1,60 @@
+// Execution tracing — where did the virtual time go?
+//
+// When enabled on a Machine, every compute interval, blocking send/recv
+// interval, and message is recorded. Two consumers:
+//   * chrome_trace_json(): the Chrome trace-event format (load in
+//     chrome://tracing or Perfetto) — one lane per rank, with message flow
+//     arrows from sender to receiver;
+//   * utilization_table(): a per-rank compute/communication/idle breakdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hetscale/des/scheduler.hpp"
+
+namespace hetscale::vmpi {
+
+struct TraceInterval {
+  enum class Kind { kCompute, kSend, kRecv };
+  int rank = 0;
+  Kind kind = Kind::kCompute;
+  des::SimTime begin = 0.0;
+  des::SimTime end = 0.0;
+  int peer = -1;       ///< other endpoint for kSend/kRecv
+  int tag = 0;
+  double bytes = 0.0;  ///< modeled size for kSend/kRecv
+};
+
+struct TraceMessage {
+  int source = 0;
+  int destination = 0;
+  int tag = 0;
+  double bytes = 0.0;
+  des::SimTime depart = 0.0;
+  des::SimTime arrive = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  void record_interval(TraceInterval interval);
+  void record_message(TraceMessage message);
+
+  const std::vector<TraceInterval>& intervals() const { return intervals_; }
+  const std::vector<TraceMessage>& messages() const { return messages_; }
+
+  /// Chrome trace-event JSON ("X" duration events per rank lane, "s"/"f"
+  /// flow pairs per message). Times in microseconds of virtual time.
+  std::string chrome_trace_json() const;
+
+  /// Per-rank utilization over [0, horizon]: compute, blocked-communicating
+  /// and idle fractions, rendered as an aligned text table.
+  std::string utilization_table(des::SimTime horizon) const;
+
+ private:
+  std::vector<TraceInterval> intervals_;
+  std::vector<TraceMessage> messages_;
+};
+
+}  // namespace hetscale::vmpi

@@ -1,0 +1,97 @@
+#include "hetscale/vmpi/machine.hpp"
+
+#include <algorithm>
+
+#include "hetscale/net/shared_bus.hpp"
+#include "hetscale/net/switched.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::vmpi {
+
+double RunResult::overhead_s() const {
+  double max_compute = 0.0;
+  for (const auto& r : ranks) max_compute = std::max(max_compute, r.compute_s);
+  return std::max(0.0, elapsed - max_compute);
+}
+
+double RunResult::total_compute_s() const {
+  double total = 0.0;
+  for (const auto& r : ranks) total += r.compute_s;
+  return total;
+}
+
+Machine::Machine(machine::Cluster cluster,
+                 std::unique_ptr<net::Network> network)
+    : cluster_(std::move(cluster)), network_(std::move(network)) {
+  HETSCALE_REQUIRE(network_ != nullptr, "network must not be null");
+  processors_ = cluster_.processors();
+  HETSCALE_REQUIRE(!processors_.empty(),
+                   "cluster has no participating processors");
+  mailboxes_.reserve(processors_.size());
+  comms_.reserve(processors_.size());
+  stats_.resize(processors_.size());
+  const int size = static_cast<int>(processors_.size());
+  for (int r = 0; r < size; ++r) {
+    mailboxes_.emplace_back(scheduler_);
+    comms_.emplace_back(*this, r, size);
+  }
+}
+
+Machine Machine::shared_bus(machine::Cluster cluster,
+                            net::NetworkParams params) {
+  return Machine(std::move(cluster),
+                 std::make_unique<net::SharedBusNetwork>(params));
+}
+
+Machine Machine::switched(machine::Cluster cluster,
+                          net::NetworkParams params) {
+  return Machine(std::move(cluster),
+                 std::make_unique<net::SwitchedNetwork>(params));
+}
+
+const machine::Processor& Machine::processor(int rank) const {
+  HETSCALE_REQUIRE(rank >= 0 && rank < world_size(), "rank out of range");
+  return processors_[static_cast<std::size_t>(rank)];
+}
+
+Mailbox& Machine::mailbox(int rank) {
+  HETSCALE_REQUIRE(rank >= 0 && rank < world_size(), "rank out of range");
+  return mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+RankStats& Machine::rank_stats(int rank) {
+  HETSCALE_REQUIRE(rank >= 0 && rank < world_size(), "rank out of range");
+  return stats_[static_cast<std::size_t>(rank)];
+}
+
+namespace {
+des::Task<void> rank_main(Machine& machine, Comm& comm,
+                          const Machine::Program& program) {
+  co_await program(comm);
+  machine.rank_stats(comm.rank()).finish = comm.now();
+}
+}  // namespace
+
+TraceRecorder& Machine::enable_tracing() {
+  HETSCALE_REQUIRE(!ran_, "enable tracing before running the machine");
+  if (!tracer_) tracer_ = std::make_unique<TraceRecorder>();
+  return *tracer_;
+}
+
+RunResult Machine::run(const Program& program) {
+  HETSCALE_REQUIRE(!ran_, "a Machine is single-shot; construct a fresh one");
+  ran_ = true;
+  for (int r = 0; r < world_size(); ++r) {
+    scheduler_.spawn(rank_main(*this, comms_[static_cast<std::size_t>(r)],
+                               program));
+  }
+  scheduler_.run();
+
+  RunResult result;
+  result.ranks = stats_;
+  result.network = network_->stats();
+  for (const auto& r : stats_) result.elapsed = std::max(result.elapsed, r.finish);
+  return result;
+}
+
+}  // namespace hetscale::vmpi

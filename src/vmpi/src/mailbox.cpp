@@ -1,0 +1,40 @@
+#include "hetscale/vmpi/message.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::vmpi {
+
+void Mailbox::post(Message message) {
+  const des::SimTime wake_at =
+      std::max(scheduler_->now(), message.arrival);
+  pending_.push_back(std::move(message));
+  if (waiter_) {
+    // The waiting recv re-checks the queue when it resumes; waking it at the
+    // arrival time makes "recv completes at max(call time, arrival)" emerge.
+    scheduler_->schedule_at(wake_at, std::exchange(waiter_, nullptr));
+  }
+}
+
+std::optional<Message> Mailbox::take_match(int source, int tag) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    const bool source_ok = source == kAnySource || it->source == source;
+    const bool tag_ok = tag == kAnyTag || it->tag == tag;
+    if (source_ok && tag_ok) {
+      Message found = std::move(*it);
+      pending_.erase(it);
+      return found;
+    }
+  }
+  return std::nullopt;
+}
+
+void Mailbox::WaitAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  HETSCALE_CHECK(box.waiter_ == nullptr,
+                 "two concurrent receives on one rank's mailbox");
+  box.waiter_ = handle;
+}
+
+}  // namespace hetscale::vmpi

@@ -1,0 +1,107 @@
+#include "hetscale/vmpi/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/table.hpp"
+
+namespace hetscale::vmpi {
+
+namespace {
+
+const char* kind_name(TraceInterval::Kind kind) {
+  switch (kind) {
+    case TraceInterval::Kind::kCompute: return "compute";
+    case TraceInterval::Kind::kSend: return "send";
+    case TraceInterval::Kind::kRecv: return "recv";
+  }
+  return "?";
+}
+
+double to_us(des::SimTime t) { return t * 1e6; }
+
+}  // namespace
+
+void TraceRecorder::record_interval(TraceInterval interval) {
+  HETSCALE_REQUIRE(interval.end >= interval.begin,
+                   "interval must not end before it begins");
+  intervals_.push_back(interval);
+}
+
+void TraceRecorder::record_message(TraceMessage message) {
+  HETSCALE_REQUIRE(message.arrive >= message.depart,
+                   "message must not arrive before departing");
+  messages_.push_back(message);
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  std::ostringstream os;
+  os << std::setprecision(12);
+  os << "[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const auto& interval : intervals_) {
+    sep();
+    os << R"({"name":")" << kind_name(interval.kind)
+       << R"(","ph":"X","pid":0,"tid":)" << interval.rank
+       << R"(,"ts":)" << to_us(interval.begin)
+       << R"(,"dur":)" << to_us(interval.end - interval.begin);
+    if (interval.kind != TraceInterval::Kind::kCompute) {
+      os << R"(,"args":{"peer":)" << interval.peer << R"(,"tag":)"
+         << interval.tag << R"(,"bytes":)" << interval.bytes << "}";
+    }
+    os << "}";
+  }
+  // Flow arrows: an "s" event at the sender's depart, an "f" event at the
+  // receiver's arrival, joined by a unique id.
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    const auto& m = messages_[i];
+    sep();
+    os << R"({"name":"msg","ph":"s","id":)" << i
+       << R"(,"pid":0,"tid":)" << m.source << R"(,"ts":)" << to_us(m.depart)
+       << "}";
+    sep();
+    os << R"({"name":"msg","ph":"f","bp":"e","id":)" << i
+       << R"(,"pid":0,"tid":)" << m.destination << R"(,"ts":)"
+       << to_us(m.arrive) << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+std::string TraceRecorder::utilization_table(des::SimTime horizon) const {
+  HETSCALE_REQUIRE(horizon > 0.0, "horizon must be positive");
+  struct Bucket {
+    double compute = 0.0;
+    double comm = 0.0;
+  };
+  std::map<int, Bucket> per_rank;
+  for (const auto& interval : intervals_) {
+    auto& bucket = per_rank[interval.rank];
+    const double duration = interval.end - interval.begin;
+    if (interval.kind == TraceInterval::Kind::kCompute) {
+      bucket.compute += duration;
+    } else {
+      bucket.comm += duration;
+    }
+  }
+  Table table("Per-rank virtual-time utilization");
+  table.set_header({"rank", "compute %", "comm %", "idle %"});
+  for (const auto& [rank, bucket] : per_rank) {
+    const double compute = 100.0 * bucket.compute / horizon;
+    const double comm = 100.0 * bucket.comm / horizon;
+    table.add_row({std::to_string(rank), Table::fixed(compute, 1),
+                   Table::fixed(comm, 1),
+                   Table::fixed(std::max(0.0, 100.0 - compute - comm), 1)});
+  }
+  return table.str();
+}
+
+}  // namespace hetscale::vmpi

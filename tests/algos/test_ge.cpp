@@ -1,0 +1,157 @@
+#include "hetscale/algos/ge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hetscale/machine/sunwulf.hpp"
+#include "hetscale/numeric/linsolve.hpp"
+#include "hetscale/numeric/matrix.hpp"
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/units.hpp"
+
+namespace hetscale::algos {
+namespace {
+
+net::NetworkParams fast_params() {
+  net::NetworkParams p;
+  p.remote = {1e-4, 12.5e6};
+  p.per_message_overhead_s = 2e-5;
+  return p;
+}
+
+machine::Cluster hetero_cluster(int blades) {
+  machine::Cluster cluster;
+  cluster.add_node("server", machine::sunwulf::server_spec(), 2);
+  for (int i = 0; i < blades; ++i) {
+    cluster.add_node("hpc-" + std::to_string(i),
+                     machine::sunwulf::sunblade_spec());
+  }
+  return cluster;
+}
+
+GeResult run_ge(machine::Cluster cluster, const GeOptions& options) {
+  auto machine = vmpi::Machine::shared_bus(std::move(cluster), fast_params());
+  return run_parallel_ge(machine, options);
+}
+
+class GeSizes : public ::testing::TestWithParam<std::int64_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, GeSizes, ::testing::Values(1, 2, 3, 7, 24, 60));
+
+TEST_P(GeSizes, SolvesTheSystemOnHeterogeneousCluster) {
+  GeOptions options;
+  options.n = GetParam();
+  options.with_data = true;
+  const auto result = run_ge(hetero_cluster(3), options);
+  ASSERT_EQ(result.solution.size(), static_cast<std::size_t>(options.n));
+  EXPECT_LT(result.residual, 1e-8) << "n=" << options.n;
+}
+
+TEST_P(GeSizes, ChargedFlopsEqualWorkloadPolynomial) {
+  GeOptions options;
+  options.n = GetParam();
+  options.with_data = false;
+  const auto result = run_ge(hetero_cluster(3), options);
+  EXPECT_DOUBLE_EQ(result.charged_flops, result.work_flops)
+      << "n=" << options.n;
+  EXPECT_DOUBLE_EQ(result.work_flops,
+                   numeric::ge_workload(static_cast<double>(options.n)));
+}
+
+TEST(Ge, MatchesSequentialSolver) {
+  GeOptions options;
+  options.n = 40;
+  options.seed = 7;
+  const auto parallel = run_ge(hetero_cluster(2), options);
+
+  // Rebuild the same system and solve sequentially.
+  Rng rng(options.seed);
+  const auto a = numeric::Matrix::random_diagonally_dominant(40, rng);
+  std::vector<double> b(40);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const auto x = numeric::solve_dense(a, b, numeric::Pivoting::kNone);
+  EXPECT_LT(numeric::max_abs_diff(parallel.solution, x), 1e-8);
+}
+
+TEST(Ge, TimingInvariantUnderWithData) {
+  // The central decoupling property: real arithmetic on/off must not change
+  // virtual time by a single bit.
+  GeOptions with;
+  with.n = 30;
+  with.with_data = true;
+  GeOptions without = with;
+  without.with_data = false;
+  const auto a = run_ge(hetero_cluster(3), with);
+  const auto b = run_ge(hetero_cluster(3), without);
+  EXPECT_EQ(a.run.elapsed, b.run.elapsed);
+  for (std::size_t r = 0; r < a.run.ranks.size(); ++r) {
+    EXPECT_EQ(a.run.ranks[r].compute_s, b.run.ranks[r].compute_s);
+    EXPECT_EQ(a.run.ranks[r].bytes_sent, b.run.ranks[r].bytes_sent);
+  }
+}
+
+TEST(Ge, DeterministicElapsed) {
+  GeOptions options;
+  options.n = 25;
+  options.with_data = false;
+  const auto a = run_ge(hetero_cluster(2), options);
+  const auto b = run_ge(hetero_cluster(2), options);
+  EXPECT_EQ(a.run.elapsed, b.run.elapsed);
+}
+
+TEST(Ge, SingleRankDegeneratesToSequential) {
+  machine::Cluster cluster;
+  cluster.add_node("solo", machine::sunwulf::sunblade_spec());
+  auto machine = vmpi::Machine::shared_bus(std::move(cluster), fast_params());
+  GeOptions options;
+  options.n = 20;
+  const auto result = run_parallel_ge(machine, options);
+  EXPECT_LT(result.residual, 1e-9);
+  EXPECT_DOUBLE_EQ(result.charged_flops, result.work_flops);
+  // No remote messages at all on one rank.
+  EXPECT_EQ(result.run.network.messages, 0u);
+}
+
+TEST(Ge, MoreNodesFinishFasterAtLargeN) {
+  // At small N the extra per-step collective cost of a bigger ensemble
+  // outweighs its compute advantage; at large N compute dominates. Check
+  // both sides of the crossover.
+  GeOptions options;
+  options.n = 1500;
+  options.with_data = false;
+  const auto small = run_ge(hetero_cluster(1), options);
+  const auto big = run_ge(hetero_cluster(7), options);
+  EXPECT_LT(big.run.elapsed, small.run.elapsed);
+
+  GeOptions tiny = options;
+  tiny.n = 60;
+  const auto small_tiny = run_ge(hetero_cluster(1), tiny);
+  const auto big_tiny = run_ge(hetero_cluster(7), tiny);
+  EXPECT_GT(big_tiny.run.elapsed, small_tiny.run.elapsed);
+}
+
+TEST(Ge, ExplicitSpeedsDriveDistribution) {
+  GeOptions options;
+  options.n = 30;
+  options.with_data = false;
+  options.speeds = {units::mflops(26), units::mflops(26), units::mflops(27.5),
+                    units::mflops(27.5), units::mflops(27.5)};
+  const auto result = run_ge(hetero_cluster(3), options);
+  EXPECT_DOUBLE_EQ(result.charged_flops, result.work_flops);
+}
+
+TEST(Ge, SpeedCountMismatchRejected) {
+  GeOptions options;
+  options.n = 10;
+  options.speeds = {1.0, 2.0};  // cluster has 5 ranks
+  EXPECT_THROW(run_ge(hetero_cluster(3), options), PreconditionError);
+}
+
+TEST(Ge, InvalidSizeRejected) {
+  GeOptions options;
+  options.n = 0;
+  EXPECT_THROW(run_ge(hetero_cluster(2), options), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::algos

@@ -1,0 +1,129 @@
+#include "hetscale/algos/mm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hetscale/machine/sunwulf.hpp"
+#include "hetscale/numeric/linsolve.hpp"
+#include "hetscale/numeric/matmul.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::algos {
+namespace {
+
+net::NetworkParams fast_params() {
+  net::NetworkParams p;
+  p.remote = {1e-4, 12.5e6};
+  p.per_message_overhead_s = 2e-5;
+  return p;
+}
+
+MmResult run_mm(machine::Cluster cluster, const MmOptions& options) {
+  auto machine = vmpi::Machine::shared_bus(std::move(cluster), fast_params());
+  return run_parallel_mm(machine, options);
+}
+
+machine::Cluster mixed_cluster(int nodes) {
+  return machine::sunwulf::mm_ensemble(nodes);
+}
+
+class MmSizes : public ::testing::TestWithParam<std::int64_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, MmSizes, ::testing::Values(1, 2, 3, 5, 16, 40));
+
+TEST_P(MmSizes, ProductMatchesSequentialReference) {
+  MmOptions options;
+  options.n = GetParam();
+  const auto result = run_mm(mixed_cluster(4), options);
+  const auto reference = numeric::multiply(result.a, result.b);
+  EXPECT_LT(numeric::max_abs_diff(result.c, reference), 1e-10)
+      << "n=" << options.n;
+}
+
+TEST_P(MmSizes, ChargedFlopsEqualTwoNCubed) {
+  MmOptions options;
+  options.n = GetParam();
+  options.with_data = false;
+  const auto result = run_mm(mixed_cluster(4), options);
+  EXPECT_DOUBLE_EQ(result.charged_flops, result.work_flops);
+  EXPECT_DOUBLE_EQ(result.work_flops,
+                   numeric::mm_workload(static_cast<double>(options.n)));
+}
+
+TEST(Mm, TimingInvariantUnderWithData) {
+  MmOptions with;
+  with.n = 24;
+  with.with_data = true;
+  MmOptions without = with;
+  without.with_data = false;
+  const auto a = run_mm(mixed_cluster(4), with);
+  const auto b = run_mm(mixed_cluster(4), without);
+  EXPECT_EQ(a.run.elapsed, b.run.elapsed);
+}
+
+TEST(Mm, HeterogeneousDistributionBeatsHomogeneousOnMixedNodes) {
+  // The whole point of distributing by marked speed: on a heterogeneous
+  // ensemble, proportional blocks finish sooner than equal blocks.
+  MmOptions het;
+  het.n = 400;
+  het.with_data = false;
+  het.distribution = MmDistribution::kHeterogeneousBlock;
+  MmOptions hom = het;
+  hom.distribution = MmDistribution::kHomogeneousBlock;
+  const auto het_run = run_mm(mixed_cluster(8), het);
+  const auto hom_run = run_mm(mixed_cluster(8), hom);
+  EXPECT_LT(het_run.run.elapsed, hom_run.run.elapsed);
+}
+
+TEST(Mm, DistributionsAgreeOnHomogeneousCluster) {
+  MmOptions het;
+  het.n = 60;
+  het.with_data = false;
+  het.distribution = MmDistribution::kHeterogeneousBlock;
+  MmOptions hom = het;
+  hom.distribution = MmDistribution::kHomogeneousBlock;
+  const auto cluster = [] { return machine::sunwulf::homogeneous_ensemble(4); };
+  EXPECT_EQ(run_mm(cluster(), het).run.elapsed,
+            run_mm(cluster(), hom).run.elapsed);
+}
+
+TEST(Mm, SingleRankHasNoTraffic) {
+  machine::Cluster cluster;
+  cluster.add_node("solo", machine::sunwulf::sunblade_spec());
+  auto machine = vmpi::Machine::shared_bus(std::move(cluster), fast_params());
+  MmOptions options;
+  options.n = 16;
+  const auto result = run_parallel_mm(machine, options);
+  EXPECT_EQ(result.run.network.messages, 0u);
+  const auto reference = numeric::multiply(result.a, result.b);
+  EXPECT_LT(numeric::max_abs_diff(result.c, reference), 1e-12);
+}
+
+TEST(Mm, NoCommunicationDuringComputePhase) {
+  // All traffic is distribution + collection: bytes on the network equal
+  // A-out + B-bcast + C-back exactly.
+  MmOptions options;
+  options.n = 32;
+  options.with_data = false;
+  const int nodes = 4;
+  auto cluster = mixed_cluster(nodes);
+  const int p = cluster.processor_count();
+  auto machine = vmpi::Machine::shared_bus(std::move(cluster), fast_params());
+  const auto result = run_parallel_mm(machine, options);
+  const double n2 = 32.0 * 32.0 * 8.0;
+  const double meta = 16.0 * (p - 1);
+  // A rows to p-1 remotes (~n2 total less root's share), B to all p-1,
+  // C back the same as A.
+  const double expected_max = meta + 2.0 * n2 + (p - 1) * n2;
+  EXPECT_LE(result.run.network.bytes, expected_max + 1.0);
+  EXPECT_GT(result.run.network.bytes, (p - 1) * n2);
+}
+
+TEST(Mm, InvalidSizeRejected) {
+  MmOptions options;
+  options.n = 0;
+  EXPECT_THROW(run_mm(mixed_cluster(2), options), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::algos

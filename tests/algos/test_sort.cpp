@@ -1,0 +1,140 @@
+#include "hetscale/algos/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "hetscale/machine/sunwulf.hpp"
+#include "hetscale/marked/suite.hpp"
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/rng.hpp"
+
+namespace hetscale::algos {
+namespace {
+
+SortResult run_sort(machine::Cluster cluster, const SortOptions& options) {
+  auto machine = vmpi::Machine::switched(std::move(cluster));
+  return run_parallel_sort(machine, options);
+}
+
+class SortSizes : public ::testing::TestWithParam<std::int64_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSizes,
+                         ::testing::Values(64, 100, 500, 1000, 4096));
+
+TEST_P(SortSizes, ProducesGloballySortedOutput) {
+  SortOptions options;
+  options.n = GetParam();
+  const auto result = run_sort(machine::sunwulf::mm_ensemble(4), options);
+  ASSERT_EQ(result.sorted.size(), static_cast<std::size_t>(options.n));
+  EXPECT_TRUE(std::is_sorted(result.sorted.begin(), result.sorted.end()));
+}
+
+TEST_P(SortSizes, OutputIsAPermutationOfTheInput) {
+  SortOptions options;
+  options.n = GetParam();
+  options.seed = 99;
+  const auto result = run_sort(machine::sunwulf::mm_ensemble(4), options);
+  // Rebuild the same input and compare sorted copies elementwise.
+  Rng rng(options.seed);
+  std::vector<double> expected(static_cast<std::size_t>(options.n));
+  for (auto& key : expected) key = rng.uniform(0.0, 1.0);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(result.sorted, expected);
+}
+
+TEST_P(SortSizes, ChargedFlopsEqualWorkload) {
+  SortOptions options;
+  options.n = GetParam();
+  const auto result = run_sort(machine::sunwulf::mm_ensemble(4), options);
+  EXPECT_NEAR(result.charged_flops, result.work_flops,
+              1e-9 * result.work_flops);
+}
+
+TEST(Sort, SpeedProportionalSplittersBalanceByMarkedSpeed) {
+  SortOptions options;
+  options.n = 100000;
+  options.splitters = SortSplitters::kSpeedProportional;
+  const auto cluster = machine::sunwulf::mm_ensemble(4);
+  const auto result = run_sort(cluster, options);
+  // Bucket shares should track marked-speed shares (V210 ranks get ~2x a
+  // SunBlade's keys); regular sampling is approximate, allow 25%.
+  const auto speeds = marked::rank_marked_speeds(cluster);
+  const double total_speed = std::accumulate(speeds.begin(), speeds.end(), 0.0);
+  for (std::size_t r = 0; r < speeds.size(); ++r) {
+    const double ideal =
+        static_cast<double>(options.n) * speeds[r] / total_speed;
+    EXPECT_NEAR(static_cast<double>(result.bucket_counts[r]), ideal,
+                0.25 * ideal)
+        << "rank " << r;
+  }
+}
+
+TEST(Sort, UniformSplittersGiveEqualBuckets) {
+  SortOptions options;
+  options.n = 100000;
+  options.splitters = SortSplitters::kUniform;
+  const auto result = run_sort(machine::sunwulf::mm_ensemble(4), options);
+  for (auto count : result.bucket_counts) {
+    EXPECT_NEAR(static_cast<double>(count), options.n / 4.0,
+                0.2 * options.n / 4.0);
+  }
+}
+
+TEST(Sort, SpeedAwareSplittersWinWhereComputeDominates) {
+  // The splitter policy balances *compute*; on a fast fabric (where the
+  // exchange is cheap) the speed-aware buckets finish sooner. On the slow
+  // 2005 Ethernet the runs are communication-bound and the policies tie —
+  // which is itself an observation the metric pipeline surfaces.
+  auto fast_machine = [] {
+    net::NetworkParams params;
+    params.remote = {1e-5, 1e9};  // ~GbE-class fabric
+    params.per_message_overhead_s = 1e-5;
+    return vmpi::Machine::switched(machine::sunwulf::mm_ensemble(8), params);
+  };
+  SortOptions aware;
+  aware.n = 200000;
+  aware.splitters = SortSplitters::kSpeedProportional;
+  SortOptions uniform = aware;
+  uniform.splitters = SortSplitters::kUniform;
+  auto m1 = fast_machine();
+  auto m2 = fast_machine();
+  const auto t_aware = run_parallel_sort(m1, aware).run.elapsed;
+  const auto t_uniform = run_parallel_sort(m2, uniform).run.elapsed;
+  EXPECT_LT(t_aware, t_uniform);
+}
+
+TEST(Sort, SingleRankDegeneratesToLocalSort) {
+  machine::Cluster solo;
+  solo.add_node("solo", machine::sunwulf::sunblade_spec());
+  auto machine = vmpi::Machine::switched(std::move(solo));
+  SortOptions options;
+  options.n = 128;
+  const auto result = run_parallel_sort(machine, options);
+  EXPECT_TRUE(std::is_sorted(result.sorted.begin(), result.sorted.end()));
+  EXPECT_EQ(result.run.network.messages, 0u);
+}
+
+TEST(Sort, DeterministicAcrossRuns) {
+  SortOptions options;
+  options.n = 2000;
+  const auto a = run_sort(machine::sunwulf::mm_ensemble(4), options);
+  const auto b = run_sort(machine::sunwulf::mm_ensemble(4), options);
+  EXPECT_EQ(a.run.elapsed, b.run.elapsed);
+  EXPECT_EQ(a.sorted, b.sorted);
+}
+
+TEST(Sort, WorkloadFormula) {
+  EXPECT_DOUBLE_EQ(sort_workload(1024), 6.0 * 1024 * 10.0);
+  EXPECT_THROW(sort_workload(1), PreconditionError);
+}
+
+TEST(Sort, TooFewKeysRejected) {
+  SortOptions options;
+  options.n = 8;  // < p^2 for p = 4
+  EXPECT_THROW(run_sort(machine::sunwulf::mm_ensemble(4), options),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::algos

@@ -1,0 +1,120 @@
+#include "hetscale/des/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::des {
+namespace {
+
+TEST(Scheduler, ClockStartsAtZero) {
+  Scheduler sched;
+  EXPECT_DOUBLE_EQ(sched.now(), 0.0);
+}
+
+TEST(Scheduler, DelayAdvancesVirtualTime) {
+  Scheduler sched;
+  double observed = -1.0;
+  sched.spawn([](Scheduler& s, double& out) -> Task<void> {
+    co_await s.delay(2.5);
+    out = s.now();
+  }(sched, observed));
+  sched.run();
+  EXPECT_DOUBLE_EQ(observed, 2.5);
+  EXPECT_DOUBLE_EQ(sched.now(), 2.5);
+}
+
+TEST(Scheduler, EventsFireInTimeOrderAcrossProcesses) {
+  Scheduler sched;
+  std::vector<int> order;
+  auto proc = [](Scheduler& s, std::vector<int>& out, double delay,
+                 int id) -> Task<void> {
+    co_await s.delay(delay);
+    out.push_back(id);
+  };
+  sched.spawn(proc(sched, order, 3.0, 3));
+  sched.spawn(proc(sched, order, 1.0, 1));
+  sched.spawn(proc(sched, order, 2.0, 2));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, EqualTimesPreserveScheduleOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  auto proc = [](Scheduler& s, std::vector<int>& out, int id) -> Task<void> {
+    co_await s.delay(1.0);
+    out.push_back(id);
+  };
+  for (int id = 0; id < 8; ++id) sched.spawn(proc(sched, order, id));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Scheduler, ZeroDelayStillYields) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.spawn([](Scheduler& s, std::vector<int>& out) -> Task<void> {
+    out.push_back(1);
+    co_await s.delay(0.0);
+    out.push_back(3);
+  }(sched, order));
+  sched.spawn([](Scheduler&, std::vector<int>& out) -> Task<void> {
+    out.push_back(2);
+    co_return;
+  }(sched, order));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, NegativeDelayRejected) {
+  Scheduler sched;
+  sched.spawn([](Scheduler& s) -> Task<void> {
+    EXPECT_THROW(s.delay(-1.0), PreconditionError);
+    co_return;
+  }(sched));
+  sched.run();
+}
+
+TEST(Scheduler, ResumeAtPastRejected) {
+  Scheduler sched;
+  sched.spawn([](Scheduler& s) -> Task<void> {
+    co_await s.delay(5.0);
+    EXPECT_THROW(s.resume_at(1.0), PreconditionError);
+  }(sched));
+  sched.run();
+}
+
+TEST(Scheduler, CountsProcessedEvents) {
+  Scheduler sched;
+  sched.spawn([](Scheduler& s) -> Task<void> {
+    for (int i = 0; i < 10; ++i) co_await s.delay(1.0);
+  }(sched));
+  sched.run();
+  // 1 spawn resumption + 10 delays.
+  EXPECT_EQ(sched.events_processed(), 11u);
+}
+
+TEST(Scheduler, ManyProcessesManyEvents) {
+  Scheduler sched;
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    sched.spawn([](Scheduler& s, int id, double& out) -> Task<void> {
+      for (int k = 0; k < 50; ++k) co_await s.delay(0.5 + 0.01 * id);
+      out = s.now();
+    }(sched, i, last));
+  }
+  sched.run();
+  EXPECT_NEAR(last, 50 * (0.5 + 0.01 * 99), 1e-9);
+}
+
+TEST(Scheduler, RunWithNoWorkIsNoop) {
+  Scheduler sched;
+  sched.run();
+  EXPECT_DOUBLE_EQ(sched.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace hetscale::des

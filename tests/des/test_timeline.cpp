@@ -1,0 +1,53 @@
+#include "hetscale/des/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::des {
+namespace {
+
+TEST(Timeline, IdleResourceStartsImmediately) {
+  Timeline t;
+  EXPECT_DOUBLE_EQ(t.reserve(5.0, 2.0), 7.0);
+  EXPECT_DOUBLE_EQ(t.free_at(), 7.0);
+}
+
+TEST(Timeline, BusyResourceQueuesFifo) {
+  Timeline t;
+  EXPECT_DOUBLE_EQ(t.reserve(0.0, 3.0), 3.0);
+  // Requested at t=1 while busy until 3: starts at 3, ends at 5.
+  EXPECT_DOUBLE_EQ(t.reserve(1.0, 2.0), 5.0);
+  // Requested at t=10 when already free: starts at 10.
+  EXPECT_DOUBLE_EQ(t.reserve(10.0, 1.0), 11.0);
+}
+
+TEST(Timeline, ZeroDurationReservationsAllowed) {
+  Timeline t;
+  EXPECT_DOUBLE_EQ(t.reserve(2.0, 0.0), 2.0);
+}
+
+TEST(Timeline, AccumulatesBusyTime) {
+  Timeline t;
+  t.reserve(0.0, 3.0);
+  t.reserve(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(t.busy_time(), 5.0);
+}
+
+TEST(Timeline, ResetClearsState) {
+  Timeline t;
+  t.reserve(0.0, 3.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.free_at(), 0.0);
+  EXPECT_DOUBLE_EQ(t.busy_time(), 0.0);
+  EXPECT_DOUBLE_EQ(t.reserve(1.0, 1.0), 2.0);
+}
+
+TEST(Timeline, NegativeInputsRejected) {
+  Timeline t;
+  EXPECT_THROW(t.reserve(-1.0, 1.0), PreconditionError);
+  EXPECT_THROW(t.reserve(1.0, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::des

@@ -1,0 +1,147 @@
+#include "hetscale/dist/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::dist {
+namespace {
+
+std::int64_t sum(const std::vector<std::int64_t>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), std::int64_t{0});
+}
+
+TEST(HetBlock, CountsSumToN) {
+  const std::vector<double> speeds{1.0, 2.0, 3.0};
+  for (std::int64_t n : {0, 1, 5, 6, 7, 100, 101}) {
+    EXPECT_EQ(sum(het_block_counts(speeds, n)), n) << "n=" << n;
+  }
+}
+
+TEST(HetBlock, ExactWhenProportionsAreIntegral) {
+  const std::vector<double> speeds{1.0, 2.0, 3.0};
+  EXPECT_EQ(het_block_counts(speeds, 6),
+            (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(het_block_counts(speeds, 60),
+            (std::vector<std::int64_t>{10, 20, 30}));
+}
+
+TEST(HetBlock, WithinOneOfIdealShare) {
+  const std::vector<double> speeds{26.0, 26.0, 27.5, 55.0};
+  const double total = 134.5;
+  for (std::int64_t n : {10, 97, 310, 1000}) {
+    const auto counts = het_block_counts(speeds, n);
+    for (std::size_t i = 0; i < speeds.size(); ++i) {
+      const double ideal = n * speeds[i] / total;
+      EXPECT_LT(std::abs(static_cast<double>(counts[i]) - ideal), 1.0);
+    }
+  }
+}
+
+TEST(HetBlock, EqualSpeedsGiveBalancedBlocks) {
+  const std::vector<double> speeds{1.0, 1.0, 1.0, 1.0};
+  const auto counts = het_block_counts(speeds, 10);
+  EXPECT_EQ(sum(counts), 10);
+  for (auto c : counts) EXPECT_TRUE(c == 2 || c == 3);
+}
+
+TEST(HetBlock, MatchesHomogeneousHelper) {
+  EXPECT_EQ(block_counts(4, 10),
+            het_block_counts(std::vector<double>{2, 2, 2, 2}, 10));
+}
+
+TEST(BlockOffsets, PrefixSums) {
+  const std::vector<std::int64_t> counts{3, 0, 2};
+  EXPECT_EQ(block_offsets(counts), (std::vector<std::int64_t>{0, 3, 3, 5}));
+}
+
+TEST(HetCyclic, EveryPrefixIsNearProportional) {
+  const std::vector<double> speeds{1.0, 3.0};
+  const auto owners = het_cyclic_owners(speeds, 100);
+  std::vector<std::int64_t> assigned(2, 0);
+  for (std::size_t j = 0; j < owners.size(); ++j) {
+    ++assigned[static_cast<std::size_t>(owners[j])];
+    // The GE property: after any prefix, shares stay within one item of
+    // proportionality, so remaining work stays balanced at every step.
+    const double total = static_cast<double>(j + 1);
+    EXPECT_LE(std::abs(assigned[0] - total * 0.25), 1.0 + 1e-9);
+    EXPECT_LE(std::abs(assigned[1] - total * 0.75), 1.0 + 1e-9);
+  }
+}
+
+TEST(HetCyclic, TotalsMatchBlockCounts) {
+  const std::vector<double> speeds{26.0, 27.5, 55.0};
+  const auto owners = het_cyclic_owners(speeds, 311);
+  const auto counts = counts_from_owners(owners, speeds.size());
+  const auto block = het_block_counts(speeds, 311);
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]),
+                static_cast<double>(block[i]), 1.0);
+  }
+}
+
+TEST(HetCyclic, EqualSpeedsGiveRoundRobin) {
+  const std::vector<double> speeds{1.0, 1.0, 1.0};
+  const auto owners = het_cyclic_owners(speeds, 9);
+  EXPECT_EQ(owners, (std::vector<int>{0, 1, 2, 0, 1, 2, 0, 1, 2}));
+}
+
+TEST(HetBlockCyclic, TilesThePattern) {
+  const std::vector<double> speeds{1.0, 1.0};
+  const auto owners = het_block_cyclic_owners(speeds, 8, 4);
+  ASSERT_EQ(owners.size(), 8u);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(owners[j], owners[j + 4]);
+}
+
+TEST(CyclicOwners, HomogeneousBlockCyclic) {
+  EXPECT_EQ(cyclic_owners(2, 8, 2),
+            (std::vector<int>{0, 0, 1, 1, 0, 0, 1, 1}));
+  EXPECT_EQ(cyclic_owners(3, 5, 1), (std::vector<int>{0, 1, 2, 0, 1}));
+}
+
+TEST(Imbalance, PerfectProportionalIsOne) {
+  const std::vector<double> speeds{1.0, 2.0, 3.0};
+  const std::vector<std::int64_t> counts{10, 20, 30};
+  EXPECT_NEAR(imbalance(speeds, counts), 1.0, 1e-12);
+}
+
+TEST(Imbalance, EqualSplitOnHeterogeneousSpeedsIsWorse) {
+  const std::vector<double> speeds{1.0, 3.0};
+  const std::vector<std::int64_t> equal{30, 30};
+  const std::vector<std::int64_t> proportional{15, 45};
+  EXPECT_GT(imbalance(speeds, equal), imbalance(speeds, proportional));
+  // Equal split: slowest does 30 items at speed 1 while ideal is 15 -> 2x.
+  EXPECT_NEAR(imbalance(speeds, equal), 2.0, 1e-12);
+}
+
+TEST(Imbalance, EmptyAssignmentIsNeutral) {
+  const std::vector<double> speeds{1.0, 2.0};
+  const std::vector<std::int64_t> counts{0, 0};
+  EXPECT_DOUBLE_EQ(imbalance(speeds, counts), 1.0);
+}
+
+TEST(Distribution, InvalidInputsRejected) {
+  const std::vector<double> empty;
+  EXPECT_THROW(het_block_counts(empty, 10), PreconditionError);
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(het_block_counts(negative, 10), PreconditionError);
+  const std::vector<double> ok{1.0};
+  EXPECT_THROW(het_block_counts(ok, -1), PreconditionError);
+  EXPECT_THROW(het_block_cyclic_owners(ok, 10, 0), PreconditionError);
+}
+
+TEST(ColumnTiling, AliasesHetBlock) {
+  const std::vector<double> speeds{2.0, 3.0};
+  EXPECT_EQ(column_tiling_counts(speeds, 10), het_block_counts(speeds, 10));
+}
+
+TEST(CountsFromOwners, RejectsOutOfRangeOwner) {
+  const std::vector<int> owners{0, 1, 2};
+  EXPECT_THROW(counts_from_owners(owners, 2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::dist

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hetscale/kernels/blas1.hpp"
+#include "hetscale/kernels/flops.hpp"
+#include "hetscale/numeric/linsolve.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::kernels {
+namespace {
+
+TEST(Blas1, AxpyAccumulates) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{10, 20, 30};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+}
+
+TEST(Blas1, AxpyLengthMismatchThrows) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{1};
+  EXPECT_THROW(axpy(1.0, x, y), PreconditionError);
+}
+
+TEST(Blas1, DotProduct) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+}
+
+TEST(Blas1, ScaleInPlace) {
+  std::vector<double> x{1, -2, 4};
+  scale(0.5, x);
+  EXPECT_EQ(x, (std::vector<double>{0.5, -1, 2}));
+}
+
+TEST(Blas1, EliminateRowZeroesLeadAndUpdatesRhs) {
+  // pivot row (normalized, unit lead): [1, 2], rhs 3.
+  std::vector<double> pivot{1.0, 2.0};
+  std::vector<double> row{4.0, 5.0};
+  double rhs = 6.0;
+  const double factor = eliminate_row(pivot, 3.0, row, rhs, 0);
+  EXPECT_DOUBLE_EQ(factor, 4.0);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+  EXPECT_DOUBLE_EQ(row[1], 5.0 - 4.0 * 2.0);
+  EXPECT_DOUBLE_EQ(rhs, 6.0 - 4.0 * 3.0);
+}
+
+TEST(Blas1, EliminateRowWithZeroFactorIsNoop) {
+  std::vector<double> pivot{1.0, 2.0};
+  std::vector<double> row{0.0, 7.0};
+  double rhs = 1.0;
+  eliminate_row(pivot, 3.0, row, rhs, 0);
+  EXPECT_DOUBLE_EQ(row[1], 7.0);
+  EXPECT_DOUBLE_EQ(rhs, 1.0);
+}
+
+TEST(Flops, GeStepAccountingSumsToWorkload) {
+  // Σ_i [normalize + (N-1-i) eliminations] + backsub == ge_workload(N),
+  // the audit that guarantees the simulator charges the paper's W(N).
+  for (std::int64_t n : {1, 2, 3, 5, 17, 64, 200}) {
+    double total = ge_backsub_flops(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      total += ge_normalize_flops(n, i);
+      total += static_cast<double>(n - 1 - i) * ge_eliminate_row_flops(n, i);
+    }
+    EXPECT_DOUBLE_EQ(total, numeric::ge_workload(static_cast<double>(n)))
+        << "n=" << n;
+  }
+}
+
+TEST(Flops, MmRowsSumToWorkload) {
+  const std::int64_t n = 50;
+  EXPECT_DOUBLE_EQ(mm_rows_flops(n, n),
+                   numeric::mm_workload(static_cast<double>(n)));
+  // Any split over ranks sums to the same total.
+  EXPECT_DOUBLE_EQ(mm_rows_flops(n, 20) + mm_rows_flops(n, 30),
+                   mm_rows_flops(n, 50));
+}
+
+TEST(Flops, JacobiSweepLinearInRows) {
+  EXPECT_DOUBLE_EQ(jacobi_sweep_flops(100, 3) + jacobi_sweep_flops(100, 7),
+                   jacobi_sweep_flops(100, 10));
+}
+
+}  // namespace
+}  // namespace hetscale::kernels

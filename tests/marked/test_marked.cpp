@@ -1,0 +1,99 @@
+#include "hetscale/marked/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetscale/machine/sunwulf.hpp"
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/units.hpp"
+
+namespace hetscale::marked {
+namespace {
+
+using machine::sunwulf::server_spec;
+using machine::sunwulf::sunblade_spec;
+using machine::sunwulf::v210_spec;
+
+TEST(Marked, SuiteRunsEveryKernel) {
+  const auto results = run_suite(sunblade_spec());
+  ASSERT_EQ(results.size(), kKernelNames.size());
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    EXPECT_EQ(results[k].kernel, kKernelNames[k]);
+    EXPECT_GT(results[k].seconds, 0.0);
+    EXPECT_GT(results[k].rate_flops, 0.0);
+  }
+}
+
+TEST(Marked, MeasuredRatesReflectPerKernelBias) {
+  const auto spec = sunblade_spec();
+  const auto results = run_suite(spec);
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    EXPECT_NEAR(results[k].rate_flops,
+                spec.cpu_rate_flops * spec.benchmark_bias[k],
+                1e-3 * spec.cpu_rate_flops)
+        << results[k].kernel;
+  }
+}
+
+TEST(Marked, MarkedSpeedIsSustainedAverage) {
+  // Biases average to 1 for the Sunwulf specs, so the marked speed lands on
+  // the nominal rate — "a (benchmarked) sustained speed of that node".
+  EXPECT_NEAR(node_marked_speed(sunblade_spec()),
+              sunblade_spec().cpu_rate_flops, 1e-3 * units::mflops(1));
+}
+
+TEST(Marked, MarkedSpeedIsDeterministic) {
+  EXPECT_DOUBLE_EQ(node_marked_speed(v210_spec()),
+                   node_marked_speed(v210_spec()));
+}
+
+TEST(Marked, V210OutpacesSunBlade) {
+  EXPECT_GT(node_marked_speed(v210_spec()),
+            1.5 * node_marked_speed(sunblade_spec()));
+}
+
+TEST(Marked, SystemMarkedSpeedSumsUsedProcessors) {
+  // The paper's worked example shape: server(1cpu) + blade + 2x V210(1cpu)
+  // has C equal to the sum of the four per-CPU marked speeds.
+  machine::Cluster cluster;
+  cluster.add_node("sunwulf", server_spec(), 1);
+  cluster.add_node("hpc-1", sunblade_spec());
+  cluster.add_node("hpc-65", v210_spec(), 1);
+  cluster.add_node("hpc-66", v210_spec(), 1);
+  const double expected =
+      node_marked_speed(server_spec()) + node_marked_speed(sunblade_spec()) +
+      2.0 * node_marked_speed(v210_spec());
+  EXPECT_NEAR(system_marked_speed(cluster), expected, 1.0);
+}
+
+TEST(Marked, RankSpeedsFollowProcessorOrder) {
+  machine::Cluster cluster;
+  cluster.add_node("sunwulf", server_spec(), 2);
+  cluster.add_node("hpc-1", sunblade_spec());
+  const auto speeds = rank_marked_speeds(cluster);
+  ASSERT_EQ(speeds.size(), 3u);
+  EXPECT_DOUBLE_EQ(speeds[0], speeds[1]);  // two server CPUs
+  EXPECT_NE(speeds[0], speeds[2]);
+}
+
+TEST(Marked, ScaleChangesRuntimeNotRate) {
+  const auto small = run_suite(sunblade_spec(), 1.0);
+  const auto big = run_suite(sunblade_spec(), 2.0);
+  for (std::size_t k = 0; k < small.size(); ++k) {
+    EXPECT_NEAR(big[k].seconds, 2.0 * small[k].seconds, 1e-9);
+    EXPECT_NEAR(big[k].rate_flops, small[k].rate_flops, 1e-3);
+  }
+}
+
+TEST(Marked, MismatchedBiasVectorRejected) {
+  auto spec = sunblade_spec();
+  spec.benchmark_bias = {1.0, 1.0};  // suite has 5 kernels
+  EXPECT_THROW(run_suite(spec), PreconditionError);
+}
+
+TEST(Marked, KernelFlopsScaleValidated) {
+  EXPECT_THROW(kernel_flops(0.0), PreconditionError);
+  EXPECT_THROW(kernel_flops(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::marked

@@ -1,0 +1,96 @@
+#include "hetscale/numeric/linsolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetscale/numeric/matrix.hpp"
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/rng.hpp"
+
+namespace hetscale::numeric {
+namespace {
+
+TEST(Linsolve, SolvesKnownSystem) {
+  //  2x + y = 5
+  //   x + 3y = 10  ->  x = 1, y = 3
+  Matrix a(2, 2, {2, 1, 1, 3});
+  const auto x = solve_dense(a, {5, 10});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linsolve, PartialPivotingHandlesZeroLeadingPivot) {
+  Matrix a(2, 2, {0, 1, 1, 0});
+  const auto x = solve_dense(a, {2, 3}, Pivoting::kPartial);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Linsolve, NoPivotingThrowsOnZeroPivot) {
+  Matrix a(2, 2, {0, 1, 1, 0});
+  EXPECT_THROW(solve_dense(a, {2, 3}, Pivoting::kNone), NumericError);
+}
+
+TEST(Linsolve, SingularMatrixThrows) {
+  Matrix a(2, 2, {1, 2, 2, 4});
+  EXPECT_THROW(solve_dense(a, {1, 2}, Pivoting::kPartial), NumericError);
+}
+
+class LinsolveRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LinsolveRandom, ResidualIsTinyOnDiagonallyDominantSystems) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  const Matrix a = Matrix::random_diagonally_dominant(n, rng);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const auto x = solve_dense(a, b, Pivoting::kNone);
+  EXPECT_LT(residual_inf_norm(a, x, b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinsolveRandom,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64, 100));
+
+TEST(Linsolve, ForwardEliminationProducesUnitDiagonal) {
+  Rng rng(77);
+  Matrix a = Matrix::random_diagonally_dominant(6, rng);
+  std::vector<double> b(6, 1.0);
+  forward_eliminate(a, b, Pivoting::kNone);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(a(i, i), 1.0, 1e-12);
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_NEAR(a(i, j), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Linsolve, BackSubstituteSolvesUpperTriangular) {
+  Matrix u(3, 3, {1, 1, 1, 0, 1, 2, 0, 0, 1});
+  const auto x = back_substitute(u, std::vector<double>{6, 5, 1});
+  EXPECT_NEAR(x[2], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+}
+
+TEST(Workload, GeWorkloadMatchesClosedForm) {
+  // W(N) = 2/3 N^3 + 5/2 N^2 - N/6; spot checks at small N computed by hand
+  // from the per-step accounting (see linsolve.hpp).
+  EXPECT_DOUBLE_EQ(ge_workload(1), 3.0);  // normalize(2) + backsub(1)
+  EXPECT_NEAR(ge_workload(2), (2.0 / 3) * 8 + 2.5 * 4 - 2.0 / 6, 1e-12);
+}
+
+TEST(Workload, MmWorkloadIsTwoNCubed) {
+  EXPECT_DOUBLE_EQ(mm_workload(10), 2000.0);
+}
+
+TEST(Workload, GeWorkloadIsMonotone) {
+  double prev = 0.0;
+  for (double n = 1; n <= 1000; n *= 2) {
+    const double w = ge_workload(n);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+}  // namespace
+}  // namespace hetscale::numeric

@@ -1,0 +1,72 @@
+#include "hetscale/numeric/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetscale/numeric/matrix.hpp"
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/rng.hpp"
+
+namespace hetscale::numeric {
+namespace {
+
+TEST(Matmul, KnownProduct) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {5, 6, 7, 8});
+  const Matrix c = multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  Rng rng(3);
+  const Matrix a = Matrix::random(5, 5, rng);
+  EXPECT_LT(max_abs_diff(multiply(a, Matrix::identity(5)), a), 1e-15);
+  EXPECT_LT(max_abs_diff(multiply(Matrix::identity(5), a), a), 1e-15);
+}
+
+TEST(Matmul, RectangularShapes) {
+  Matrix a(2, 3, {1, 0, 2, 0, 1, 1});
+  Matrix b(3, 1, {1, 2, 3});
+  const Matrix c = multiply(a, b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 5.0);
+}
+
+TEST(Matmul, InnerDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 2);
+  EXPECT_THROW(multiply(a, b), PreconditionError);
+}
+
+TEST(Matmul, RowSliceMatchesFullProduct) {
+  Rng rng(4);
+  const Matrix a = Matrix::random(7, 7, rng);
+  const Matrix b = Matrix::random(7, 7, rng);
+  const Matrix full = multiply(a, b);
+  const Matrix slice = multiply_rows(a, b, 2, 5);
+  ASSERT_EQ(slice.rows(), 3u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 7; ++c)
+      EXPECT_DOUBLE_EQ(slice(r, c), full(r + 2, c));
+}
+
+TEST(Matmul, EmptyRowSliceAllowed) {
+  Matrix a(3, 3);
+  Matrix b(3, 3);
+  const Matrix c = multiply_rows(a, b, 1, 1);
+  EXPECT_EQ(c.rows(), 0u);
+}
+
+TEST(Matmul, RowSliceOutOfRangeThrows) {
+  Matrix a(3, 3);
+  Matrix b(3, 3);
+  EXPECT_THROW(multiply_rows(a, b, 2, 4), PreconditionError);
+  EXPECT_THROW(multiply_rows(a, b, 2, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::numeric

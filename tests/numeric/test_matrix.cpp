@@ -1,0 +1,99 @@
+#include "hetscale/numeric/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/rng.hpp"
+
+namespace hetscale::numeric {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, ConstructFromData) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, ConstructRejectsSizeMismatch) {
+  EXPECT_THROW(Matrix(2, 2, {1, 2, 3}), PreconditionError);
+}
+
+TEST(Matrix, IndexOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), PreconditionError);
+  EXPECT_THROW(m(0, 2), PreconditionError);
+}
+
+TEST(Matrix, RowSpanIsMutableView) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 42.0;
+  EXPECT_EQ(m(1, 2), 42.0);
+}
+
+TEST(Matrix, IdentityHasUnitDiagonal) {
+  const Matrix id = Matrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, RandomIsSeedDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_TRUE(Matrix::random(3, 3, a) == Matrix::random(3, 3, b));
+}
+
+TEST(Matrix, DiagonallyDominantByConstruction) {
+  Rng rng(6);
+  const Matrix m = Matrix::random_diagonally_dominant(8, rng);
+  for (std::size_t i = 0; i < 8; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < 8; ++j)
+      if (j != i) off += std::abs(m(i, j));
+    EXPECT_GT(std::abs(m(i, i)), off);
+  }
+}
+
+TEST(Matrix, MatVecMatchesHandComputation) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const std::vector<double> x{1, 1, 1};
+  const auto y = mat_vec(m, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, ResidualOfExactSolutionIsZero) {
+  Matrix m(2, 2, {2, 0, 0, 4});
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> b{2.0, 8.0};
+  EXPECT_DOUBLE_EQ(residual_inf_norm(m, x, b), 0.0);
+}
+
+TEST(Matrix, MaxAbsDiffDetectsWorstEntry) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {1, 2.5, 3, 3});
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+}
+
+TEST(Matrix, MaxAbsDiffRejectsShapeMismatch) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(max_abs_diff(a, b), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::numeric

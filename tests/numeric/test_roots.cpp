@@ -1,0 +1,71 @@
+#include "hetscale/numeric/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::numeric {
+namespace {
+
+TEST(Bisect, FindsSqrtTwo) {
+  const double root = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-8);
+}
+
+TEST(Bisect, ExactEndpointRootReturned) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Bisect, UnbracketedThrows) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               NumericError);
+}
+
+TEST(Bisect, DecreasingFunctionWorks) {
+  const double root =
+      bisect([](double x) { return 3.0 - x; }, 0.0, 10.0);
+  EXPECT_NEAR(root, 3.0, 1e-8);
+}
+
+TEST(FirstAtLeast, FindsThresholdOnStepFunction) {
+  auto f = [](std::int64_t n) { return n >= 37 ? 1.0 : 0.0; };
+  EXPECT_EQ(first_at_least(f, 0.5, 1, 1000), 37);
+}
+
+TEST(FirstAtLeast, LoAlreadySatisfies) {
+  auto f = [](std::int64_t n) { return static_cast<double>(n); };
+  EXPECT_EQ(first_at_least(f, 1.0, 5, 1000), 5);
+}
+
+TEST(FirstAtLeast, UnreachableReturnsMinusOne) {
+  auto f = [](std::int64_t) { return 0.0; };
+  EXPECT_EQ(first_at_least(f, 1.0, 1, 100), -1);
+}
+
+TEST(FirstAtLeast, LogarithmicEvaluationCount) {
+  int calls = 0;
+  auto f = [&calls](std::int64_t n) {
+    ++calls;
+    return static_cast<double>(n);
+  };
+  EXPECT_EQ(first_at_least(f, 700.0, 1, 1 << 20), 700);
+  EXPECT_LT(calls, 30);
+}
+
+TEST(BracketAndBisect, ExpandsToFindDistantRoot) {
+  const double root = bracket_and_bisect(
+      [](double x) { return x - 5000.0; }, 1.0, 2.0, 1e6);
+  EXPECT_NEAR(root, 5000.0, 1e-6);
+}
+
+TEST(BracketAndBisect, FailsBeyondLimit) {
+  EXPECT_THROW(bracket_and_bisect([](double x) { return x - 5000.0; }, 1.0,
+                                  2.0, 100.0),
+               NumericError);
+}
+
+}  // namespace
+}  // namespace hetscale::numeric

@@ -1,0 +1,192 @@
+#include "hetscale/predict/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetscale/numeric/linsolve.hpp"
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/units.hpp"
+
+namespace hetscale::predict {
+namespace {
+
+CommModel sample_comm() {
+  CommModel comm;
+  comm.send_alpha_s = 1.2e-4;
+  comm.send_beta_s_per_byte = 8e-8;  // ~12.5 MB/s
+  comm.bcast_const_s = 1e-4;
+  comm.bcast_alpha_s = 3e-5;
+  comm.bcast_beta_s_per_byte = 8e-8;
+  comm.bcast_large_const_s = 2e-4;
+  comm.bcast_large_alpha_s = 1.4e-4;   // ~2(o + L) per extra rank
+  comm.bcast_large_beta_s_per_byte = 1.6e-7;  // ~2/B
+  comm.barrier_const_s = 2.2e-4;
+  comm.barrier_unit_s = 2.4e-5;
+  return comm;
+}
+
+SystemModel sample_system(int p) {
+  SystemModel system;
+  system.p = p;
+  system.marked_speed = p * units::mflops(27.5);
+  system.root_speed = units::mflops(26.0);
+  system.comm = sample_comm();
+  return system;
+}
+
+TEST(CommModel, AffineForms) {
+  const auto comm = sample_comm();
+  EXPECT_DOUBLE_EQ(comm.t_send(0.0), comm.send_alpha_s);
+  EXPECT_DOUBLE_EQ(comm.t_send(1e6), comm.send_alpha_s + 8e-2);
+  EXPECT_DOUBLE_EQ(comm.t_bcast(5, 100.0),
+                   comm.bcast_const_s + 4.0 * (comm.bcast_alpha_s + 8e-6));
+  EXPECT_DOUBLE_EQ(comm.t_barrier(9),
+                   comm.barrier_const_s + 8.0 * comm.barrier_unit_s);
+  // Degenerate single-process system: collectives are free.
+  EXPECT_DOUBLE_EQ(comm.t_bcast(1, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(comm.t_barrier(1), 0.0);
+}
+
+TEST(GeModel, WorkMatchesLibraryPolynomial) {
+  GeOverheadModel model;
+  EXPECT_DOUBLE_EQ(model.work(200), numeric::ge_workload(200.0));
+  EXPECT_DOUBLE_EQ(model.sequential_flops(200), 200.0 * 200.0);
+}
+
+TEST(GeModel, OverheadGrowsWithNAndP) {
+  GeOverheadModel model;
+  const auto s4 = sample_system(4);
+  const auto s8 = sample_system(8);
+  EXPECT_GT(model.overhead(200, s4), model.overhead(100, s4));
+  EXPECT_GT(model.overhead(200, s8), model.overhead(200, s4));
+}
+
+TEST(GeModel, SequentialTimeUsesRootSpeed) {
+  GeOverheadModel model;
+  const auto system = sample_system(4);
+  EXPECT_DOUBLE_EQ(model.sequential_time(100, system),
+                   1e4 / units::mflops(26.0));
+}
+
+TEST(MmModel, PerfectlyParallel) {
+  MmOverheadModel model;
+  EXPECT_DOUBLE_EQ(model.sequential_flops(500), 0.0);
+  EXPECT_DOUBLE_EQ(model.work(10), 2000.0);
+}
+
+TEST(MmModel, UsesShortBcastLawBelowThreshold) {
+  // 8N² below the threshold must use the flat law; the long law's affine
+  // extrapolation is never consulted there (it can go negative at small
+  // p·m, which used to crash Corollary 2 at p = 2).
+  MmOverheadModel model;
+  auto system = sample_system(2);
+  system.comm.bcast_large_const_s = -1.0;  // poison the long law
+  const double small_n = 30.0;  // 8*900 = 7.2 KB < 12288
+  EXPECT_GT(model.overhead(small_n, system), 0.0);
+}
+
+TEST(MmModel, OverheadNeverNegative) {
+  MmOverheadModel model;
+  auto system = sample_system(2);
+  system.comm.bcast_large_const_s = -10.0;
+  system.comm.bcast_large_alpha_s = 0.0;
+  system.comm.bcast_large_beta_s_per_byte = 0.0;
+  for (double n : {50.0, 100.0, 400.0}) {
+    EXPECT_GE(model.overhead(n, system), 0.0) << n;
+  }
+}
+
+TEST(GeModel, ThresholdSplitsPivotBroadcastLaws) {
+  // Above N = threshold/8 some steps use the long law: raising the long
+  // law's cost must raise the overhead only for such N.
+  GeOverheadModel model;
+  auto cheap = sample_system(4);
+  auto dear = sample_system(4);
+  dear.comm.bcast_large_alpha_s *= 10.0;
+  const double below = 1000.0;  // all rows < 12288 bytes
+  const double above = 4000.0;  // rows up to 32 KB
+  EXPECT_DOUBLE_EQ(model.overhead(below, cheap),
+                   model.overhead(below, dear));
+  EXPECT_LT(model.overhead(above, cheap), model.overhead(above, dear));
+}
+
+TEST(Predicted, TimeDecomposesConsistently) {
+  GeOverheadModel model;
+  const auto system = sample_system(4);
+  const double n = 300;
+  const double t = predicted_time(model, system, n);
+  const double parts = (model.work(n) - model.sequential_flops(n)) /
+                           system.marked_speed +
+                       model.sequential_time(n, system) +
+                       model.overhead(n, system);
+  EXPECT_DOUBLE_EQ(t, parts);
+}
+
+TEST(Predicted, EfficiencyIncreasesWithN) {
+  GeOverheadModel model;
+  const auto system = sample_system(4);
+  double prev = 0.0;
+  for (double n : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+    const double es = predicted_speed_efficiency(model, system, n);
+    EXPECT_GT(es, prev);
+    prev = es;
+  }
+  EXPECT_LT(prev, 1.0);
+}
+
+TEST(Predicted, RequiredSizeHitsTheTarget) {
+  GeOverheadModel model;
+  const auto system = sample_system(4);
+  const auto n = predicted_required_size(model, system, 0.3);
+  EXPECT_GT(n, 0);
+  // ceil() rounding: at n the target is met, just below it is not.
+  EXPECT_GE(predicted_speed_efficiency(model, system,
+                                       static_cast<double>(n)) +
+                1e-9,
+            0.3);
+  EXPECT_LT(predicted_speed_efficiency(model, system,
+                                       static_cast<double>(n) - 2.0),
+            0.3);
+}
+
+TEST(Predicted, RequiredSizeGrowsWithSystem) {
+  GeOverheadModel model;
+  const auto n4 = predicted_required_size(model, sample_system(4), 0.3);
+  const auto n8 = predicted_required_size(model, sample_system(8), 0.3);
+  EXPECT_GT(n8, n4);
+}
+
+TEST(Predicted, ScalabilityBetweenZeroAndOne) {
+  GeOverheadModel model;
+  const double psi =
+      predicted_scalability(model, sample_system(3), sample_system(5), 0.3);
+  EXPECT_GT(psi, 0.0);
+  EXPECT_LT(psi, 1.0);
+}
+
+TEST(Predicted, IdenticalSystemsScalePerfectly) {
+  GeOverheadModel model;
+  const double psi =
+      predicted_scalability(model, sample_system(4), sample_system(4), 0.3);
+  EXPECT_DOUBLE_EQ(psi, 1.0);
+}
+
+TEST(Predicted, MmMoreScalableThanGe) {
+  // The paper's §4.4.3 comparison, in the analytic model.
+  GeOverheadModel ge;
+  MmOverheadModel mm;
+  const auto from = sample_system(3);
+  const auto to = sample_system(9);
+  EXPECT_GT(predicted_scalability(mm, from, to, 0.3),
+            predicted_scalability(ge, from, to, 0.3));
+}
+
+TEST(Predicted, InvalidTargetRejected) {
+  GeOverheadModel model;
+  EXPECT_THROW(predicted_required_size(model, sample_system(4), 0.0),
+               PreconditionError);
+  EXPECT_THROW(predicted_required_size(model, sample_system(4), 1.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::predict

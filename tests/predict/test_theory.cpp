@@ -1,0 +1,59 @@
+#include "hetscale/predict/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetscale/scal/metrics.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::predict {
+namespace {
+
+TEST(Theory, Theorem1BasicRatio) {
+  EXPECT_DOUBLE_EQ(theorem1_scalability(1.0, 3.0, 2.0, 6.0), 0.5);
+}
+
+TEST(Theory, Corollary1ConstantOverheadPerfectlyParallelGivesOne) {
+  // α = 0 (t0 = t0' = 0) and To = To' -> ψ = 1.
+  EXPECT_DOUBLE_EQ(theorem1_scalability(0.0, 2.5, 0.0, 2.5), 1.0);
+}
+
+TEST(Theory, Corollary2IsTheorem1WithZeroSequentialTime) {
+  EXPECT_DOUBLE_EQ(corollary2_scalability(2.0, 5.0),
+                   theorem1_scalability(0.0, 2.0, 0.0, 5.0));
+  EXPECT_DOUBLE_EQ(corollary2_scalability(2.0, 5.0), 0.4);
+}
+
+TEST(Theory, GrowingOverheadMeansPsiBelowOne) {
+  EXPECT_LT(theorem1_scalability(0.1, 1.0, 0.2, 2.0), 1.0);
+}
+
+TEST(Theory, ScaledWorkIsConsistentWithPsiDefinition) {
+  // ψ from Theorem 1 must equal ψ = C·W / (C'·W') ... i.e. the W' implied
+  // by the theorem plugged into the definition recovers the same ψ.
+  const double w = 1e9;
+  const double c = 1e8;
+  const double c2 = 3e8;
+  const double t0 = 0.5;
+  const double to = 1.5;
+  const double t02 = 0.8;
+  const double to2 = 2.2;
+  const double w2 = theorem1_scaled_work(w, c, t0, to, c2, t02, to2);
+  EXPECT_NEAR(scal::isospeed_efficiency_scalability(c, w, c2, w2),
+              theorem1_scalability(t0, to, t02, to2), 1e-12);
+}
+
+TEST(Theory, ScaledWorkIdealCase) {
+  // Same t0 + To on both systems: W' = W·C'/C (the ideal).
+  EXPECT_DOUBLE_EQ(theorem1_scaled_work(1e9, 1e8, 0.0, 1.0, 2e8, 0.0, 1.0),
+                   2e9);
+}
+
+TEST(Theory, InvalidInputsRejected) {
+  EXPECT_THROW(theorem1_scalability(-1.0, 1.0, 1.0, 1.0), PreconditionError);
+  EXPECT_THROW(theorem1_scalability(0.0, 1.0, 0.0, 0.0), PreconditionError);
+  EXPECT_THROW(theorem1_scaled_work(0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::predict

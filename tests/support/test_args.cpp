@@ -1,0 +1,95 @@
+#include "hetscale/support/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale {
+namespace {
+
+TEST(Args, ParsesSeparateAndInlineValues) {
+  ArgParser args;
+  args.add_flag("name", "a name").add_flag("count", "a count");
+  args.parse({"--name", "alpha", "--count=7"});
+  EXPECT_EQ(args.get("name"), "alpha");
+  EXPECT_EQ(args.get_int("count", 0), 7);
+}
+
+TEST(Args, BooleanFlags) {
+  ArgParser args;
+  args.add_bool("verbose", "talk more");
+  args.parse({"--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  ArgParser bare;
+  bare.add_bool("verbose", "talk more");
+  bare.parse(std::vector<std::string>{});
+  EXPECT_FALSE(bare.has("verbose"));
+}
+
+TEST(Args, PositionalArgumentsPreserved) {
+  ArgParser args;
+  args.add_flag("x", "x");
+  args.parse({"solve", "--x", "1", "extra"});
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"solve", "extra"}));
+}
+
+TEST(Args, DefaultsApply) {
+  ArgParser args;
+  args.add_flag("target", "the target", "0.3");
+  args.parse(std::vector<std::string>{});
+  EXPECT_EQ(args.get("target"), "0.3");
+  EXPECT_DOUBLE_EQ(args.get_double("target", -1), -1);  // not provided
+  EXPECT_EQ(args.get_or("target", "zz"), "zz");
+}
+
+TEST(Args, UnknownFlagRejected) {
+  ArgParser args;
+  args.add_flag("known", "known");
+  EXPECT_THROW(args.parse({"--unknown", "1"}), PreconditionError);
+}
+
+TEST(Args, MissingValueRejected) {
+  ArgParser args;
+  args.add_flag("name", "a name");
+  EXPECT_THROW(args.parse({"--name"}), PreconditionError);
+}
+
+TEST(Args, BooleanWithValueRejected) {
+  ArgParser args;
+  args.add_bool("verbose", "talk more");
+  EXPECT_THROW(args.parse({"--verbose=yes"}), PreconditionError);
+}
+
+TEST(Args, RequiredFlagMissingThrows) {
+  ArgParser args;
+  args.add_flag("needed", "no default");
+  args.parse(std::vector<std::string>{});
+  EXPECT_THROW(args.get("needed"), PreconditionError);
+}
+
+TEST(Args, NumericValidation) {
+  ArgParser args;
+  args.add_flag("x", "x");
+  args.parse({"--x", "12abc"});
+  EXPECT_THROW(args.get_int("x", 0), PreconditionError);
+  EXPECT_THROW(args.get_double("x", 0), PreconditionError);
+}
+
+TEST(Args, HelpListsFlags) {
+  ArgParser args;
+  args.add_flag("target", "the target", "0.3").add_bool("quiet", "hush");
+  const auto text = args.help("prog");
+  EXPECT_NE(text.find("--target"), std::string::npos);
+  EXPECT_NE(text.find("default: 0.3"), std::string::npos);
+  EXPECT_NE(text.find("--quiet"), std::string::npos);
+}
+
+TEST(Split, SplitsAndTrims) {
+  EXPECT_EQ(split("a, b ,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), std::vector<std::string>{});
+  EXPECT_EQ(split("one", ','), std::vector<std::string>{"one"});
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace hetscale

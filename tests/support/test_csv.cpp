@@ -1,0 +1,35 @@
+#include "hetscale/support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale {
+namespace {
+
+TEST(Csv, EmitsHeaderAndRows) {
+  CsvWriter csv({"n", "es"});
+  csv.add_row({"100", "0.25"});
+  csv.add_row({"200", "0.31"});
+  EXPECT_EQ(csv.str(), "n,es\n100,0.25\n200,0.31\n");
+}
+
+TEST(Csv, RowWidthEnforced) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), PreconditionError);
+  EXPECT_THROW(csv.add_row({"1", "2", "3"}), PreconditionError);
+}
+
+TEST(Csv, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, EmptyHeaderRejected) {
+  EXPECT_THROW(CsvWriter({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale

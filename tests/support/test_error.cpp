@@ -1,0 +1,46 @@
+#include "hetscale/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetscale {
+namespace {
+
+void guarded(int value) {
+  HETSCALE_REQUIRE(value >= 0, "value must be non-negative");
+}
+
+void checked(bool ok) { HETSCALE_CHECK(ok, "invariant broken"); }
+
+TEST(Error, RequirePassesOnValidInput) {
+  EXPECT_NO_THROW(guarded(0));
+  EXPECT_NO_THROW(guarded(17));
+}
+
+TEST(Error, RequireThrowsPreconditionError) {
+  EXPECT_THROW(guarded(-1), PreconditionError);
+}
+
+TEST(Error, CheckThrowsModelError) {
+  EXPECT_NO_THROW(checked(true));
+  EXPECT_THROW(checked(false), ModelError);
+}
+
+TEST(Error, MessageCarriesExpressionAndContext) {
+  try {
+    guarded(-5);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("value >= 0"), std::string::npos);
+    EXPECT_NE(what.find("non-negative"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyRootsAtError) {
+  EXPECT_THROW(guarded(-1), Error);
+  EXPECT_THROW(checked(false), Error);
+  EXPECT_THROW(throw NumericError("singular"), Error);
+}
+
+}  // namespace
+}  // namespace hetscale

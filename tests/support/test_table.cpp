@@ -1,0 +1,55 @@
+#include "hetscale/support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale {
+namespace {
+
+TEST(Table, RendersTitleHeaderAndRows) {
+  Table t("Table X  Demo");
+  t.set_header({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("Table X  Demo"), std::string::npos);
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t;
+  t.set_header({"A", "B"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y", "2"});
+  const std::string out = t.str();
+  // Both value columns must start at the same offset within their lines.
+  const auto line_with = [&](const std::string& needle) {
+    const auto pos = out.find(needle);
+    const auto start = out.rfind('\n', pos) + 1;
+    return pos - start;
+  };
+  EXPECT_EQ(line_with("1"), line_with("2"));
+}
+
+TEST(Table, RowWidthMustMatchHeader) {
+  Table t;
+  t.set_header({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+}
+
+TEST(Table, NumTrimsTrailingZeros) {
+  EXPECT_EQ(Table::num(3.14, 4), "3.14");
+  EXPECT_EQ(Table::num(2.0, 4), "2");
+  EXPECT_EQ(Table::num(0.5, 2), "0.5");
+}
+
+TEST(Table, FixedKeepsExactDecimals) {
+  EXPECT_EQ(Table::fixed(0.8766, 3), "0.877");
+  EXPECT_EQ(Table::fixed(1.0, 2), "1.00");
+}
+
+}  // namespace
+}  // namespace hetscale

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hetscale/support/units.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace hetscale::vmpi {
+namespace {
+
+using des::Task;
+
+machine::Cluster test_cluster(int nodes) {
+  machine::Cluster cluster;
+  for (int i = 0; i < nodes; ++i) {
+    cluster.add_node(
+        "n" + std::to_string(i),
+        machine::NodeSpec{"Test", 1, units::mflops(50.0), 1e9, 4e8, {1.0}});
+  }
+  return cluster;
+}
+
+/// Runs one bcast of `bytes` from `root` under the given tuning and checks
+/// every rank got the payload; returns completion time (max over ranks).
+double run_bcast(int p, int root, double bytes,
+                 const CollectiveTuning& tuning) {
+  auto machine = Machine::switched(test_cluster(p));
+  machine.set_tuning(tuning);
+  auto latest = std::make_shared<double>(0.0);
+  auto sum = std::make_shared<int>(0);
+  machine.run([root, bytes, latest, sum](Comm& comm) -> Task<void> {
+    std::any payload;
+    if (comm.rank() == root) payload = 777;
+    const std::any out = co_await comm.bcast(root, bytes, std::move(payload));
+    *sum += std::any_cast<int>(out);
+    *latest = std::max(*latest, comm.now());
+  });
+  EXPECT_EQ(*sum, 777 * p);
+  return *latest;
+}
+
+struct BcastCase {
+  int p;
+  int root;
+};
+
+class BcastAlgorithms : public ::testing::TestWithParam<BcastCase> {};
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BcastAlgorithms,
+    ::testing::Values(BcastCase{2, 0}, BcastCase{3, 2}, BcastCase{7, 0},
+                      BcastCase{8, 5}, BcastCase{16, 0}, BcastCase{17, 16}));
+
+TEST_P(BcastAlgorithms, FlatTreeDeliversFromAnyRoot) {
+  CollectiveTuning tuning;
+  tuning.small_bcast = BcastAlgorithm::kFlatTree;
+  run_bcast(GetParam().p, GetParam().root, 1e3, tuning);
+}
+
+TEST_P(BcastAlgorithms, BinomialTreeDeliversFromAnyRoot) {
+  CollectiveTuning tuning;
+  tuning.small_bcast = BcastAlgorithm::kBinomialTree;
+  run_bcast(GetParam().p, GetParam().root, 1e3, tuning);
+}
+
+TEST_P(BcastAlgorithms, LargeMessagePathDeliversFromAnyRoot) {
+  CollectiveTuning tuning;
+  tuning.large_bcast_threshold_bytes = 100.0;  // force the vdG path
+  run_bcast(GetParam().p, GetParam().root, 1e3, tuning);
+}
+
+TEST(BcastAlgorithms, BinomialBeatsFlatAtScaleOnSwitch) {
+  CollectiveTuning flat;
+  flat.small_bcast = BcastAlgorithm::kFlatTree;
+  CollectiveTuning binomial;
+  binomial.small_bcast = BcastAlgorithm::kBinomialTree;
+  const double t_flat = run_bcast(32, 0, 4e3, flat);
+  const double t_binomial = run_bcast(32, 0, 4e3, binomial);
+  EXPECT_LT(t_binomial, 0.5 * t_flat);  // log p vs p rounds
+}
+
+TEST(BcastAlgorithms, BinomialScalesLogarithmically) {
+  CollectiveTuning binomial;
+  binomial.small_bcast = BcastAlgorithm::kBinomialTree;
+  const double t8 = run_bcast(8, 0, 2e3, binomial);
+  const double t64 = run_bcast(64, 0, 2e3, binomial);
+  // 3 rounds -> 6 rounds: time should roughly double, nowhere near 8x.
+  EXPECT_LT(t64, 3.0 * t8);
+  EXPECT_GT(t64, 1.5 * t8);
+}
+
+TEST(BcastAlgorithms, VdGBeatsFlatForLargeMessages) {
+  CollectiveTuning flat_only;
+  flat_only.large_bcast_threshold_bytes = 1e18;  // never switch
+  CollectiveTuning with_vdg;                     // default threshold
+  const double bytes = 1e6;
+  const double t_flat = run_bcast(16, 0, bytes, flat_only);
+  const double t_vdg = run_bcast(16, 0, bytes, with_vdg);
+  EXPECT_LT(t_vdg, 0.4 * t_flat);  // ~2m/B vs (p-1)m/B
+}
+
+TEST(BcastAlgorithms, ThresholdBoundaryIsRespected) {
+  // Just below the threshold: flat (root-serialized, slower at p=16);
+  // at the threshold: vdG.
+  CollectiveTuning tuning;  // default 12288
+  const double below = run_bcast(16, 0, 12287.0, tuning);
+  const double at = run_bcast(16, 0, 12288.0, tuning);
+  EXPECT_LT(at, below);  // larger message, yet faster: algorithm switched
+}
+
+TEST(BcastAlgorithms, SingleRankBcastIsFree) {
+  CollectiveTuning tuning;
+  tuning.large_bcast_threshold_bytes = 100.0;
+  EXPECT_DOUBLE_EQ(run_bcast(1, 0, 1e6, tuning), 0.0);
+}
+
+}  // namespace
+}  // namespace hetscale::vmpi

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hetscale/support/units.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace hetscale::vmpi {
+namespace {
+
+using des::Task;
+
+machine::Cluster test_cluster(int nodes) {
+  machine::Cluster cluster;
+  for (int i = 0; i < nodes; ++i) {
+    cluster.add_node(
+        "n" + std::to_string(i),
+        machine::NodeSpec{"Test", 1, units::mflops(50.0), 1e9, 4e8, {1.0}});
+  }
+  return cluster;
+}
+
+net::NetworkParams fast_params() {
+  net::NetworkParams p;
+  p.remote = {1e-4, 1e7};
+  p.per_message_overhead_s = 1e-5;
+  return p;
+}
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 5, 9, 17));
+
+TEST_P(CollectiveSizes, BcastDeliversRootPayloadEverywhere) {
+  const int p = GetParam();
+  auto machine = Machine::shared_bus(test_cluster(p), fast_params());
+  auto received = std::make_shared<std::vector<int>>(p, -1);
+  machine.run([received](Comm& comm) -> Task<void> {
+    std::any payload;
+    if (comm.rank() == 0) payload = 1234;
+    const std::any out = co_await comm.bcast(0, 8.0, std::move(payload));
+    (*received)[static_cast<std::size_t>(comm.rank())] =
+        std::any_cast<int>(out);
+  });
+  for (int v : *received) EXPECT_EQ(v, 1234);
+}
+
+TEST_P(CollectiveSizes, BarrierSynchronizesEveryone) {
+  const int p = GetParam();
+  auto machine = Machine::shared_bus(test_cluster(p), fast_params());
+  auto after = std::make_shared<std::vector<double>>(p, -1.0);
+  auto slowest_arrival = std::make_shared<double>(0.0);
+  machine.run([after, slowest_arrival](Comm& comm) -> Task<void> {
+    // Rank r arrives at the barrier at a staggered time.
+    co_await comm.compute(static_cast<double>(comm.rank()) * 5e6);
+    *slowest_arrival = std::max(*slowest_arrival, comm.now());
+    co_await comm.barrier();
+    (*after)[static_cast<std::size_t>(comm.rank())] = comm.now();
+  });
+  for (double t : *after) {
+    EXPECT_GE(t + 1e-12, *slowest_arrival);
+  }
+}
+
+TEST_P(CollectiveSizes, GatherCollectsEveryRanksContribution) {
+  const int p = GetParam();
+  auto machine = Machine::shared_bus(test_cluster(p), fast_params());
+  auto sum = std::make_shared<int>(0);
+  machine.run([sum](Comm& comm) -> Task<void> {
+    auto parts =
+        co_await comm.gather(0, 8.0, std::any(comm.rank() * comm.rank()));
+    if (comm.rank() == 0) {
+      for (const auto& part : parts) *sum += std::any_cast<int>(part);
+    } else {
+      EXPECT_TRUE(parts.empty());
+    }
+  });
+  int expect = 0;
+  for (int r = 0; r < p; ++r) expect += r * r;
+  EXPECT_EQ(*sum, expect);
+}
+
+TEST_P(CollectiveSizes, ScatterDeliversPerRankParts) {
+  const int p = GetParam();
+  auto machine = Machine::shared_bus(test_cluster(p), fast_params());
+  auto got = std::make_shared<std::vector<int>>(p, -1);
+  machine.run([got, p](Comm& comm) -> Task<void> {
+    std::vector<std::any> parts;
+    std::vector<double> bytes;
+    if (comm.rank() == 0) {
+      for (int r = 0; r < p; ++r) {
+        parts.emplace_back(10 * r);
+        bytes.push_back(8.0);
+      }
+    }
+    const std::any mine = co_await comm.scatter(0, bytes, std::move(parts));
+    (*got)[static_cast<std::size_t>(comm.rank())] = std::any_cast<int>(mine);
+  });
+  for (int r = 0; r < p; ++r) EXPECT_EQ((*got)[static_cast<std::size_t>(r)], 10 * r);
+}
+
+TEST_P(CollectiveSizes, ReduceSumAddsEverything) {
+  const int p = GetParam();
+  auto machine = Machine::shared_bus(test_cluster(p), fast_params());
+  auto total = std::make_shared<double>(-1.0);
+  machine.run([total](Comm& comm) -> Task<void> {
+    const double out =
+        co_await comm.reduce_sum(0, static_cast<double>(comm.rank() + 1));
+    if (comm.rank() == 0) *total = out;
+  });
+  EXPECT_DOUBLE_EQ(*total, p * (p + 1) / 2.0);
+}
+
+TEST_P(CollectiveSizes, AllreduceSumVisibleEverywhere) {
+  const int p = GetParam();
+  auto machine = Machine::shared_bus(test_cluster(p), fast_params());
+  auto values = std::make_shared<std::vector<double>>(p, -1.0);
+  machine.run([values](Comm& comm) -> Task<void> {
+    const double out = co_await comm.allreduce_sum(1.5);
+    (*values)[static_cast<std::size_t>(comm.rank())] = out;
+  });
+  for (double v : *values) EXPECT_DOUBLE_EQ(v, 1.5 * p);
+}
+
+TEST(Collectives, ConsecutiveBcastsDoNotInterleave) {
+  auto machine = Machine::shared_bus(test_cluster(4), fast_params());
+  auto sums = std::make_shared<std::vector<int>>();
+  machine.run([sums](Comm& comm) -> Task<void> {
+    for (int round = 0; round < 3; ++round) {
+      std::any payload;
+      if (comm.rank() == 0) payload = round * 7;
+      const std::any out = co_await comm.bcast(0, 8.0, std::move(payload));
+      if (comm.rank() == 3) sums->push_back(std::any_cast<int>(out));
+    }
+  });
+  EXPECT_EQ(*sums, (std::vector<int>{0, 7, 14}));
+}
+
+TEST(Collectives, BcastCostGrowsLinearlyOnSharedBus) {
+  // Flat tree over a serialized medium: completion ~ (p-1)(o + L + m/B).
+  auto time_for = [&](int p) {
+    auto machine = Machine::shared_bus(test_cluster(p), fast_params());
+    auto latest = std::make_shared<double>(0.0);
+    machine.run([latest](Comm& comm) -> Task<void> {
+      std::any payload;
+      if (comm.rank() == 0) payload = 1;
+      co_await comm.bcast(0, 1e4, std::move(payload));
+      *latest = std::max(*latest, comm.now());
+    });
+    return *latest;
+  };
+  const double t4 = time_for(4);
+  const double t8 = time_for(8);
+  const double t16 = time_for(16);
+  // (p-1) scaling: (t16 / t8) should be close to 15/7, (t8 / t4) to 7/3.
+  EXPECT_NEAR(t8 / t4, 7.0 / 3.0, 0.15);
+  EXPECT_NEAR(t16 / t8, 15.0 / 7.0, 0.15);
+}
+
+TEST(Collectives, BarrierCostIsAffineInWorldSize) {
+  // T_barrier(p) = const + (p-1)·unit on the shared bus (the end latency is
+  // pipelined, everything else serializes): differences scale linearly.
+  auto time_for = [&](int p) {
+    auto machine = Machine::shared_bus(test_cluster(p), fast_params());
+    auto latest = std::make_shared<double>(0.0);
+    machine.run([latest](Comm& comm) -> Task<void> {
+      co_await comm.barrier();
+      *latest = std::max(*latest, comm.now());
+    });
+    return *latest;
+  };
+  const double t4 = time_for(4);
+  const double t8 = time_for(8);
+  const double t16 = time_for(16);
+  EXPECT_GT(t8, t4);
+  EXPECT_GT(t16, t8);
+  // (t16 - t8) / (t8 - t4) = (15-7)/(7-3) = 2 for an affine law.
+  EXPECT_NEAR((t16 - t8) / (t8 - t4), 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace hetscale::vmpi

@@ -1,0 +1,99 @@
+// API-contract checks: every documented precondition of the runtime
+// actually fires, with the failure surfacing from Machine::run as a typed
+// exception (coroutine exceptions propagate through the scheduler).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/units.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace hetscale::vmpi {
+namespace {
+
+using des::Task;
+
+machine::Cluster trio() {
+  machine::Cluster cluster;
+  for (int i = 0; i < 3; ++i) {
+    cluster.add_node(
+        "n" + std::to_string(i),
+        machine::NodeSpec{"Test", 1, units::mflops(50.0), 1e9, 4e8, {1.0}});
+  }
+  return cluster;
+}
+
+template <class Body>
+void expect_rejected(Body&& body) {
+  auto machine = Machine::switched(trio());
+  EXPECT_THROW(
+      machine.run([&body](Comm& comm) -> Task<void> {
+        if (comm.rank() == 0) co_await body(comm);
+      }),
+      PreconditionError);
+}
+
+TEST(Contracts, SendDestinationOutOfRange) {
+  expect_rejected([](Comm& comm) { return comm.send(9, 1, 8.0, {}); });
+  expect_rejected([](Comm& comm) { return comm.send(-1, 1, 8.0, {}); });
+}
+
+TEST(Contracts, RecvSourceOutOfRange) {
+  expect_rejected([](Comm& comm) { return comm.recv(17, 1); });
+}
+
+TEST(Contracts, BcastRootOutOfRange) {
+  expect_rejected([](Comm& comm) { return comm.bcast(5, 8.0, {}); });
+}
+
+TEST(Contracts, GatherRootOutOfRange) {
+  expect_rejected([](Comm& comm) { return comm.gather(-2, 8.0, {}); });
+}
+
+TEST(Contracts, ScatterNeedsPartPerRank) {
+  expect_rejected([](Comm& comm) {
+    std::vector<std::any> parts(1);
+    std::vector<double> bytes(1, 8.0);
+    return comm.scatter(0, bytes, std::move(parts));
+  });
+}
+
+TEST(Contracts, ComputeRejectsBadEfficiency) {
+  expect_rejected(
+      [](Comm& comm) { return comm.compute(1e6, /*efficiency=*/0.0); });
+}
+
+TEST(Contracts, NegativeBytesRejectedByNetwork) {
+  expect_rejected([](Comm& comm) { return comm.send(1, 1, -8.0, {}); });
+}
+
+TEST(Contracts, MachineRejectsNullNetwork) {
+  EXPECT_THROW(Machine(trio(), nullptr), PreconditionError);
+}
+
+TEST(Contracts, MachineRejectsEmptyCluster) {
+  EXPECT_THROW(Machine::switched(machine::Cluster{}), PreconditionError);
+}
+
+TEST(Contracts, RankAccessorsValidateRange) {
+  auto machine = Machine::switched(trio());
+  EXPECT_THROW(machine.processor(3), PreconditionError);
+  EXPECT_THROW(machine.mailbox(-1), PreconditionError);
+  EXPECT_THROW(machine.rank_stats(99), PreconditionError);
+}
+
+TEST(Contracts, FailureInOneRankSurfacesWithoutHangingOthers) {
+  auto machine = Machine::switched(trio());
+  EXPECT_THROW(machine.run([](Comm& comm) -> Task<void> {
+                 if (comm.rank() == 1) {
+                   co_await comm.compute(-1.0);  // violates the contract
+                 } else {
+                   co_await comm.compute(1e6);  // others complete fine
+                 }
+               }),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::vmpi

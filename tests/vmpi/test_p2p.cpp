@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/units.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace hetscale::vmpi {
+namespace {
+
+using des::Task;
+
+machine::Cluster test_cluster(int nodes, double mflops = 50.0) {
+  machine::Cluster cluster;
+  for (int i = 0; i < nodes; ++i) {
+    cluster.add_node(
+        "n" + std::to_string(i),
+        machine::NodeSpec{"Test", 1, units::mflops(mflops), 1e9, 4e8, {1.0}});
+  }
+  return cluster;
+}
+
+net::NetworkParams fast_params() {
+  net::NetworkParams p;
+  p.remote = {1e-4, 1e7};
+  p.per_message_overhead_s = 1e-5;
+  return p;
+}
+
+TEST(P2P, PayloadArrivesIntact) {
+  auto machine = Machine::shared_bus(test_cluster(2), fast_params());
+  auto out = std::make_shared<std::vector<double>>();
+  machine.run([out](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      auto data = std::make_shared<std::vector<double>>(
+          std::vector<double>{1.0, 2.0, 3.0});
+      co_await comm.send(1, 7, 24.0, data);
+    } else {
+      auto msg = co_await comm.recv(0, 7);
+      EXPECT_EQ(msg.source, 0);
+      EXPECT_EQ(msg.tag, 7);
+      *out = *msg.value<std::shared_ptr<std::vector<double>>>();
+    }
+  });
+  EXPECT_EQ(*out, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(P2P, RecvBeforeSendBlocksUntilArrival) {
+  auto machine = Machine::shared_bus(test_cluster(2), fast_params());
+  auto recv_time = std::make_shared<double>(0.0);
+  machine.run([recv_time](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      co_await comm.compute(50e6);  // 1 s of work before sending
+      co_await comm.send(1, 1, 1000.0, {});
+    } else {
+      auto msg = co_await comm.recv(0, 1);
+      *recv_time = comm.now();
+      EXPECT_DOUBLE_EQ(msg.arrival, comm.now());
+    }
+  });
+  // overhead 1e-5 + wire 1e-4 + latency 1e-4 after the 1 s compute.
+  EXPECT_NEAR(*recv_time, 1.0 + 1e-5 + 1e-4 + 1e-4, 1e-9);
+}
+
+TEST(P2P, SendBeforeRecvIsBuffered) {
+  auto machine = Machine::shared_bus(test_cluster(2), fast_params());
+  auto recv_time = std::make_shared<double>(0.0);
+  machine.run([recv_time](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      co_await comm.send(1, 1, 1000.0, {});
+    } else {
+      co_await comm.compute(100e6);  // receiver busy for 2 s
+      co_await comm.recv(0, 1);
+      *recv_time = comm.now();
+    }
+  });
+  // Message long arrived; recv returns at the receiver's own time.
+  EXPECT_NEAR(*recv_time, 2.0, 1e-9);
+}
+
+TEST(P2P, TagsAreMatchedNotJustOrder) {
+  auto machine = Machine::shared_bus(test_cluster(2), fast_params());
+  auto order = std::make_shared<std::vector<int>>();
+  machine.run([order](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      co_await comm.send(1, /*tag=*/10, 8.0, std::any(1));
+      co_await comm.send(1, /*tag=*/20, 8.0, std::any(2));
+    } else {
+      // Receive in reverse tag order.
+      auto second = co_await comm.recv(0, 20);
+      auto first = co_await comm.recv(0, 10);
+      order->push_back(second.value<int>());
+      order->push_back(first.value<int>());
+    }
+  });
+  EXPECT_EQ(*order, (std::vector<int>{2, 1}));
+}
+
+TEST(P2P, NonOvertakingSameTag) {
+  auto machine = Machine::shared_bus(test_cluster(2), fast_params());
+  auto values = std::make_shared<std::vector<int>>();
+  machine.run([values](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 5; ++i) co_await comm.send(1, 3, 8.0, std::any(i));
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        auto msg = co_await comm.recv(0, 3);
+        values->push_back(msg.value<int>());
+      }
+    }
+  });
+  EXPECT_EQ(*values, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(P2P, AnySourceAndAnyTagMatch) {
+  auto machine = Machine::shared_bus(test_cluster(3), fast_params());
+  auto total = std::make_shared<int>(0);
+  machine.run([total](Comm& comm) -> Task<void> {
+    if (comm.rank() != 0) {
+      co_await comm.send(0, comm.rank() * 100, 8.0, std::any(comm.rank()));
+    } else {
+      for (int i = 0; i < 2; ++i) {
+        auto msg = co_await comm.recv(kAnySource, kAnyTag);
+        *total += msg.value<int>();
+      }
+    }
+  });
+  EXPECT_EQ(*total, 3);
+}
+
+TEST(P2P, MissingSendDeadlocksWithDiagnostic) {
+  auto machine = Machine::shared_bus(test_cluster(2), fast_params());
+  EXPECT_THROW(machine.run([](Comm& comm) -> Task<void> {
+                 if (comm.rank() == 1) co_await comm.recv(0, 1);
+               }),
+               ModelError);
+}
+
+TEST(P2P, SendToSelfRejected) {
+  auto machine = Machine::shared_bus(test_cluster(2), fast_params());
+  EXPECT_THROW(machine.run([](Comm& comm) -> Task<void> {
+                 if (comm.rank() == 0) co_await comm.send(0, 1, 8.0, {});
+               }),
+               PreconditionError);
+}
+
+TEST(P2P, IntraNodeTransfersAreFast) {
+  machine::Cluster cluster;
+  cluster.add_node("big",
+                   machine::NodeSpec{"Test", 2, units::mflops(50), 1e9, 4e8, {1.0}});
+  auto machine = Machine::shared_bus(std::move(cluster), fast_params());
+  auto arrival = std::make_shared<double>(0.0);
+  machine.run([arrival](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      co_await comm.send(1, 1, 1e5, {});
+    } else {
+      auto msg = co_await comm.recv(0, 1);
+      *arrival = msg.arrival;
+    }
+  });
+  // Local path: overhead + 5 us + 1e5/400 MBps = 0.25 ms-ish, far below
+  // the remote path's 10 ms wire time.
+  EXPECT_LT(*arrival, 1e-3);
+}
+
+TEST(P2P, MachineIsSingleShot) {
+  auto machine = Machine::shared_bus(test_cluster(2), fast_params());
+  machine.run([](Comm&) -> Task<void> { co_return; });
+  EXPECT_THROW(machine.run([](Comm&) -> Task<void> { co_return; }),
+               PreconditionError);
+}
+
+TEST(P2P, RankStatsCountTraffic) {
+  auto machine = Machine::shared_bus(test_cluster(2), fast_params());
+  const auto result = machine.run([](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      co_await comm.send(1, 1, 100.0, {});
+      co_await comm.send(1, 2, 200.0, {});
+    } else {
+      co_await comm.recv(0, 1);
+      co_await comm.recv(0, 2);
+    }
+  });
+  EXPECT_EQ(result.ranks[0].messages_sent, 2u);
+  EXPECT_DOUBLE_EQ(result.ranks[0].bytes_sent, 300.0);
+  EXPECT_EQ(result.ranks[1].messages_sent, 0u);
+  EXPECT_GT(result.ranks[1].comm_s, 0.0);
+  EXPECT_EQ(result.network.messages, 2u);
+}
+
+}  // namespace
+}  // namespace hetscale::vmpi

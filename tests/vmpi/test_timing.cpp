@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/units.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace hetscale::vmpi {
+namespace {
+
+using des::Task;
+
+net::NetworkParams fast_params() {
+  net::NetworkParams p;
+  p.remote = {1e-4, 1e7};
+  p.per_message_overhead_s = 1e-5;
+  return p;
+}
+
+machine::Cluster hetero_pair() {
+  machine::Cluster cluster;
+  cluster.add_node("fast",
+                   machine::NodeSpec{"Fast", 1, units::mflops(100), 1e9, 4e8, {1.0}});
+  cluster.add_node("slow",
+                   machine::NodeSpec{"Slow", 1, units::mflops(25), 1e9, 4e8, {1.0}});
+  return cluster;
+}
+
+TEST(Timing, ComputeDurationIsFlopsOverRate) {
+  auto machine = Machine::shared_bus(hetero_pair(), fast_params());
+  auto times = std::make_shared<std::vector<double>>(2, 0.0);
+  machine.run([times](Comm& comm) -> Task<void> {
+    co_await comm.compute(units::mflop(50.0));
+    (*times)[static_cast<std::size_t>(comm.rank())] = comm.now();
+  });
+  EXPECT_NEAR((*times)[0], 0.5, 1e-12);  // 50 Mflop / 100 Mflops
+  EXPECT_NEAR((*times)[1], 2.0, 1e-12);  // 50 Mflop / 25 Mflops
+}
+
+TEST(Timing, EfficiencyScalesComputeRate) {
+  auto machine = Machine::shared_bus(hetero_pair(), fast_params());
+  auto t = std::make_shared<double>(0.0);
+  machine.run([t](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      co_await comm.compute(units::mflop(50.0), /*efficiency=*/0.5);
+      *t = comm.now();
+    }
+  });
+  EXPECT_NEAR(*t, 1.0, 1e-12);
+}
+
+TEST(Timing, RateFlopsReflectsProcessor) {
+  auto machine = Machine::shared_bus(hetero_pair(), fast_params());
+  machine.run([](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(comm.rate_flops(), units::mflops(100));
+    } else {
+      EXPECT_DOUBLE_EQ(comm.rate_flops(), units::mflops(25));
+    }
+    co_return;
+  });
+}
+
+TEST(Timing, ElapsedIsMaxOverRanks) {
+  auto machine = Machine::shared_bus(hetero_pair(), fast_params());
+  const auto result = machine.run([](Comm& comm) -> Task<void> {
+    co_await comm.compute(units::mflop(100.0));
+  });
+  EXPECT_NEAR(result.elapsed, 4.0, 1e-12);  // slow node: 100/25
+  EXPECT_NEAR(result.ranks[0].finish, 1.0, 1e-12);
+  EXPECT_NEAR(result.ranks[1].finish, 4.0, 1e-12);
+}
+
+TEST(Timing, ComputeStatsAccumulate) {
+  auto machine = Machine::shared_bus(hetero_pair(), fast_params());
+  const auto result = machine.run([](Comm& comm) -> Task<void> {
+    co_await comm.compute(units::mflop(10.0));
+    co_await comm.compute(units::mflop(15.0));
+  });
+  EXPECT_NEAR(result.ranks[0].compute_s, 0.25, 1e-12);
+  EXPECT_NEAR(result.ranks[1].compute_s, 1.0, 1e-12);
+}
+
+TEST(Timing, OverheadIsElapsedMinusCriticalCompute) {
+  auto machine = Machine::shared_bus(hetero_pair(), fast_params());
+  const auto result = machine.run([](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      co_await comm.send(1, 1, 1e5, {});  // 10 ms wire
+    } else {
+      co_await comm.recv(0, 1);
+      co_await comm.compute(units::mflop(25.0));  // 1 s
+    }
+  });
+  EXPECT_NEAR(result.overhead_s(), result.elapsed - 1.0, 1e-9);
+  EXPECT_GT(result.overhead_s(), 0.0);
+}
+
+TEST(Timing, DeterministicAcrossRuns) {
+  auto run_once = [&] {
+    auto machine = Machine::shared_bus(hetero_pair(), fast_params());
+    return machine
+        .run([](Comm& comm) -> Task<void> {
+          for (int i = 0; i < 10; ++i) {
+            co_await comm.compute(1e6 * (comm.rank() + 1));
+            co_await comm.barrier();
+          }
+        })
+        .elapsed;
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_EQ(a, b);  // bit-identical, not just close
+}
+
+TEST(Timing, NegativeFlopsRejected) {
+  auto machine = Machine::shared_bus(hetero_pair(), fast_params());
+  EXPECT_THROW(machine.run([](Comm& comm) -> Task<void> {
+                 co_await comm.compute(-1.0);
+               }),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::vmpi

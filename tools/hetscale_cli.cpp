@@ -1,0 +1,223 @@
+// hetscale_cli — the library's analyses from the command line.
+//
+//   hetscale_cli marked  --cluster "server:2,sunbladex3"
+//   hetscale_cli solve   --algo ge --cluster "server:2,sunbladex3" --target 0.3
+//   hetscale_cli curve   --algo mm --cluster "server:1,v210x3:1" --from 32 --to 512 --step 32
+//   hetscale_cli series  --algo ge --ladder "2,4,8,16" --target 0.3
+//   hetscale_cli predict --ladder "2,4,8" --target 0.3
+//   hetscale_cli trace   --algo ge --cluster "sunbladex4" --n 64 --out ge.trace.json
+//
+// Cluster grammar: comma-separated "<type>[xCOUNT][:CPUS]" with types
+// server / sunblade / v210 (see machine/parse.hpp). Ladders name the
+// paper's GE/MM ensembles by node count.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hetscale/algos/ge.hpp"
+#include "hetscale/algos/mm.hpp"
+#include "hetscale/machine/parse.hpp"
+#include "hetscale/machine/sunwulf.hpp"
+#include "hetscale/marked/suite.hpp"
+#include "hetscale/predict/models.hpp"
+#include "hetscale/predict/probe.hpp"
+#include "hetscale/scal/iso_solver.hpp"
+#include "hetscale/scal/series.hpp"
+#include "hetscale/support/args.hpp"
+#include "hetscale/support/csv.hpp"
+#include "hetscale/support/table.hpp"
+
+namespace {
+
+using namespace hetscale;
+
+std::unique_ptr<scal::ClusterCombination> make_combination(
+    const std::string& algo, machine::Cluster cluster) {
+  scal::ClusterCombination::Config config;
+  config.cluster = std::move(cluster);
+  config.with_data = false;
+  const std::string name = algo + " on " + config.cluster.summary();
+  if (algo == "ge") {
+    return std::make_unique<scal::GeCombination>(name, std::move(config));
+  }
+  if (algo == "mm") {
+    return std::make_unique<scal::MmCombination>(name, std::move(config));
+  }
+  if (algo == "sort") {
+    return std::make_unique<scal::SortCombination>(name, std::move(config));
+  }
+  if (algo == "jacobi") {
+    return std::make_unique<scal::JacobiCombination>(name, std::move(config),
+                                                     /*sweeps=*/50);
+  }
+  throw PreconditionError("unknown --algo '" + algo +
+                          "' (expected ge, mm, sort, or jacobi)");
+}
+
+int cmd_marked(const ArgParser& args) {
+  const auto cluster = machine::parse_cluster(args.get("cluster"));
+  Table table("Marked speeds (Definitions 1-2)");
+  table.set_header({"rank", "node", "marked speed (Mflops)"});
+  const auto speeds = marked::rank_marked_speeds(cluster);
+  const auto processors = cluster.processors();
+  for (std::size_t r = 0; r < speeds.size(); ++r) {
+    table.add_row({std::to_string(r),
+                   cluster.nodes()[static_cast<std::size_t>(
+                                       processors[r].node)].name,
+                   Table::fixed(speeds[r] / 1e6, 1)});
+  }
+  std::cout << table << "system marked speed C = "
+            << Table::fixed(marked::system_marked_speed(cluster) / 1e6, 1)
+            << " Mflops\n";
+  return 0;
+}
+
+int cmd_solve(const ArgParser& args) {
+  auto combo = make_combination(args.get_or("algo", "ge"),
+                                machine::parse_cluster(args.get("cluster")));
+  const double target = args.get_double("target", 0.3);
+  scal::IsoSolveOptions options;
+  options.n_min = args.get_int("nmin", options.n_min);
+  const auto result = scal::required_problem_size(*combo, target, options);
+  if (!result.found) {
+    std::cout << "E_s = " << target << " is unreachable on " << combo->name()
+              << " (within N <= " << options.n_max << ")\n";
+    return 1;
+  }
+  std::cout << combo->name() << ": smallest N with E_s >= " << target
+            << " is N = " << result.n << " (measured E_s = "
+            << Table::fixed(result.achieved_es, 3) << ")\n";
+  return 0;
+}
+
+int cmd_curve(const ArgParser& args) {
+  auto combo = make_combination(args.get_or("algo", "ge"),
+                                machine::parse_cluster(args.get("cluster")));
+  const auto from = args.get_int("from", 32);
+  const auto to = args.get_int("to", 512);
+  const auto step = args.get_int("step", 32);
+  HETSCALE_REQUIRE(from >= 1 && to >= from && step >= 1,
+                   "need 1 <= from <= to and step >= 1");
+  CsvWriter csv({"N", "seconds", "speed_mflops", "speed_efficiency"});
+  for (std::int64_t n = from; n <= to; n += step) {
+    const auto& m = combo->measure(n);
+    csv.add_row({std::to_string(n), Table::fixed(m.seconds, 6),
+                 Table::fixed(m.speed_flops / 1e6, 2),
+                 Table::fixed(m.speed_efficiency, 4)});
+  }
+  std::cout << csv.str();
+  return 0;
+}
+
+int cmd_series(const ArgParser& args) {
+  const std::string algo = args.get_or("algo", "ge");
+  const double target = args.get_double("target", algo == "mm" ? 0.2 : 0.3);
+  std::vector<std::unique_ptr<scal::ClusterCombination>> owned;
+  std::vector<scal::Combination*> ptrs;
+  for (const auto& piece : split(args.get_or("ladder", "2,4,8"), ',')) {
+    const int nodes = static_cast<int>(std::stol(piece));
+    owned.push_back(make_combination(
+        algo, algo == "mm" ? machine::sunwulf::mm_ensemble(nodes)
+                           : machine::sunwulf::ge_ensemble(nodes)));
+    ptrs.push_back(owned.back().get());
+  }
+  const auto report = scal::scalability_series(ptrs, target);
+  Table table("Isospeed-efficiency scalability series (E_s = " +
+              Table::num(target, 2) + ")");
+  table.set_header({"system", "C (Mflops)", "N", "psi step"});
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const auto& point = report.points[i];
+    table.add_row({point.system, Table::fixed(point.marked_speed / 1e6, 1),
+                   point.found ? std::to_string(point.n) : "unreachable",
+                   i == 0 ? "-" : Table::fixed(report.steps[i - 1].psi, 3)});
+  }
+  std::cout << table << "cumulative psi = "
+            << Table::fixed(report.cumulative_psi(), 4) << '\n';
+  return 0;
+}
+
+int cmd_predict(const ArgParser& args) {
+  const double target = args.get_double("target", 0.3);
+  const auto comm = predict::probe_comm_model(
+      predict::ProbeConfig{.node = machine::sunwulf::sunblade_spec()});
+  predict::GeOverheadModel model;
+  Table table("Predicted GE operating points (probed parameters, paper §4.5)");
+  table.set_header({"nodes", "predicted N"});
+  for (const auto& piece : split(args.get_or("ladder", "2,4,8"), ',')) {
+    const int nodes = static_cast<int>(std::stol(piece));
+    const auto system = predict::system_model_for(
+        machine::sunwulf::ge_ensemble(nodes), comm);
+    table.add_row({piece, std::to_string(predict::predicted_required_size(
+                              model, system, target))});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_trace(const ArgParser& args) {
+  const std::string algo = args.get_or("algo", "ge");
+  auto cluster = machine::parse_cluster(args.get("cluster"));
+  const auto n = args.get_int("n", 64);
+  auto machine = vmpi::Machine::switched(cluster);
+  auto& tracer = machine.enable_tracing();
+  double elapsed = 0.0;
+  if (algo == "ge") {
+    algos::GeOptions options;
+    options.n = n;
+    options.with_data = false;
+    elapsed = algos::run_parallel_ge(machine, options).run.elapsed;
+  } else if (algo == "mm") {
+    algos::MmOptions options;
+    options.n = n;
+    options.with_data = false;
+    elapsed = algos::run_parallel_mm(machine, options).run.elapsed;
+  } else {
+    throw PreconditionError("trace supports --algo ge or mm");
+  }
+  std::cout << tracer.utilization_table(elapsed);
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    HETSCALE_REQUIRE(out.good(), "cannot open --out file for writing");
+    out << tracer.chrome_trace_json();
+    std::cout << "chrome trace written to " << args.get("out")
+              << " (open in chrome://tracing)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("cluster", "cluster description, e.g. \"server:2,sunbladex3\"")
+      .add_flag("algo", "algorithm: ge, mm, sort, jacobi", "ge")
+      .add_flag("target", "target speed-efficiency", "0.3")
+      .add_flag("ladder", "comma-separated ensemble node counts", "2,4,8")
+      .add_flag("from", "curve: first N", "32")
+      .add_flag("to", "curve: last N", "512")
+      .add_flag("step", "curve: N increment", "32")
+      .add_flag("n", "trace: problem size", "64")
+      .add_flag("nmin", "solve: search floor", "4")
+      .add_flag("out", "trace: chrome-trace output file");
+  try {
+    args.parse(argc - 1, argv + 1);
+    const auto& positional = args.positional();
+    const std::string command = positional.empty() ? "" : positional.front();
+    if (command == "marked") return cmd_marked(args);
+    if (command == "solve") return cmd_solve(args);
+    if (command == "curve") return cmd_curve(args);
+    if (command == "series") return cmd_series(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "trace") return cmd_trace(args);
+    std::cout << "hetscale_cli — isospeed-efficiency scalability analyses\n"
+              << "commands: marked | solve | curve | series | predict | "
+                 "trace\n\n"
+              << args.help("hetscale_cli <command>");
+    return command.empty() ? 0 : 2;
+  } catch (const hetscale::Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
