@@ -29,7 +29,7 @@ class TunedGeCombination final : public scal::ClusterCombination {
   }
 
  private:
-  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) override {
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override {
     machine.set_tuning(tuning_);
     algos::GeOptions options;
     options.n = n;

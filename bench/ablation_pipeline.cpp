@@ -26,7 +26,7 @@ class PipelinedGeCombination final : public scal::ClusterCombination {
   }
 
  private:
-  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) override {
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override {
     algos::GeOptions options;
     options.n = n;
     options.with_data = false;

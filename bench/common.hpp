@@ -1,75 +1,32 @@
-// Shared machinery for the table/figure reproduction harnesses.
+// Shared machinery for the bench harnesses.
 //
-// Every bench binary prints (a) the paper artifact it reproduces, (b) the
-// machine configuration used, and (c) the regenerated rows/series, through
-// the same helpers so outputs are uniform and diffable (EXPERIMENTS.md).
+// The paper catalogue (ladders, ensemble builders, headers) moved into the
+// engine as src/scenarios (hetscale/scenarios/paper.hpp) so bench binaries
+// and `hetscale_cli run` share one implementation. This header re-exports
+// those symbols under hetscale::bench for the ablation binaries.
 #pragma once
 
 #include <iostream>
-#include <memory>
 #include <string>
-#include <vector>
 
-#include "hetscale/machine/sunwulf.hpp"
-#include "hetscale/scal/combination.hpp"
+#include "hetscale/scenarios/paper.hpp"
 #include "hetscale/support/table.hpp"
 
 namespace hetscale::bench {
 
-/// The paper's system-size ladder.
-inline const std::vector<int> kPaperNodeCounts{2, 4, 8, 16, 32};
+using scenarios::kGeTargetEs;
+using scenarios::kMmTargetEs;
+using scenarios::kPaperNodeCounts;
 
-/// The paper's target speed-efficiencies.
-inline constexpr double kGeTargetEs = 0.3;
-inline constexpr double kMmTargetEs = 0.2;
-
-inline scal::ClusterCombination::Config ge_config(
-    int nodes,
-    scal::NetworkKind network = scal::NetworkKind::kSwitched) {
-  scal::ClusterCombination::Config config;
-  config.cluster = machine::sunwulf::ge_ensemble(nodes);
-  config.network = network;
-  config.with_data = false;
-  return config;
-}
-
-inline scal::ClusterCombination::Config mm_config(
-    int nodes,
-    scal::NetworkKind network = scal::NetworkKind::kSwitched) {
-  scal::ClusterCombination::Config config;
-  config.cluster = machine::sunwulf::mm_ensemble(nodes);
-  config.network = network;
-  config.with_data = false;
-  return config;
-}
-
-inline std::unique_ptr<scal::GeCombination> make_ge(
-    int nodes,
-    scal::NetworkKind network = scal::NetworkKind::kSwitched) {
-  return std::make_unique<scal::GeCombination>(
-      std::to_string(nodes) + " Nodes, C" + std::to_string(nodes),
-      ge_config(nodes, network));
-}
-
-inline std::unique_ptr<scal::MmCombination> make_mm(
-    int nodes,
-    scal::NetworkKind network = scal::NetworkKind::kSwitched) {
-  return std::make_unique<scal::MmCombination>(
-      std::to_string(nodes) + " Nodes, C" + std::to_string(nodes) + "'",
-      mm_config(nodes, network));
-}
+using scenarios::ge_config;
+using scenarios::make_ge;
+using scenarios::make_mm;
+using scenarios::mflops_str;
+using scenarios::mm_config;
 
 inline void print_header(const std::string& artifact,
                          const std::string& description) {
-  std::cout << "==================================================\n"
-            << artifact << "\n"
-            << description << "\n"
-            << "==================================================\n";
-}
-
-/// Mflop/s with one decimal, as the paper prints marked speeds.
-inline std::string mflops_str(double flops) {
-  return Table::fixed(flops / 1e6, 1);
+  std::cout << scenarios::artifact_header(artifact, description);
 }
 
 }  // namespace hetscale::bench

@@ -1,52 +1,12 @@
 // Fig. 1 — "Speed-efficiency on two nodes" (GE).
 //
-// Samples E_s(N) for GE on the 2-node ensemble, fits the paper's polynomial
-// trend line, reads the N achieving E_s = 0.3 off the trend, and verifies
-// by measuring at that N (the paper's "light gray dot", which measured
-// 0.312 against the 0.3 target). Emits the curve as CSV for plotting.
-#include <iostream>
+// Thin launcher for the fig1_ge_speed_efficiency scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/paper.hpp"
 
-#include "common.hpp"
-#include "hetscale/numeric/polynomial.hpp"
-#include "hetscale/scal/iso_solver.hpp"
-#include "hetscale/support/csv.hpp"
-
-int main() {
-  using namespace hetscale;
-  auto combo = bench::make_ge(2);
-  bench::print_header(
-      "Fig. 1  Speed-efficiency on two nodes",
-      "GE on " + combo->cluster().summary() + "; polynomial trend line and "
-      "trend-read verification at E_s = 0.3.");
-
-  std::vector<std::int64_t> sizes;
-  for (std::int64_t n = 50; n <= 1000; n += 50) sizes.push_back(n);
-  const auto curve = scal::sample_efficiency_curve(*combo, sizes);
-  const auto trend = scal::fit_trend(curve, 3);
-
-  CsvWriter csv({"N", "speed_efficiency", "trend"});
-  for (const auto& m : curve.samples) {
-    csv.add_row({std::to_string(m.n), Table::fixed(m.speed_efficiency, 4),
-                 Table::fixed(trend(static_cast<double>(m.n)), 4)});
-  }
-  std::cout << csv.str();
-  std::cout << "trend R^2 = "
-            << Table::fixed(
-                   numeric::r_squared(trend, curve.sizes(),
-                                      curve.efficiencies()),
-                   4)
-            << "\n\n";
-
-  scal::IsoSolveOptions options;
-  options.method = scal::IsoSolveOptions::Method::kTrendLine;
-  options.trend_n_lo = 50;
-  options.trend_n_hi = 1000;
-  const auto solved =
-      scal::required_problem_size(*combo, bench::kGeTargetEs, options);
-  std::cout << "Trend-line read-off for E_s = " << bench::kGeTargetEs
-            << ": N ~ " << solved.n
-            << "; measured E_s at that N = "
-            << Table::fixed(solved.achieved_es, 3)
-            << "  (paper: N ~ 310 measured 0.312)\n";
-  return 0;
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_paper_scenarios();
+  return hetscale::run::scenario_main("fig1_ge_speed_efficiency", argc,
+                                      argv);
 }

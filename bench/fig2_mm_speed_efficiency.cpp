@@ -1,49 +1,12 @@
 // Fig. 2 — "Speed-efficiency of Matrix Multiplication Algorithm".
 //
-// E_s(N) curves of MM on the 2/4/8/16/32-node mixed SunBlade + SunFire V210
-// ensembles, with a cubic trend line per series — CSV, one column pair per
-// system, as in the paper's figure.
-#include <iostream>
+// Thin launcher for the fig2_mm_speed_efficiency scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/paper.hpp"
 
-#include "common.hpp"
-#include "hetscale/numeric/polynomial.hpp"
-#include "hetscale/scal/combination.hpp"
-#include "hetscale/support/csv.hpp"
-
-int main() {
-  using namespace hetscale;
-  bench::print_header(
-      "Fig. 2  Speed-efficiency of MM on Sunwulf",
-      "MM on mixed ensembles (server 1 CPU + SunBlades + V210s, 1 CPU "
-      "each); cubic trend per series.");
-
-  std::vector<std::int64_t> sizes;
-  for (std::int64_t n = 16; n <= 512; n += 16) sizes.push_back(n);
-
-  std::vector<std::string> header{"N"};
-  std::vector<scal::EfficiencyCurve> curves;
-  std::vector<numeric::Polynomial> trends;
-  for (int nodes : bench::kPaperNodeCounts) {
-    auto combo = bench::make_mm(nodes);
-    curves.push_back(scal::sample_efficiency_curve(*combo, sizes));
-    trends.push_back(scal::fit_trend(curves.back(), 3));
-    header.push_back("es_" + std::to_string(nodes) + "nodes");
-    header.push_back("trend_" + std::to_string(nodes) + "nodes");
-  }
-
-  CsvWriter csv(std::move(header));
-  for (std::size_t s = 0; s < sizes.size(); ++s) {
-    std::vector<std::string> row{std::to_string(sizes[s])};
-    for (std::size_t c = 0; c < curves.size(); ++c) {
-      row.push_back(
-          Table::fixed(curves[c].samples[s].speed_efficiency, 4));
-      row.push_back(
-          Table::fixed(trends[c](static_cast<double>(sizes[s])), 4));
-    }
-    csv.add_row(std::move(row));
-  }
-  std::cout << csv.str();
-  std::cout << "(expected shape: each curve rises with N; larger systems "
-               "need larger N for the same E_s)\n";
-  return 0;
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_paper_scenarios();
+  return hetscale::run::scenario_main("fig2_mm_speed_efficiency", argc,
+                                      argv);
 }

@@ -1,53 +1,11 @@
 // Table 1 — "Marked speed of Sunwulf nodes (Mflops)".
 //
-// Runs the NPB-flavoured marked-speed suite (marked/) on one CPU of each
-// Sunwulf node type and prints the per-node sustained averages, plus the
-// per-kernel breakdown the paper's methodology implies, plus the worked
-// example from §4.3 (server 1 CPU + SunBlade + 2x V210 1 CPU).
-#include <iostream>
+// Thin launcher for the table1_marked_speed scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/paper.hpp"
 
-#include "common.hpp"
-#include "hetscale/marked/suite.hpp"
-
-int main() {
-  using namespace hetscale;
-  bench::print_header(
-      "Table 1  Marked speed of Sunwulf nodes (Mflops)",
-      "Suite: EP, LU, FT, BT, MG kernels on one CPU per node type; marked "
-      "speed = mean sustained rate (Definitions 1-2).");
-
-  const machine::NodeSpec specs[] = {machine::sunwulf::server_spec(),
-                                     machine::sunwulf::sunblade_spec(),
-                                     machine::sunwulf::v210_spec()};
-  const char* labels[] = {"Server Node (1 CPU)", "SunBlade",
-                          "SunFire V210 (1 CPU)"};
-
-  Table per_kernel("Per-kernel sustained rate (Mflops)");
-  {
-    std::vector<std::string> header{"Node"};
-    for (auto name : marked::kKernelNames) header.emplace_back(name);
-    header.emplace_back("Marked Speed");
-    per_kernel.set_header(std::move(header));
-  }
-  for (int i = 0; i < 3; ++i) {
-    const auto results = marked::run_suite(specs[i]);
-    std::vector<std::string> row{labels[i]};
-    for (const auto& r : results) {
-      row.push_back(bench::mflops_str(r.rate_flops));
-    }
-    row.push_back(bench::mflops_str(marked::node_marked_speed(specs[i])));
-    per_kernel.add_row(std::move(row));
-  }
-  std::cout << per_kernel << '\n';
-
-  // §4.3 worked example: C = server(1cpu) + SunBlade + 2 x V210(1cpu).
-  machine::Cluster example;
-  example.add_node("sunwulf", machine::sunwulf::server_spec(), 1);
-  example.add_node("hpc-1", machine::sunwulf::sunblade_spec());
-  example.add_node("hpc-65", machine::sunwulf::v210_spec(), 1);
-  example.add_node("hpc-66", machine::sunwulf::v210_spec(), 1);
-  std::cout << "Worked example (paper §4.3): C[" << example.summary()
-            << "] = " << bench::mflops_str(marked::system_marked_speed(example))
-            << " Mflops\n";
-  return 0;
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_paper_scenarios();
+  return hetscale::run::scenario_main("table1_marked_speed", argc, argv);
 }

@@ -1,31 +1,11 @@
 // Table 2 — "Experimental results on two nodes" (GE).
 //
-// GE on the 2-node ensemble (server with 2 CPUs + 1 SunBlade): for a ladder
-// of matrix ranks N, print workload W(N), execution time T, achieved speed
-// S = W/T, and speed-efficiency E_s = S/C — the exact columns of Table 2.
-#include <iostream>
+// Thin launcher for the table2_ge_two_nodes scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/paper.hpp"
 
-#include "common.hpp"
-#include "hetscale/scal/metrics.hpp"
-
-int main() {
-  using namespace hetscale;
-  auto combo = bench::make_ge(2);
-  bench::print_header(
-      "Table 2  Experimental results on two nodes",
-      "GE on " + combo->cluster().summary() +
-          "; C = " + bench::mflops_str(combo->marked_speed()) + " Mflops");
-
-  Table table;
-  table.set_header({"Rank N", "Workload W (Mflop)", "Execution Time T (s)",
-                    "Achieved Speed (Mflops)", "Speed-efficiency"});
-  for (std::int64_t n : {50, 100, 150, 200, 250, 310, 400, 500, 640, 800}) {
-    const auto& m = combo->measure(n);
-    table.add_row({std::to_string(n), Table::fixed(m.work_flops / 1e6, 2),
-                   Table::fixed(m.seconds, 3),
-                   bench::mflops_str(m.speed_flops),
-                   Table::fixed(m.speed_efficiency, 3)});
-  }
-  std::cout << table;
-  return 0;
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_paper_scenarios();
+  return hetscale::run::scenario_main("table2_ge_two_nodes", argc, argv);
 }

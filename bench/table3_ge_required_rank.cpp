@@ -1,38 +1,12 @@
 // Table 3 — "Required rank to obtain 0.3 speed-efficiency" (GE).
 //
-// For each system on the paper's ladder (2/4/8/16/32 nodes: server with two
-// CPUs plus SunBlades), iso-solve the smallest N with E_s >= 0.3 and print
-// system configuration, rank N, workload, and marked speed.
-#include <iostream>
+// Thin launcher for the table3_ge_required_rank scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/paper.hpp"
 
-#include "common.hpp"
-#include "hetscale/scal/series.hpp"
-
-int main() {
-  using namespace hetscale;
-  bench::print_header(
-      "Table 3  Required rank to obtain 0.3 speed-efficiency",
-      "GE on the Sunwulf ladder (server 2 CPUs + SunBlades).");
-
-  std::vector<std::unique_ptr<scal::GeCombination>> combos;
-  std::vector<scal::Combination*> ptrs;
-  for (int nodes : bench::kPaperNodeCounts) {
-    combos.push_back(bench::make_ge(nodes));
-    ptrs.push_back(combos.back().get());
-  }
-  const auto report = scal::scalability_series(ptrs, bench::kGeTargetEs);
-
-  Table table;
-  table.set_header({"System Configuration", "Rank N", "Workload (Mflop)",
-                    "Marked Speed (Mflops)", "Achieved E_s"});
-  for (const auto& point : report.points) {
-    table.add_row({point.system,
-                   point.found ? std::to_string(point.n) : "unreachable",
-                   point.found ? Table::fixed(point.work / 1e6, 2) : "-",
-                   bench::mflops_str(point.marked_speed),
-                   point.found ? Table::fixed(point.achieved_es, 3) : "-"});
-  }
-  std::cout << table;
-  std::cout << "(paper: N = 310 / 480 / ... growing with system size)\n";
-  return 0;
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_paper_scenarios();
+  return hetscale::run::scenario_main("table3_ge_required_rank", argc,
+                                      argv);
 }

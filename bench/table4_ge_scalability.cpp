@@ -1,35 +1,11 @@
 // Table 4 — "Measured scalability of GE on Sunwulf".
 //
-// The isospeed-efficiency scalability ψ(C, C') between consecutive systems
-// of the GE ladder, from the Table 3 operating points.
-#include <iostream>
+// Thin launcher for the table4_ge_scalability scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/paper.hpp"
 
-#include "common.hpp"
-#include "hetscale/scal/series.hpp"
-
-int main() {
-  using namespace hetscale;
-  bench::print_header("Table 4  Measured scalability of GE on Sunwulf",
-                      "psi(C,C') = C'W / (C W') at E_s = 0.3.");
-
-  std::vector<std::unique_ptr<scal::GeCombination>> combos;
-  std::vector<scal::Combination*> ptrs;
-  for (int nodes : bench::kPaperNodeCounts) {
-    combos.push_back(bench::make_ge(nodes));
-    ptrs.push_back(combos.back().get());
-  }
-  const auto report = scal::scalability_series(ptrs, bench::kGeTargetEs);
-
-  Table table;
-  table.set_header({"Step", "psi"});
-  for (const auto& step : report.steps) {
-    table.add_row({"psi(" + step.from + " -> " + step.to + ")",
-                   Table::fixed(step.psi, 4)});
-  }
-  table.add_row({"cumulative psi(C2 -> C32)",
-                 Table::fixed(report.cumulative_psi(), 4)});
-  std::cout << table;
-  std::cout << "(expected shape: 0 < psi < 1, slowly decaying — GE has a "
-               "sequential portion and per-step communication)\n";
-  return 0;
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_paper_scenarios();
+  return hetscale::run::scenario_main("table4_ge_scalability", argc, argv);
 }

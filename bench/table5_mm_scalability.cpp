@@ -1,52 +1,11 @@
 // Table 5 — "Scalability of MM on Sunwulf".
 //
-// ψ between consecutive MM systems at E_s = 0.2, and the §4.4.3 comparison
-// against GE's Table 4 values (MM-Sunwulf should be the more scalable
-// combination).
-#include <iostream>
+// Thin launcher for the table5_mm_scalability scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/paper.hpp"
 
-#include "common.hpp"
-#include "hetscale/scal/series.hpp"
-
-int main() {
-  using namespace hetscale;
-  bench::print_header("Table 5  Scalability of MM on Sunwulf",
-                      "psi at E_s = 0.2 on the mixed ensembles.");
-
-  std::vector<std::unique_ptr<scal::MmCombination>> mm_combos;
-  std::vector<scal::Combination*> mm_ptrs;
-  for (int nodes : bench::kPaperNodeCounts) {
-    mm_combos.push_back(bench::make_mm(nodes));
-    mm_ptrs.push_back(mm_combos.back().get());
-  }
-  const auto mm = scal::scalability_series(mm_ptrs, bench::kMmTargetEs);
-
-  Table table;
-  table.set_header({"Step", "Required N", "psi"});
-  for (std::size_t i = 0; i < mm.steps.size(); ++i) {
-    table.add_row({"psi(" + mm.steps[i].from + " -> " + mm.steps[i].to + ")",
-                   std::to_string(mm.points[i + 1].n),
-                   Table::fixed(mm.steps[i].psi, 4)});
-  }
-  table.add_row({"cumulative psi(C2' -> C32')", "",
-                 Table::fixed(mm.cumulative_psi(), 4)});
-  std::cout << table << '\n';
-
-  // §4.4.3 comparison against the GE ladder.
-  std::vector<std::unique_ptr<scal::GeCombination>> ge_combos;
-  std::vector<scal::Combination*> ge_ptrs;
-  for (int nodes : bench::kPaperNodeCounts) {
-    ge_combos.push_back(bench::make_ge(nodes));
-    ge_ptrs.push_back(ge_combos.back().get());
-  }
-  const auto ge = scal::scalability_series(ge_ptrs, bench::kGeTargetEs);
-  std::cout << "GE cumulative psi = " << Table::fixed(ge.cumulative_psi(), 4)
-            << " vs MM cumulative psi = "
-            << Table::fixed(mm.cumulative_psi(), 4)
-            << (mm.cumulative_psi() > ge.cumulative_psi()
-                    ? "  -> MM-Sunwulf is the more scalable combination "
-                      "(matches paper §4.4.3)"
-                    : "  -> UNEXPECTED: GE came out ahead")
-            << '\n';
-  return 0;
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_paper_scenarios();
+  return hetscale::run::scenario_main("table5_mm_scalability", argc, argv);
 }

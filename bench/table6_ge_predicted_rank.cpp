@@ -1,48 +1,12 @@
 // Table 6 — "Predicted required rank" (GE).
 //
-// The paper's §4.5 pipeline: measure the machine's communication parameters
-// with micro-probes (T_send, T_bcast, T_barrier as functions of size and
-// p), plug them into the analytic GE overhead model, and solve the
-// isospeed-efficiency condition for the N that holds E_s = 0.3 on each
-// system — no full application runs involved.
-#include <iostream>
+// Thin launcher for the table6_ge_predicted_rank scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/paper.hpp"
 
-#include "common.hpp"
-#include "hetscale/predict/models.hpp"
-#include "hetscale/predict/probe.hpp"
-
-int main() {
-  using namespace hetscale;
-  bench::print_header(
-      "Table 6  Predicted required rank (GE, E_s = 0.3)",
-      "Micro-probed comm parameters + analytic overhead model (paper §4.5).");
-
-  predict::ProbeConfig probe_config{
-      .node = machine::sunwulf::sunblade_spec()};
-  const auto comm = predict::probe_comm_model(probe_config);
-  std::cout << "Measured machine parameters:\n"
-            << "  T_send(m)      = " << Table::fixed(comm.send_alpha_s * 1e3, 4)
-            << " ms + " << Table::fixed(comm.send_beta_s_per_byte * 1e6, 4)
-            << " us/byte\n"
-            << "  T_bcast(p,m)   = " << Table::fixed(comm.bcast_const_s * 1e3, 4)
-            << " ms + (p-1) * (" << Table::fixed(comm.bcast_alpha_s * 1e3, 4)
-            << " ms + " << Table::fixed(comm.bcast_beta_s_per_byte * 1e6, 4)
-            << " us/byte)\n"
-            << "  T_barrier(p)   = "
-            << Table::fixed(comm.barrier_const_s * 1e3, 4) << " ms + (p-1) * "
-            << Table::fixed(comm.barrier_unit_s * 1e3, 4) << " ms\n\n";
-
-  predict::GeOverheadModel model;
-  Table table;
-  table.set_header({"Nodes", "N (prediction)"});
-  for (int nodes : bench::kPaperNodeCounts) {
-    const auto system = predict::system_model_for(
-        machine::sunwulf::ge_ensemble(nodes), comm);
-    const auto n =
-        predict::predicted_required_size(model, system, bench::kGeTargetEs);
-    table.add_row({std::to_string(nodes), std::to_string(n)});
-  }
-  std::cout << table;
-  std::cout << "(compare against the measured Table 3 ranks)\n";
-  return 0;
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_paper_scenarios();
+  return hetscale::run::scenario_main("table6_ge_predicted_rank", argc,
+                                      argv);
 }

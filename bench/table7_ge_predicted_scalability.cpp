@@ -1,55 +1,12 @@
 // Table 7 — "Predicted scalability of GE on Sunwulf".
 //
-// Theorem 1 / Corollary 2 applied to the analytic overhead model with
-// micro-probed machine parameters, side by side with the *measured* ψ from
-// full simulated runs (Table 4) — the paper's headline check: "the
-// predicted scalability is close to our measured scalability".
-#include <iostream>
+// Thin launcher for the table7_ge_predicted_scalability scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/paper.hpp"
 
-#include "common.hpp"
-#include "hetscale/numeric/stats.hpp"
-#include "hetscale/predict/models.hpp"
-#include "hetscale/predict/probe.hpp"
-#include "hetscale/scal/series.hpp"
-
-int main() {
-  using namespace hetscale;
-  bench::print_header(
-      "Table 7  Predicted scalability of GE on Sunwulf",
-      "Theorem 1 with probed parameters vs measured psi at E_s = 0.3.");
-
-  const auto comm = predict::probe_comm_model(
-      predict::ProbeConfig{.node = machine::sunwulf::sunblade_spec()});
-  predict::GeOverheadModel model;
-
-  // Measured ladder (as in Table 4).
-  std::vector<std::unique_ptr<scal::GeCombination>> combos;
-  std::vector<scal::Combination*> ptrs;
-  for (int nodes : bench::kPaperNodeCounts) {
-    combos.push_back(bench::make_ge(nodes));
-    ptrs.push_back(combos.back().get());
-  }
-  const auto measured = scal::scalability_series(ptrs, bench::kGeTargetEs);
-
-  Table table;
-  table.set_header(
-      {"Step", "psi (predicted)", "psi (measured)", "rel. error"});
-  for (std::size_t i = 0; i + 1 < bench::kPaperNodeCounts.size(); ++i) {
-    const auto from = predict::system_model_for(
-        machine::sunwulf::ge_ensemble(bench::kPaperNodeCounts[i]), comm);
-    const auto to = predict::system_model_for(
-        machine::sunwulf::ge_ensemble(bench::kPaperNodeCounts[i + 1]), comm);
-    const double predicted =
-        predict::predicted_scalability(model, from, to, bench::kGeTargetEs);
-    const double got = measured.steps[i].psi;
-    table.add_row({"psi(C" + std::to_string(bench::kPaperNodeCounts[i]) +
-                       ", C" + std::to_string(bench::kPaperNodeCounts[i + 1]) +
-                       ")",
-                   Table::fixed(predicted, 4), Table::fixed(got, 4),
-                   Table::fixed(numeric::relative_error(predicted, got), 3)});
-  }
-  std::cout << table;
-  std::cout << "(paper finding: prediction close to measurement, validating "
-               "the isospeed-efficiency metric)\n";
-  return 0;
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_paper_scenarios();
+  return hetscale::run::scenario_main("table7_ge_predicted_scalability", argc,
+                                      argv);
 }

@@ -1,0 +1,83 @@
+// The experiment engine's worker pool.
+//
+// Every paper artifact is a sweep of *independent, deterministic* DES
+// simulations. A Runner executes such a batch across a pool of worker
+// threads: each task stays a single-threaded simulation, parallelism is
+// only *across* tasks, and results are merged in request order — so any
+// output derived from a batch is bit-identical to the sequential run,
+// whatever the worker count or scheduling.
+//
+// Determinism contract: task i must depend only on its own inputs (no
+// shared mutable state between tasks); the Runner guarantees result slot i
+// holds task i's value and that the caller observes all writes after the
+// batch returns. With jobs == 1 no threads are created and every batch
+// runs inline on the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hetscale::run {
+
+class Runner {
+ public:
+  /// jobs <= 0 picks the process default (HETSCALE_JOBS or hardware
+  /// concurrency). jobs == 1 is the sequential fallback: no worker threads
+  /// at all, batches run inline on the caller.
+  explicit Runner(int jobs = 0);
+  ~Runner();
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  /// Run task(0) .. task(count - 1), blocking until all have finished.
+  /// Tasks may execute concurrently and in any order when jobs() > 1; they
+  /// must be safe to call from different threads at once. If tasks throw,
+  /// the batch drains (remaining unstarted tasks are skipped) and the
+  /// failure with the smallest task index is rethrown on the caller.
+  ///
+  /// A batch submitted from inside a task runs inline on that worker —
+  /// nested batches cannot deadlock the pool, at the price of no extra
+  /// parallelism.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& task);
+
+  /// Run fn(i) for i in [0, count) and return the results in index order.
+  /// The result type must be default-constructible.
+  template <class Fn>
+  auto map(std::size_t count, Fn&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+    std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> out(
+        count);
+    run_indexed(count, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// True on a thread currently executing a Runner task (any Runner).
+  static bool on_worker_thread();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  void drain(Batch& batch);
+
+  int jobs_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< wakes workers for a new batch
+  std::condition_variable done_cv_;  ///< wakes the caller when drained
+  Batch* batch_ = nullptr;           ///< in-flight batch; guarded by mutex_
+  std::uint64_t next_batch_id_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hetscale::run

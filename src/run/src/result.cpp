@@ -1,0 +1,145 @@
+#include "hetscale/run/result.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "hetscale/support/csv.hpp"
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/table.hpp"
+
+namespace hetscale::run {
+
+Value::Value(bool value) : kind_(Kind::kBool), text_(value ? "true" : "false") {}
+
+Value::Value(int value) : Value(static_cast<std::int64_t>(value)) {}
+
+Value::Value(std::int64_t value)
+    : kind_(Kind::kInt), text_(std::to_string(value)) {}
+
+Value::Value(std::string value)
+    : kind_(Kind::kString), text_(std::move(value)) {}
+
+Value::Value(const char* value) : kind_(Kind::kString), text_(value) {}
+
+Value Value::fixed(double value, int decimals) {
+  Value v;
+  if (std::isfinite(value)) {
+    v.kind_ = Kind::kDouble;
+    v.text_ = Table::fixed(value, decimals);
+  }
+  return v;  // non-finite stays null
+}
+
+Value Value::real(double value, int digits) {
+  Value v;
+  if (std::isfinite(value)) {
+    v.kind_ = Kind::kDouble;
+    v.text_ = Table::num(value, digits);
+  }
+  return v;
+}
+
+void write_json_string(std::ostream& os, const std::string& piece) {
+  os << '"';
+  for (const char ch : piece) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          os << buffer;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void Value::write_json(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+    case Kind::kInt:
+    case Kind::kDouble:
+      os << text_;  // already a valid JSON literal
+      break;
+    case Kind::kString:
+      write_json_string(os, text_);
+      break;
+  }
+}
+
+void RunResult::add_row(std::vector<Value> row) {
+  HETSCALE_REQUIRE(row.size() == columns.size(),
+                   "result row width must match the column count");
+  rows.push_back(std::move(row));
+}
+
+void RunResult::add_scalar(std::string name, Value value) {
+  scalars.emplace_back(std::move(name), std::move(value));
+}
+
+std::string RunResult::to_csv() const {
+  CsvWriter csv(columns);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& value : row) cells.push_back(value.text());
+    csv.add_row(std::move(cells));
+  }
+  return csv.str();
+}
+
+std::string RunResult::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"hetscale.run.result/v1\",\n  \"scenario\": ";
+  write_json_string(os, scenario);
+  os << ",\n  \"title\": ";
+  write_json_string(os, title);
+  os << ",\n  \"columns\": [";
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) os << ", ";
+    write_json_string(os, columns[c]);
+  }
+  os << "],\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "    [";
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) os << ", ";
+      rows[r][c].write_json(os);
+    }
+    os << ']';
+  }
+  os << (rows.empty() ? "]" : "\n  ]") << ",\n  \"scalars\": {";
+  for (std::size_t s = 0; s < scalars.size(); ++s) {
+    os << (s == 0 ? "\n" : ",\n") << "    ";
+    write_json_string(os, scalars[s].first);
+    os << ": ";
+    scalars[s].second.write_json(os);
+  }
+  os << (scalars.empty() ? "}" : "\n  }") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace hetscale::run

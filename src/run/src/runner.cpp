@@ -1,0 +1,127 @@
+#include "hetscale/run/runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+
+#include "hetscale/support/args.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::run {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+// One submitted batch. Workers claim task indices from `next`; the counters
+// and the error slot are guarded by the owning Runner's mutex.
+struct Runner::Batch {
+  std::uint64_t id = 0;
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::size_t finished = 0;  ///< claimed indices fully processed
+  int attached = 0;          ///< workers currently draining this batch
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+};
+
+Runner::Runner(int jobs) : jobs_(jobs > 0 ? jobs : default_jobs()) {
+  // The caller participates in draining, so jobs_ - 1 pool threads give
+  // jobs_ concurrent lanes.
+  workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
+  for (int i = 0; i + 1 < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Runner::~Runner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool Runner::on_worker_thread() { return t_on_worker; }
+
+void Runner::drain(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) break;
+    std::exception_ptr error;
+    if (!batch.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*batch.task)(i);
+      } catch (...) {
+        error = std::current_exception();
+        batch.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && i < batch.error_index) {
+      batch.error_index = i;
+      batch.error = error;
+    }
+    if (++batch.finished == batch.count) done_cv_.notify_all();
+  }
+}
+
+void Runner::worker_loop() {
+  t_on_worker = true;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return stop_ || (batch_ && batch_->id != seen); });
+    if (stop_) return;
+    Batch& batch = *batch_;
+    seen = batch.id;
+    ++batch.attached;
+    lock.unlock();
+    drain(batch);
+    lock.lock();
+    // The caller frees the batch only once finished == count and no worker
+    // is still attached; always notify so it can re-check both.
+    --batch.attached;
+    done_cv_.notify_all();
+  }
+}
+
+void Runner::run_indexed(std::size_t count,
+                         const std::function<void(std::size_t)>& task) {
+  HETSCALE_REQUIRE(task != nullptr, "batch task must be callable");
+  if (count == 0) return;
+  if (jobs_ == 1 || count == 1 || t_on_worker) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  Batch batch;
+  batch.count = count;
+  batch.task = &task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch.id = ++next_batch_id_;
+    batch_ = &batch;
+  }
+  work_cv_.notify_all();
+
+  // Participate as the jobs_-th lane. Mark this thread as a worker so a
+  // nested batch submitted by a task runs inline instead of deadlocking.
+  t_on_worker = true;
+  drain(batch);
+  t_on_worker = false;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return batch.finished == batch.count && batch.attached == 0;
+  });
+  batch_ = nullptr;
+  lock.unlock();
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace hetscale::run

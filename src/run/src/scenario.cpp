@@ -1,0 +1,96 @@
+#include "hetscale/run/scenario.hpp"
+
+#include <iostream>
+#include <map>
+#include <utility>
+
+#include "hetscale/support/args.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::run {
+
+namespace {
+
+std::map<std::string, Scenario>& registry() {
+  static std::map<std::string, Scenario> scenarios;
+  return scenarios;
+}
+
+}  // namespace
+
+void register_scenario(Scenario scenario) {
+  HETSCALE_REQUIRE(!scenario.name.empty(), "scenario name must be non-empty");
+  HETSCALE_REQUIRE(scenario.run != nullptr,
+                   "scenario '" + scenario.name + "' has no run function");
+  const auto [it, inserted] =
+      registry().emplace(scenario.name, std::move(scenario));
+  HETSCALE_REQUIRE(inserted,
+                   "scenario '" + it->first + "' is already registered");
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  const auto it = registry().find(name);
+  return it != registry().end() ? &it->second : nullptr;
+}
+
+std::vector<const Scenario*> all_scenarios() {
+  std::vector<const Scenario*> out;
+  out.reserve(registry().size());
+  for (const auto& [name, scenario] : registry()) out.push_back(&scenario);
+  return out;  // std::map iteration is already name-sorted
+}
+
+OutputFormat parse_format(const std::string& text) {
+  if (text == "text") return OutputFormat::kText;
+  if (text == "csv") return OutputFormat::kCsv;
+  if (text == "json") return OutputFormat::kJson;
+  throw PreconditionError("unknown --format '" + text +
+                          "' (expected text, csv, or json)");
+}
+
+const std::string& render(const RunResult& result, OutputFormat format,
+                          std::string& storage) {
+  switch (format) {
+    case OutputFormat::kText:
+      return result.text;
+    case OutputFormat::kCsv:
+      storage = result.to_csv();
+      return storage;
+    case OutputFormat::kJson:
+      storage = result.to_json();
+      return storage;
+  }
+  throw PreconditionError("invalid output format");
+}
+
+int scenario_main(const std::string& name, int argc,
+                  const char* const* argv) {
+  try {
+    ArgParser args;
+    args.add_flag("format", "output format: text, csv, json", "text");
+    args.add_bool("help", "show this help");
+    add_jobs_flag(args);
+    args.parse(argc > 0 ? argc - 1 : 0, argv + 1);
+
+    const Scenario* scenario = find_scenario(name);
+    HETSCALE_REQUIRE(scenario != nullptr,
+                     "scenario '" + name + "' is not registered");
+    if (args.has("help")) {
+      std::cout << scenario->name << " — " << scenario->summary << "\n\n"
+                << args.help(scenario->name);
+      return 0;
+    }
+
+    Runner runner(resolve_jobs(args));
+    const RunContext context{runner, parse_format(args.get("format"))};
+    const RunResult result = scenario->run(context);
+    std::string storage;
+    std::cout << render(result, context.format, storage);
+    return 0;
+  } catch (const hetscale::Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace hetscale::run

@@ -24,6 +24,10 @@
 #include "hetscale/numeric/polynomial.hpp"
 #include "hetscale/vmpi/machine.hpp"
 
+namespace hetscale::run {
+class Runner;
+}  // namespace hetscale::run
+
 namespace hetscale::scal {
 
 /// One measured point of a combination (a row of the paper's Table 2).
@@ -56,6 +60,14 @@ class Combination {
 
   /// Run (simulate) the combination at problem size N; cached.
   virtual const Measurement& measure(std::int64_t n) = 0;
+
+  /// Measure a batch of sizes, returned in request order. The base
+  /// implementation is the sequential fallback (a measure() loop);
+  /// combinations whose runs are independent override it to execute the
+  /// uncached sizes concurrently on the runner. Results are merged in
+  /// request order, so the outcome is bit-identical to sequential.
+  virtual std::vector<Measurement> measure_many(
+      std::span<const std::int64_t> sizes, run::Runner& runner);
 };
 
 /// Common machinery for combinations that run on a simulated cluster.
@@ -76,23 +88,33 @@ class ClusterCombination : public Combination {
   double marked_speed() const override { return marked_speed_; }
   const Measurement& measure(std::int64_t n) override;
 
+  /// Uncached sizes are simulated concurrently: every run builds its own
+  /// machine and only reads shared state, so simulations are independent;
+  /// the cache is filled on the calling thread in request order.
+  std::vector<Measurement> measure_many(std::span<const std::int64_t> sizes,
+                                        run::Runner& runner) override;
+
   const machine::Cluster& cluster() const { return config_.cluster; }
   const std::vector<double>& rank_speeds() const { return rank_speeds_; }
   int processor_count() const { return config_.cluster.processor_count(); }
 
  protected:
   /// Run the algorithm once on a fresh machine; return (work, elapsed,
-  /// critical-path overhead).
+  /// critical-path overhead). Must be const: it may execute on several
+  /// worker threads at once for different machines.
   struct RunOutcome {
     double work_flops = 0.0;
     double seconds = 0.0;
     double overhead_s = 0.0;
   };
-  virtual RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) = 0;
+  virtual RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const = 0;
 
   const Config& config() const { return config_; }
 
  private:
+  /// One full simulation at size n — pure w.r.t. this object.
+  Measurement compute(std::int64_t n) const;
+
   std::string name_;
   Config config_;
   double marked_speed_ = 0.0;        ///< measured once, then constant
@@ -107,7 +129,7 @@ class GeCombination final : public ClusterCombination {
   double work(std::int64_t n) const override;
 
  private:
-  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) override;
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
 };
 
 /// MM on a cluster (the paper's second combination).
@@ -117,7 +139,7 @@ class MmCombination final : public ClusterCombination {
   double work(std::int64_t n) const override;
 
  private:
-  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) override;
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
 };
 
 /// Sample sort on a cluster (extension; see algos/sort.hpp). Always runs
@@ -130,7 +152,7 @@ class SortCombination final : public ClusterCombination {
   double work(std::int64_t n) const override;
 
  private:
-  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) override;
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
   algos::SortSplitters splitters_;
 };
 
@@ -141,7 +163,7 @@ class JacobiCombination final : public ClusterCombination {
   double work(std::int64_t n) const override;
 
  private:
-  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) override;
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
   std::int64_t sweeps_;
 };
 
@@ -157,6 +179,12 @@ struct EfficiencyCurve {
 /// Measure the combination at each size.
 EfficiencyCurve sample_efficiency_curve(Combination& combination,
                                         std::span<const std::int64_t> sizes);
+
+/// Measure the combination at each size as one batch on the runner —
+/// byte-identical samples to the sequential overload, in any jobs count.
+EfficiencyCurve sample_efficiency_curve(Combination& combination,
+                                        std::span<const std::int64_t> sizes,
+                                        run::Runner& runner);
 
 /// Least-squares polynomial trend line through (N, E_s) samples — the
 /// paper's "Poly." curves in Figs. 1 and 2.

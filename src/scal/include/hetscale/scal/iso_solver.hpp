@@ -30,6 +30,17 @@ struct IsoSolveOptions {
   std::size_t trend_samples = 10;     ///< geometric ladder of sample sizes
   std::int64_t trend_n_lo = 32;       ///< sampling window
   std::int64_t trend_n_hi = 2048;
+
+  /// Optional worker pool (not owned). When set with jobs > 1, the solver
+  /// submits its measurements as batches: the trend-line ladder is sampled
+  /// concurrently, and direct-search refinement becomes *speculative*
+  /// bisection — each wave measures the next levels of the bisection
+  /// decision tree concurrently, then replays the sequential decisions, so
+  /// the found N and measured E_s are identical to the sequential solve on
+  /// any E_s(n). The doubling bracket itself stays sequential — simulation
+  /// cost grows superlinearly with N, so speculating doublings ahead would
+  /// cost more than it hides.
+  run::Runner* runner = nullptr;
 };
 
 struct IsoSolveResult {

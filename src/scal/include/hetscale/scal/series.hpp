@@ -45,8 +45,15 @@ struct SeriesReport {
 /// Build the series. Combinations must be ordered by increasing system size.
 /// Systems where the target cannot be reached get found == false and no
 /// outgoing step.
+///
+/// With a runner (jobs > 1), the per-system iso-solves run as one batch —
+/// they are independent simulations — and the report is assembled from the
+/// batch in ladder order, so it is bit-identical to the sequential build.
+/// An iso-solve submitted from a batch worker runs inline, so any runner in
+/// `solve` only adds parallelism when this outer batch is sequential.
 SeriesReport scalability_series(std::span<Combination* const> combinations,
                                 double target_es,
-                                const IsoSolveOptions& solve = {});
+                                const IsoSolveOptions& solve = {},
+                                run::Runner* runner = nullptr);
 
 }  // namespace hetscale::scal

@@ -1,5 +1,6 @@
 #include "hetscale/scal/combination.hpp"
 
+#include <set>
 #include <utility>
 
 #include "hetscale/algos/ge.hpp"
@@ -8,10 +9,21 @@
 #include "hetscale/algos/sort.hpp"
 #include "hetscale/marked/suite.hpp"
 #include "hetscale/numeric/linsolve.hpp"
+#include "hetscale/run/runner.hpp"
 #include "hetscale/scal/metrics.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::scal {
+
+std::vector<Measurement> Combination::measure_many(
+    std::span<const std::int64_t> sizes, run::Runner& /*runner*/) {
+  // Sequential fallback for combinations that cannot promise independent
+  // concurrent runs.
+  std::vector<Measurement> out;
+  out.reserve(sizes.size());
+  for (const auto n : sizes) out.push_back(measure(n));
+  return out;
+}
 
 vmpi::Machine make_machine(const machine::Cluster& cluster, NetworkKind kind,
                            const net::NetworkParams& params) {
@@ -29,9 +41,12 @@ ClusterCombination::ClusterCombination(std::string name, Config config)
 }
 
 const Measurement& ClusterCombination::measure(std::int64_t n) {
-  HETSCALE_REQUIRE(n >= 1, "problem size must be >= 1");
   if (auto it = cache_.find(n); it != cache_.end()) return it->second;
+  return cache_.emplace(n, compute(n)).first->second;
+}
 
+Measurement ClusterCombination::compute(std::int64_t n) const {
+  HETSCALE_REQUIRE(n >= 1, "problem size must be >= 1");
   auto machine =
       make_machine(config_.cluster, config_.network, config_.net_params);
   const RunOutcome outcome = run_once(machine, n);
@@ -44,7 +59,33 @@ const Measurement& ClusterCombination::measure(std::int64_t n) {
   m.speed_efficiency =
       speed_efficiency(outcome.work_flops, outcome.seconds, marked_speed_);
   m.overhead_s = outcome.overhead_s;
-  return cache_.emplace(n, m).first->second;
+  return m;
+}
+
+std::vector<Measurement> ClusterCombination::measure_many(
+    std::span<const std::int64_t> sizes, run::Runner& runner) {
+  // Uncached sizes, deduplicated, in first-seen order.
+  std::vector<std::int64_t> missing;
+  std::set<std::int64_t> seen;
+  for (const auto n : sizes) {
+    if (cache_.count(n) == 0 && seen.insert(n).second) missing.push_back(n);
+  }
+
+  if (runner.jobs() > 1 && missing.size() > 1) {
+    const auto computed = runner.map(
+        missing.size(), [&](std::size_t i) { return compute(missing[i]); });
+    // Merge on the calling thread, in request order.
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      cache_.emplace(missing[i], computed[i]);
+    }
+  } else {
+    for (const auto n : missing) cache_.emplace(n, compute(n));
+  }
+
+  std::vector<Measurement> out;
+  out.reserve(sizes.size());
+  for (const auto n : sizes) out.push_back(cache_.at(n));
+  return out;
 }
 
 GeCombination::GeCombination(std::string name, Config config)
@@ -54,8 +95,8 @@ double GeCombination::work(std::int64_t n) const {
   return numeric::ge_workload(static_cast<double>(n));
 }
 
-ClusterCombination::RunOutcome GeCombination::run_once(vmpi::Machine& machine,
-                                                       std::int64_t n) {
+ClusterCombination::RunOutcome GeCombination::run_once(
+    vmpi::Machine& machine, std::int64_t n) const {
   algos::GeOptions options;
   options.n = n;
   options.with_data = config().with_data;
@@ -72,8 +113,8 @@ double MmCombination::work(std::int64_t n) const {
   return numeric::mm_workload(static_cast<double>(n));
 }
 
-ClusterCombination::RunOutcome MmCombination::run_once(vmpi::Machine& machine,
-                                                       std::int64_t n) {
+ClusterCombination::RunOutcome MmCombination::run_once(
+    vmpi::Machine& machine, std::int64_t n) const {
   algos::MmOptions options;
   options.n = n;
   options.with_data = config().with_data;
@@ -93,7 +134,7 @@ double SortCombination::work(std::int64_t n) const {
 }
 
 ClusterCombination::RunOutcome SortCombination::run_once(
-    vmpi::Machine& machine, std::int64_t n) {
+    vmpi::Machine& machine, std::int64_t n) const {
   algos::SortOptions options;
   options.n = n;
   options.splitters = splitters_;
@@ -115,7 +156,7 @@ double JacobiCombination::work(std::int64_t n) const {
 }
 
 ClusterCombination::RunOutcome JacobiCombination::run_once(
-    vmpi::Machine& machine, std::int64_t n) {
+    vmpi::Machine& machine, std::int64_t n) const {
   algos::JacobiOptions options;
   options.n = n;
   options.sweeps = sweeps_;
@@ -146,6 +187,15 @@ EfficiencyCurve sample_efficiency_curve(Combination& combination,
   curve.label = combination.name();
   curve.samples.reserve(sizes.size());
   for (auto n : sizes) curve.samples.push_back(combination.measure(n));
+  return curve;
+}
+
+EfficiencyCurve sample_efficiency_curve(Combination& combination,
+                                        std::span<const std::int64_t> sizes,
+                                        run::Runner& runner) {
+  EfficiencyCurve curve;
+  curve.label = combination.name();
+  curve.samples = combination.measure_many(sizes, runner);
   return curve;
 }
 

@@ -2,15 +2,69 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "hetscale/numeric/roots.hpp"
+#include "hetscale/run/runner.hpp"
 #include "hetscale/support/error.hpp"
 #include "hetscale/support/log.hpp"
 
 namespace hetscale::scal {
 
 namespace {
+
+/// Smallest n in [lo, hi] with E_s(n) >= target by *speculative* bisection:
+/// each wave measures, as one concurrent batch, every midpoint the
+/// sequential bisection could visit in its next d steps (the depth-d
+/// decision tree of the bracket, 2^d - 1 probes with 2^d - 1 <= jobs), then
+/// replays the d decisions on the cached measurements. The trajectory — and
+/// therefore the returned n — is identical to numeric::first_at_least on
+/// *any* E_s(n), including one with small non-monotone wiggles; the wave
+/// only trades redundant concurrent measurements for d levels of progress
+/// per sequential round trip. Same invariant: E_s(lo) < target <= E_s(hi).
+std::int64_t speculative_first_at_least(Combination& combination,
+                                        double target, std::int64_t lo,
+                                        std::int64_t hi,
+                                        run::Runner& runner) {
+  const auto es_at = [&](std::int64_t n) {
+    return combination.measure(n).speed_efficiency;
+  };
+  if (es_at(hi) < target) return -1;
+  if (es_at(lo) >= target) return lo;
+  int depth = 1;
+  while (depth < 20 &&
+         (std::int64_t{2} << depth) - 1 <= static_cast<std::int64_t>(
+                                               runner.jobs())) {
+    ++depth;
+  }
+  while (hi - lo > 1) {
+    std::vector<std::int64_t> probes;
+    std::vector<std::pair<std::int64_t, std::int64_t>> frontier{{lo, hi}};
+    for (int level = 0; level < depth; ++level) {
+      std::vector<std::pair<std::int64_t, std::int64_t>> next;
+      for (const auto& [a, b] : frontier) {
+        if (b - a <= 1) continue;
+        const std::int64_t mid = a + (b - a) / 2;
+        probes.push_back(mid);
+        next.emplace_back(a, mid);
+        next.emplace_back(mid, b);
+      }
+      frontier = std::move(next);
+    }
+    combination.measure_many(probes, runner);  // one concurrent wave
+    // Replay bisection's decisions against the now-cached measurements.
+    for (int level = 0; level < depth && hi - lo > 1; ++level) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      if (es_at(mid) >= target) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+  return hi;
+}
 
 IsoSolveResult direct_search(Combination& combination, double target_es,
                              const IsoSolveOptions& options) {
@@ -21,7 +75,10 @@ IsoSolveResult direct_search(Combination& combination, double target_es,
     return combination.measure(n).speed_efficiency;
   };
 
-  // Doubling bracket: find hi with E_s(hi) >= target.
+  // Doubling bracket: find hi with E_s(hi) >= target. Kept sequential even
+  // under a runner — each doubling costs several times the previous one, so
+  // speculative measurement past the crossing wastes more work than the
+  // overlap recovers (see IsoSolveOptions::runner).
   std::int64_t lo = options.n_min;
   std::int64_t hi = lo;
   while (es_at(hi) < target_es) {
@@ -29,8 +86,12 @@ IsoSolveResult direct_search(Combination& combination, double target_es,
     lo = hi;
     hi = std::min(options.n_max, hi * 2);
   }
+  run::Runner* runner = options.runner;
   const std::int64_t n =
-      numeric::first_at_least(es_at, target_es, std::min(lo, hi), hi);
+      (runner != nullptr && runner->jobs() > 1)
+          ? speculative_first_at_least(combination, target_es,
+                                       std::min(lo, hi), hi, *runner)
+          : numeric::first_at_least(es_at, target_es, std::min(lo, hi), hi);
   HETSCALE_CHECK(n >= 0, "bracketed target vanished during bisection");
   result.found = true;
   result.n = n;
@@ -60,7 +121,10 @@ IsoSolveResult trend_line(Combination& combination, double target_es,
     if (sizes.empty() || n > sizes.back()) sizes.push_back(n);
     x *= ratio;
   }
-  const auto curve = sample_efficiency_curve(combination, sizes);
+  const auto curve =
+      options.runner != nullptr
+          ? sample_efficiency_curve(combination, sizes, *options.runner)
+          : sample_efficiency_curve(combination, sizes);
   const auto trend = fit_trend(curve, options.trend_degree);
 
   // Read the crossing off the trend line, allowing mild extrapolation.

@@ -1,5 +1,6 @@
 #include "hetscale/scal/series.hpp"
 
+#include "hetscale/run/runner.hpp"
 #include "hetscale/scal/metrics.hpp"
 #include "hetscale/support/error.hpp"
 
@@ -13,7 +14,8 @@ double SeriesReport::cumulative_psi() const {
 
 SeriesReport scalability_series(std::span<Combination* const> combinations,
                                 double target_es,
-                                const IsoSolveOptions& solve) {
+                                const IsoSolveOptions& solve,
+                                run::Runner* runner) {
   HETSCALE_REQUIRE(combinations.size() >= 2,
                    "a scalability series needs at least two systems");
   SeriesReport report;
@@ -21,15 +23,33 @@ SeriesReport scalability_series(std::span<Combination* const> combinations,
 
   for (Combination* combination : combinations) {
     HETSCALE_REQUIRE(combination != nullptr, "null combination");
-    const auto solved = required_problem_size(*combination, target_es, solve);
+  }
+
+  // One iso-solve per system. Each solve only touches its own combination,
+  // so the ladder is an independent batch; the report below is assembled
+  // in ladder order either way.
+  std::vector<IsoSolveResult> solved;
+  if (runner != nullptr && runner->jobs() > 1) {
+    solved = runner->map(combinations.size(), [&](std::size_t i) {
+      return required_problem_size(*combinations[i], target_es, solve);
+    });
+  } else {
+    solved.reserve(combinations.size());
+    for (Combination* combination : combinations) {
+      solved.push_back(required_problem_size(*combination, target_es, solve));
+    }
+  }
+
+  for (std::size_t i = 0; i < combinations.size(); ++i) {
+    Combination* combination = combinations[i];
     OperatingPoint point;
     point.system = combination->name();
     point.marked_speed = combination->marked_speed();
-    point.found = solved.found;
-    if (solved.found) {
-      point.n = solved.n;
-      point.work = combination->work(solved.n);
-      point.achieved_es = solved.achieved_es;
+    point.found = solved[i].found;
+    if (solved[i].found) {
+      point.n = solved[i].n;
+      point.work = combination->work(solved[i].n);
+      point.achieved_es = solved[i].achieved_es;
     }
     report.points.push_back(std::move(point));
   }

@@ -1,8 +1,9 @@
 // Minimal command-line flag parsing for the CLI tool and examples.
 //
-// Supports `--flag value`, `--flag=value`, and boolean `--flag`; collects
-// positional arguments in order. No external dependencies, strict by
-// default (unknown flags are errors).
+// Supports `--flag value`, `--flag=value`, boolean `--flag`, and declared
+// single-character aliases (`-j 8`, `-j8`); collects positional arguments
+// in order. No external dependencies, strict by default (unknown flags are
+// errors).
 #pragma once
 
 #include <map>
@@ -20,6 +21,11 @@ class ArgParser {
 
   /// Declare a boolean flag (present = true).
   ArgParser& add_bool(const std::string& name, const std::string& help);
+
+  /// Declare a single-character alias for an already-declared flag, so
+  /// `-j 8` and `-j8` both mean `--jobs 8`. A leading `-<other>` token
+  /// without a declared alias stays positional (e.g. negative numbers).
+  ArgParser& add_short(char alias, const std::string& name);
 
   /// Parse argv (excluding argv[0]). Throws PreconditionError on unknown
   /// flags or a missing value.
@@ -44,11 +50,24 @@ class ArgParser {
     std::optional<std::string> def;
   };
   std::map<std::string, Spec> specs_;
+  std::map<char, std::string> shorts_;
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
 
 /// Split "a,b,c" into trimmed pieces (empty pieces dropped).
 std::vector<std::string> split(const std::string& text, char sep);
+
+/// The process-wide default worker count: the HETSCALE_JOBS environment
+/// variable when set to a positive integer, otherwise the hardware
+/// concurrency (at least 1).
+int default_jobs();
+
+/// Declare the conventional `--jobs N` flag with its `-j` alias.
+ArgParser& add_jobs_flag(ArgParser& args);
+
+/// The parsed --jobs/-j value (must be >= 1), or default_jobs() when the
+/// flag was not given.
+int resolve_jobs(const ArgParser& args);
 
 }  // namespace hetscale

@@ -23,7 +23,8 @@ class CsvWriter {
 
   void write_to(std::ostream& os) const;
 
-  /// Escape a single field (quote if it contains comma, quote, or newline).
+  /// Escape a single field, RFC-4180 style: quote when it contains a comma,
+  /// quote, or line break (LF or CR), doubling any embedded quotes.
   static std::string escape(const std::string& field);
 
  private:

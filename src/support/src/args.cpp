@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "hetscale/support/error.hpp"
 
@@ -24,6 +25,14 @@ ArgParser& ArgParser::add_bool(const std::string& name,
   return *this;
 }
 
+ArgParser& ArgParser::add_short(char alias, const std::string& name) {
+  HETSCALE_REQUIRE(specs_.count(name) > 0,
+                   "short alias refers to undeclared flag --" + name);
+  HETSCALE_REQUIRE(alias != '-', "short alias must not be '-'");
+  shorts_[alias] = name;
+  return *this;
+}
+
 void ArgParser::parse(int argc, const char* const* argv) {
   std::vector<std::string> args;
   for (int i = 0; i < argc; ++i) args.emplace_back(argv[i]);
@@ -34,6 +43,25 @@ void ArgParser::parse(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg.rfind("--", 0) != 0) {
+      // `-j ...` / `-j8` for a declared alias; anything else is positional.
+      if (arg.size() >= 2 && arg[0] == '-' && shorts_.count(arg[1]) > 0) {
+        const std::string& name = shorts_.at(arg[1]);
+        const Spec& spec = specs_.at(name);
+        if (spec.boolean) {
+          HETSCALE_REQUIRE(arg.size() == 2, "boolean flag -" +
+                                                std::string(1, arg[1]) +
+                                                " takes no value");
+          values_[name] = "true";
+        } else if (arg.size() > 2) {
+          values_[name] = arg.substr(arg[2] == '=' ? 3 : 2);
+        } else {
+          HETSCALE_REQUIRE(i + 1 < args.size(),
+                           "flag -" + std::string(1, arg[1]) +
+                               " needs a value");
+          values_[name] = args[++i];
+        }
+        continue;
+      }
       positional_.push_back(arg);
       continue;
     }
@@ -116,6 +144,33 @@ std::string ArgParser::help(const std::string& program) const {
     os << '\n';
   }
   return os.str();
+}
+
+int default_jobs() {
+  if (const char* env = std::getenv("HETSCALE_JOBS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 1) {
+      return static_cast<int>(value);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware >= 1 ? static_cast<int>(hardware) : 1;
+}
+
+ArgParser& add_jobs_flag(ArgParser& args) {
+  args.add_flag("jobs",
+                "worker threads for batch runs (default: HETSCALE_JOBS "
+                "or hardware concurrency)");
+  args.add_short('j', "jobs");
+  return args;
+}
+
+int resolve_jobs(const ArgParser& args) {
+  if (!args.has("jobs")) return default_jobs();
+  const auto jobs = args.get_int("jobs", 0);
+  HETSCALE_REQUIRE(jobs >= 1, "--jobs must be >= 1");
+  return static_cast<int>(jobs);
 }
 
 std::vector<std::string> split(const std::string& text, char sep) {

@@ -19,7 +19,7 @@ void CsvWriter::add_row(std::vector<std::string> row) {
 }
 
 std::string CsvWriter::escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
   std::string out = "\"";
   for (char ch : field) {
     if (ch == '"') out += '"';

@@ -1,0 +1,161 @@
+#include "hetscale/run/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "hetscale/scal/combination.hpp"
+#include "hetscale/scal/iso_solver.hpp"
+#include "hetscale/scenarios/paper.hpp"
+
+namespace hetscale::run {
+namespace {
+
+TEST(Runner, MapReturnsResultsInRequestOrder) {
+  Runner runner(4);
+  EXPECT_EQ(runner.jobs(), 4);
+  const auto out = runner.map(
+      64, [](std::size_t i) { return static_cast<std::int64_t>(i * i); });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<std::int64_t>(i * i));
+  }
+}
+
+TEST(Runner, SingleJobRunsInlineOnTheCaller) {
+  Runner runner(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  runner.run_indexed(8, [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+    EXPECT_FALSE(Runner::on_worker_thread());
+  });
+  for (const auto id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(Runner, EmptyAndSingletonBatches) {
+  Runner runner(4);
+  int calls = 0;
+  runner.run_indexed(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  runner.run_indexed(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Runner, TasksRunOnWorkerLanes) {
+  Runner runner(4);
+  std::atomic<int> on_worker{0};
+  runner.run_indexed(16, [&](std::size_t) {
+    if (Runner::on_worker_thread()) on_worker.fetch_add(1);
+  });
+  // Every lane (pool workers and the participating caller) counts as a
+  // worker while draining.
+  EXPECT_EQ(on_worker.load(), 16);
+  EXPECT_FALSE(Runner::on_worker_thread());
+}
+
+TEST(Runner, ExceptionFromBatchPropagates) {
+  Runner runner(4);
+  EXPECT_THROW(runner.run_indexed(
+                   32,
+                   [](std::size_t i) {
+                     if (i >= 3) throw std::runtime_error("task failed");
+                   }),
+               std::runtime_error);
+  // The pool survives a failed batch.
+  const auto out =
+      runner.map(8, [](std::size_t i) { return static_cast<int>(i) + 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 36);
+}
+
+TEST(Runner, SequentialExceptionReportsFirstIndex) {
+  Runner runner(1);
+  try {
+    runner.run_indexed(8, [](std::size_t i) {
+      if (i >= 2) throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task 2");
+  }
+}
+
+TEST(Runner, NestedBatchesRunInlineWithoutDeadlock) {
+  Runner runner(4);
+  const auto out = runner.map(8, [&](std::size_t i) {
+    const auto inner = runner.map(4, [&](std::size_t j) {
+      EXPECT_TRUE(Runner::on_worker_thread());
+      return static_cast<int>(i * 10 + j);
+    });
+    return std::accumulate(inner.begin(), inner.end(), 0);
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(40 * i + 6));
+  }
+}
+
+TEST(Runner, ManyBatchesBackToBack) {
+  Runner runner(3);
+  std::int64_t total = 0;
+  for (int round = 0; round < 200; ++round) {
+    const auto out = runner.map(
+        16, [&](std::size_t i) { return static_cast<std::int64_t>(i) + 1; });
+    total += std::accumulate(out.begin(), out.end(), std::int64_t{0});
+  }
+  EXPECT_EQ(total, 200 * 136);
+}
+
+// The engine's core guarantee: a parallel sweep of real simulations equals
+// the sequential sweep exactly, field by field.
+TEST(Runner, ParallelSimulationSweepMatchesSequentialExactly) {
+  const std::vector<std::int64_t> sizes{50, 100, 150, 200, 250};
+
+  auto sequential_combo = scenarios::make_ge(2);
+  Runner sequential(1);
+  const auto expected = sequential_combo->measure_many(sizes, sequential);
+
+  auto parallel_combo = scenarios::make_ge(2);
+  Runner parallel(8);
+  const auto got = parallel_combo->measure_many(sizes, parallel);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].n, expected[i].n);
+    EXPECT_EQ(got[i].seconds, expected[i].seconds);
+    EXPECT_EQ(got[i].work_flops, expected[i].work_flops);
+    EXPECT_EQ(got[i].speed_flops, expected[i].speed_flops);
+    EXPECT_EQ(got[i].speed_efficiency, expected[i].speed_efficiency);
+  }
+}
+
+// Regression: the iso-solver's parallel refinement must land on the same N
+// as sequential bisection even where E_s(N) has small non-monotone wiggles
+// (speculative bisection replays the exact sequential trajectory).
+TEST(Runner, IsoSolveIsWorkerCountInvariant) {
+  auto baseline_combo = scenarios::make_ge(2);
+  const auto baseline = scal::required_problem_size(
+      *baseline_combo, scenarios::kGeTargetEs, {});
+
+  for (int jobs : {1, 2, 8}) {
+    auto combo = scenarios::make_ge(2);
+    Runner runner(jobs);
+    scal::IsoSolveOptions options;
+    options.runner = &runner;
+    const auto got =
+        scal::required_problem_size(*combo, scenarios::kGeTargetEs, options);
+    EXPECT_EQ(got.found, baseline.found) << "jobs=" << jobs;
+    EXPECT_EQ(got.n, baseline.n) << "jobs=" << jobs;
+    EXPECT_EQ(got.achieved_es, baseline.achieved_es) << "jobs=" << jobs;
+  }
+}
+
+}  // namespace
+}  // namespace hetscale::run

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "hetscale/support/error.hpp"
 
 namespace hetscale {
@@ -82,6 +84,87 @@ TEST(Args, HelpListsFlags) {
   EXPECT_NE(text.find("--target"), std::string::npos);
   EXPECT_NE(text.find("default: 0.3"), std::string::npos);
   EXPECT_NE(text.find("--quiet"), std::string::npos);
+}
+
+TEST(Args, ShortAliasForms) {
+  ArgParser args;
+  args.add_flag("jobs", "worker threads").add_short('j', "jobs");
+  args.parse({"-j", "4"});
+  EXPECT_EQ(args.get_int("jobs", 0), 4);
+
+  ArgParser glued;
+  glued.add_flag("jobs", "worker threads").add_short('j', "jobs");
+  glued.parse({"-j8"});
+  EXPECT_EQ(glued.get_int("jobs", 0), 8);
+
+  ArgParser equals;
+  equals.add_flag("jobs", "worker threads").add_short('j', "jobs");
+  equals.parse({"-j=2"});
+  EXPECT_EQ(equals.get_int("jobs", 0), 2);
+}
+
+TEST(Args, ShortAliasBooleanAndErrors) {
+  ArgParser args;
+  args.add_bool("verbose", "talk more").add_short('v', "verbose");
+  args.parse({"-v"});
+  EXPECT_TRUE(args.has("verbose"));
+
+  ArgParser with_value;
+  with_value.add_bool("verbose", "talk more").add_short('v', "verbose");
+  EXPECT_THROW(with_value.parse({"-v1"}), PreconditionError);
+
+  ArgParser missing;
+  missing.add_flag("jobs", "worker threads").add_short('j', "jobs");
+  EXPECT_THROW(missing.parse({"-j"}), PreconditionError);
+
+  ArgParser undeclared;
+  EXPECT_THROW(undeclared.add_short('j', "jobs"), PreconditionError);
+}
+
+TEST(Args, UndeclaredShortStaysPositional) {
+  ArgParser args;
+  args.add_flag("x", "x");
+  args.parse({"-5", "--x", "1", "-"});
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"-5", "-"}));
+}
+
+TEST(Args, JobsFlagResolution) {
+  ArgParser args;
+  add_jobs_flag(args);
+  args.parse({"-j", "3"});
+  EXPECT_EQ(resolve_jobs(args), 3);
+
+  ArgParser zero;
+  add_jobs_flag(zero);
+  zero.parse({"--jobs=0"});
+  EXPECT_THROW(resolve_jobs(zero), PreconditionError);
+}
+
+TEST(Args, JobsEnvFallback) {
+  ArgParser args;
+  add_jobs_flag(args);
+  args.parse(std::vector<std::string>{});
+
+  ::setenv("HETSCALE_JOBS", "5", 1);
+  EXPECT_EQ(default_jobs(), 5);
+  EXPECT_EQ(resolve_jobs(args), 5);
+
+  ::setenv("HETSCALE_JOBS", "not-a-number", 1);
+  EXPECT_GE(default_jobs(), 1);  // falls back to hardware concurrency
+
+  ::setenv("HETSCALE_JOBS", "-2", 1);
+  EXPECT_GE(default_jobs(), 1);
+
+  ::unsetenv("HETSCALE_JOBS");
+  EXPECT_GE(default_jobs(), 1);
+
+  // An explicit flag beats the environment.
+  ::setenv("HETSCALE_JOBS", "5", 1);
+  ArgParser explicit_flag;
+  add_jobs_flag(explicit_flag);
+  explicit_flag.parse({"--jobs", "2"});
+  EXPECT_EQ(resolve_jobs(explicit_flag), 2);
+  ::unsetenv("HETSCALE_JOBS");
 }
 
 TEST(Split, SplitsAndTrims) {

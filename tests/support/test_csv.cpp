@@ -27,6 +27,30 @@ TEST(Csv, EscapesCommasQuotesNewlines) {
   EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
 }
 
+TEST(Csv, EscapesCarriageReturns) {
+  EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+  EXPECT_EQ(CsvWriter::escape("dos\r\nline"), "\"dos\r\nline\"");
+}
+
+TEST(Csv, EscapeEdgeCases) {
+  EXPECT_EQ(CsvWriter::escape(""), "");
+  EXPECT_EQ(CsvWriter::escape("  spaced  "), "  spaced  ");
+  EXPECT_EQ(CsvWriter::escape("\""), "\"\"\"\"");
+  EXPECT_EQ(CsvWriter::escape(","), "\",\"");
+  // All the special characters at once, quotes doubled exactly once each.
+  EXPECT_EQ(CsvWriter::escape("a,\"b\"\r\nc"), "\"a,\"\"b\"\"\r\nc\"");
+}
+
+TEST(Csv, RowsWithSpecialFieldsRoundTripThroughEscaping) {
+  CsvWriter csv({"name", "note"});
+  csv.add_row({"GE, 2 nodes", "says \"ok\""});
+  csv.add_row({"line\nbreak", "cr\rhere"});
+  EXPECT_EQ(csv.str(),
+            "name,note\n"
+            "\"GE, 2 nodes\",\"says \"\"ok\"\"\"\n"
+            "\"line\nbreak\",\"cr\rhere\"\n");
+}
+
 TEST(Csv, EmptyHeaderRejected) {
   EXPECT_THROW(CsvWriter({}), PreconditionError);
 }

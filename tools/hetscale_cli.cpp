@@ -1,5 +1,7 @@
 // hetscale_cli — the library's analyses from the command line.
 //
+//   hetscale_cli run     table3_ge_required_rank --format=json --jobs 8
+//   hetscale_cli run     list
 //   hetscale_cli marked  --cluster "server:2,sunbladex3"
 //   hetscale_cli solve   --algo ge --cluster "server:2,sunbladex3" --target 0.3
 //   hetscale_cli curve   --algo mm --cluster "server:1,v210x3:1" --from 32 --to 512 --step 32
@@ -9,7 +11,9 @@
 //
 // Cluster grammar: comma-separated "<type>[xCOUNT][:CPUS]" with types
 // server / sunblade / v210 (see machine/parse.hpp). Ladders name the
-// paper's GE/MM ensembles by node count.
+// paper's GE/MM ensembles by node count. `run` executes a registered
+// scenario (the paper's tables and figures) on a --jobs-wide worker pool;
+// solve / curve / series accept --jobs too.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -23,8 +27,11 @@
 #include "hetscale/marked/suite.hpp"
 #include "hetscale/predict/models.hpp"
 #include "hetscale/predict/probe.hpp"
+#include "hetscale/run/runner.hpp"
+#include "hetscale/run/scenario.hpp"
 #include "hetscale/scal/iso_solver.hpp"
 #include "hetscale/scal/series.hpp"
+#include "hetscale/scenarios/paper.hpp"
 #include "hetscale/support/args.hpp"
 #include "hetscale/support/csv.hpp"
 #include "hetscale/support/table.hpp"
@@ -56,6 +63,34 @@ std::unique_ptr<scal::ClusterCombination> make_combination(
                           "' (expected ge, mm, sort, or jacobi)");
 }
 
+int cmd_run(const ArgParser& args) {
+  scenarios::register_paper_scenarios();
+  const auto& positional = args.positional();
+  const std::string name = positional.size() > 1 ? positional[1] : "list";
+  if (name == "list") {
+    Table table("Scenarios (paper artifacts)");
+    table.set_header({"name", "summary"});
+    for (const run::Scenario* scenario : run::all_scenarios()) {
+      table.add_row({scenario->name, scenario->summary});
+    }
+    std::cout << table;
+    return positional.size() > 1 ? 0 : 2;
+  }
+  const run::Scenario* scenario = run::find_scenario(name);
+  if (scenario == nullptr) {
+    std::cerr << "error: unknown scenario '" << name
+              << "' (try: hetscale_cli run list)\n";
+    return 2;
+  }
+  run::Runner runner(resolve_jobs(args));
+  const run::RunContext context{
+      runner, run::parse_format(args.get_or("format", "text"))};
+  const run::RunResult result = scenario->run(context);
+  std::string storage;
+  std::cout << run::render(result, context.format, storage);
+  return 0;
+}
+
 int cmd_marked(const ArgParser& args) {
   const auto cluster = machine::parse_cluster(args.get("cluster"));
   Table table("Marked speeds (Definitions 1-2)");
@@ -78,8 +113,10 @@ int cmd_solve(const ArgParser& args) {
   auto combo = make_combination(args.get_or("algo", "ge"),
                                 machine::parse_cluster(args.get("cluster")));
   const double target = args.get_double("target", 0.3);
+  run::Runner runner(resolve_jobs(args));
   scal::IsoSolveOptions options;
   options.n_min = args.get_int("nmin", options.n_min);
+  options.runner = &runner;
   const auto result = scal::required_problem_size(*combo, target, options);
   if (!result.found) {
     std::cout << "E_s = " << target << " is unreachable on " << combo->name()
@@ -100,10 +137,13 @@ int cmd_curve(const ArgParser& args) {
   const auto step = args.get_int("step", 32);
   HETSCALE_REQUIRE(from >= 1 && to >= from && step >= 1,
                    "need 1 <= from <= to and step >= 1");
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t n = from; n <= to; n += step) sizes.push_back(n);
+  run::Runner runner(resolve_jobs(args));
+  const auto measured = combo->measure_many(sizes, runner);
   CsvWriter csv({"N", "seconds", "speed_mflops", "speed_efficiency"});
-  for (std::int64_t n = from; n <= to; n += step) {
-    const auto& m = combo->measure(n);
-    csv.add_row({std::to_string(n), Table::fixed(m.seconds, 6),
+  for (const auto& m : measured) {
+    csv.add_row({std::to_string(m.n), Table::fixed(m.seconds, 6),
                  Table::fixed(m.speed_flops / 1e6, 2),
                  Table::fixed(m.speed_efficiency, 4)});
   }
@@ -123,7 +163,8 @@ int cmd_series(const ArgParser& args) {
                            : machine::sunwulf::ge_ensemble(nodes)));
     ptrs.push_back(owned.back().get());
   }
-  const auto report = scal::scalability_series(ptrs, target);
+  run::Runner runner(resolve_jobs(args));
+  const auto report = scal::scalability_series(ptrs, target, {}, &runner);
   Table table("Isospeed-efficiency scalability series (E_s = " +
               Table::num(target, 2) + ")");
   table.set_header({"system", "C (Mflops)", "N", "psi step"});
@@ -200,11 +241,14 @@ int main(int argc, char** argv) {
       .add_flag("step", "curve: N increment", "32")
       .add_flag("n", "trace: problem size", "64")
       .add_flag("nmin", "solve: search floor", "4")
-      .add_flag("out", "trace: chrome-trace output file");
+      .add_flag("out", "trace: chrome-trace output file")
+      .add_flag("format", "run: output format (text, csv, json)", "text");
+  add_jobs_flag(args);
   try {
     args.parse(argc - 1, argv + 1);
     const auto& positional = args.positional();
     const std::string command = positional.empty() ? "" : positional.front();
+    if (command == "run") return cmd_run(args);
     if (command == "marked") return cmd_marked(args);
     if (command == "solve") return cmd_solve(args);
     if (command == "curve") return cmd_curve(args);
@@ -212,8 +256,8 @@ int main(int argc, char** argv) {
     if (command == "predict") return cmd_predict(args);
     if (command == "trace") return cmd_trace(args);
     std::cout << "hetscale_cli — isospeed-efficiency scalability analyses\n"
-              << "commands: marked | solve | curve | series | predict | "
-                 "trace\n\n"
+              << "commands: run | marked | solve | curve | series | predict "
+                 "| trace\n\n"
               << args.help("hetscale_cli <command>");
     return command.empty() ? 0 : 2;
   } catch (const hetscale::Error& error) {
