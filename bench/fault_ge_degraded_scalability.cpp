@@ -1,0 +1,13 @@
+// GE scalability under a seeded degradation plan.
+//
+// Thin launcher for the fault_ge_degraded_scalability scenario
+// (src/scenarios); supports --format=text|csv|json, --jobs N, and --seed N
+// like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/fault.hpp"
+
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_fault_scenarios();
+  return hetscale::run::scenario_main("fault_ge_degraded_scalability", argc,
+                                      argv);
+}

@@ -1,0 +1,12 @@
+// GE under transient message loss — drop-probability ladder.
+//
+// Thin launcher for the fault_ge_loss_retry scenario (src/scenarios);
+// supports --format=text|csv|json, --jobs N, and --seed N like
+// `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/fault.hpp"
+
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_fault_scenarios();
+  return hetscale::run::scenario_main("fault_ge_loss_retry", argc, argv);
+}

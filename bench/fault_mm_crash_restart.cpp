@@ -1,0 +1,12 @@
+// MM under crash/restart — the checkpoint interval trade.
+//
+// Thin launcher for the fault_mm_crash_restart scenario (src/scenarios);
+// supports --format=text|csv|json, --jobs N, and --seed N like
+// `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/fault.hpp"
+
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_fault_scenarios();
+  return hetscale::run::scenario_main("fault_mm_crash_restart", argc, argv);
+}

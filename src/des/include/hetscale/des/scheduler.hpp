@@ -20,6 +20,15 @@ namespace hetscale::des {
 /// Virtual time, in seconds.
 using SimTime = double;
 
+/// The event queue drained while a root process was still suspended — the
+/// model deadlocked (e.g. a recv with no matching send). A distinct type so
+/// layers above can catch it and attach model-level diagnosis (vmpi reports
+/// which ranks are blocked on which mailboxes).
+class DeadlockError : public ModelError {
+ public:
+  using ModelError::ModelError;
+};
+
 class Scheduler {
  public:
   Scheduler() = default;

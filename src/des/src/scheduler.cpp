@@ -34,7 +34,7 @@ void Scheduler::run() {
   for (auto handle : roots_) {
     if (!handle) continue;
     if (!handle.done()) {
-      throw ModelError(
+      throw DeadlockError(
           "simulation deadlock: a root process is still blocked after the "
           "event queue drained (e.g. a recv with no matching send)");
     }

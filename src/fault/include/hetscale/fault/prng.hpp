@@ -1,0 +1,59 @@
+// Counter-based random numbers for fault injection.
+//
+// Fault decisions must be bit-reproducible at any --jobs setting and must
+// not depend on the order in which ranks happen to consume randomness, so
+// the fault layer never draws from a shared sequential stream. Every draw
+// is a pure function of (seed, stream, counter): stream identifies *who* is
+// drawing (a rank, the link, the plan generator) and counter *which* draw
+// it is (that rank's n-th message, the k-th crash). Two simulations that
+// make the same draws get the same numbers regardless of interleaving.
+//
+// The mixer is SplitMix64's finalizer applied to the combined key — the
+// same primitive support/rng.hpp uses for seeding, shown to pass statistical
+// tests as a counter-mode generator.
+#pragma once
+
+#include <cstdint>
+
+namespace hetscale::fault {
+
+/// A stateless counter-mode generator over a fixed seed.
+class CounterRng {
+ public:
+  explicit constexpr CounterRng(std::uint64_t seed) : seed_(seed) {}
+
+  constexpr std::uint64_t seed() const { return seed_; }
+
+  /// The raw 64-bit value of draw (stream, counter).
+  constexpr std::uint64_t bits(std::uint64_t stream,
+                               std::uint64_t counter) const {
+    return mix(mix(seed_ ^ kSeedSalt) ^ mix(stream ^ kStreamSalt) ^
+               (counter * kCounterSalt));
+  }
+
+  /// Uniform double in [0, 1) for draw (stream, counter).
+  constexpr double uniform(std::uint64_t stream, std::uint64_t counter) const {
+    // 53 random mantissa bits, the standard u64 -> [0,1) construction.
+    return static_cast<double>(bits(stream, counter) >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed value with the given mean (inter-arrival
+  /// sampling for crash schedules). Never returns exactly zero.
+  double exponential(std::uint64_t stream, std::uint64_t counter,
+                     double mean) const;
+
+ private:
+  static constexpr std::uint64_t kSeedSalt = 0x9e3779b97f4a7c15ULL;
+  static constexpr std::uint64_t kStreamSalt = 0xbf58476d1ce4e5b9ULL;
+  static constexpr std::uint64_t kCounterSalt = 0x94d049bb133111ebULL;
+
+  static constexpr std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t seed_;
+};
+
+}  // namespace hetscale::fault

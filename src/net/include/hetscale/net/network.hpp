@@ -59,8 +59,10 @@ class Network {
 
   /// Model a message of `bytes` from node `src` to node `dst`, departing at
   /// `depart`. Transfers between ranks on the same node take the local path.
-  TransferResult transfer(int src_node, int dst_node, double bytes,
-                          SimTime depart);
+  /// Virtual so that decorators (fault::DegradedNetwork) can intercept the
+  /// whole transfer; concrete wire models override remote_transfer instead.
+  virtual TransferResult transfer(int src_node, int dst_node, double bytes,
+                                  SimTime depart);
 
   const NetworkParams& params() const { return params_; }
   const NetworkStats& stats() const { return stats_; }
@@ -69,6 +71,11 @@ class Network {
   /// Model-specific remote path; local transfers are handled by the base.
   virtual TransferResult remote_transfer(int src_node, int dst_node,
                                          double bytes, SimTime depart) = 0;
+
+  /// Count one message of `bytes` toward stats() (decorators overriding
+  /// transfer() call this with the *nominal* size, so traffic reports stay
+  /// comparable between healthy and degraded runs).
+  void record_traffic(double bytes);
 
   NetworkParams params_;
 

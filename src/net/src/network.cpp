@@ -9,8 +9,7 @@ TransferResult Network::transfer(int src_node, int dst_node, double bytes,
   HETSCALE_REQUIRE(bytes >= 0.0, "message size must be non-negative");
   HETSCALE_REQUIRE(src_node >= 0 && dst_node >= 0, "node ids must be >= 0");
   HETSCALE_REQUIRE(depart >= 0.0, "departure time must be >= 0");
-  ++stats_.messages;
-  stats_.bytes += bytes;
+  record_traffic(bytes);
 
   const SimTime ready = depart + params_.per_message_overhead_s;
   if (src_node == dst_node) {
@@ -20,6 +19,11 @@ TransferResult Network::transfer(int src_node, int dst_node, double bytes,
     return TransferResult{done, done};
   }
   return remote_transfer(src_node, dst_node, bytes, ready);
+}
+
+void Network::record_traffic(double bytes) {
+  ++stats_.messages;
+  stats_.bytes += bytes;
 }
 
 }  // namespace hetscale::net

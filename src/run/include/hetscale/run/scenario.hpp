@@ -8,6 +8,7 @@
 // regeneration path with `--jobs N` parallelism.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -22,6 +23,9 @@ enum class OutputFormat { kText, kCsv, kJson };
 struct RunContext {
   Runner& runner;
   OutputFormat format = OutputFormat::kText;
+  /// Experiment seed (--seed / HETSCALE_SEED). Fault scenarios expand it
+  /// into a FaultPlan; healthy scenarios are free to ignore it.
+  std::uint64_t seed = 0;
 };
 
 struct Scenario {
@@ -50,8 +54,8 @@ const std::string& render(const RunResult& result, OutputFormat format,
 
 /// Shared main() for scenario-backed binaries and the CLI `run` command:
 /// parses --format=text|csv|json, --jobs N / -j N (HETSCALE_JOBS fallback),
-/// and --help from argv[1..], runs the named scenario, prints to stdout.
-/// Returns a process exit code.
+/// --seed N (HETSCALE_SEED fallback), and --help from argv[1..], runs the
+/// named scenario, prints to stdout. Returns a process exit code.
 int scenario_main(const std::string& name, int argc, const char* const* argv);
 
 }  // namespace hetscale::run

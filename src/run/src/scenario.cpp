@@ -70,6 +70,7 @@ int scenario_main(const std::string& name, int argc,
     args.add_flag("format", "output format: text, csv, json", "text");
     args.add_bool("help", "show this help");
     add_jobs_flag(args);
+    add_seed_flag(args);
     args.parse(argc > 0 ? argc - 1 : 0, argv + 1);
 
     const Scenario* scenario = find_scenario(name);
@@ -82,7 +83,8 @@ int scenario_main(const std::string& name, int argc,
     }
 
     Runner runner(resolve_jobs(args));
-    const RunContext context{runner, parse_format(args.get("format"))};
+    const RunContext context{runner, parse_format(args.get("format")),
+                             resolve_seed(args)};
     const RunResult result = scenario->run(context);
     std::string storage;
     std::cout << render(result, context.format, storage);

@@ -112,6 +112,11 @@ class ClusterCombination : public Combination {
   const Config& config() const { return config_; }
 
  private:
+  /// The fault study (scal/fault_study.hpp) replays run_once on a machine
+  /// whose network is wrapped in a fault::DegradedNetwork with a
+  /// fault::Injector attached — it needs the run hook and the config.
+  friend class FaultedCombination;
+
   /// One full simulation at size n — pure w.r.t. this object.
   Measurement compute(std::int64_t n) const;
 

@@ -6,6 +6,7 @@
 // errors).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -69,5 +70,17 @@ ArgParser& add_jobs_flag(ArgParser& args);
 /// The parsed --jobs/-j value (must be >= 1), or default_jobs() when the
 /// flag was not given.
 int resolve_jobs(const ArgParser& args);
+
+/// The process-wide default fault/experiment seed: the HETSCALE_SEED
+/// environment variable when set to a non-negative integer, otherwise 0.
+std::uint64_t default_seed();
+
+/// Declare the conventional `--seed N` flag shared by the CLI and the
+/// scenario launchers.
+ArgParser& add_seed_flag(ArgParser& args);
+
+/// The parsed --seed value (must be >= 0), or default_seed() when the flag
+/// was not given.
+std::uint64_t resolve_seed(const ArgParser& args);
 
 }  // namespace hetscale

@@ -173,6 +173,30 @@ int resolve_jobs(const ArgParser& args) {
   return static_cast<int>(jobs);
 }
 
+std::uint64_t default_seed() {
+  if (const char* env = std::getenv("HETSCALE_SEED")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      return static_cast<std::uint64_t>(value);
+    }
+  }
+  return 0;
+}
+
+ArgParser& add_seed_flag(ArgParser& args) {
+  args.add_flag("seed",
+                "fault/experiment seed (default: HETSCALE_SEED or 0)");
+  return args;
+}
+
+std::uint64_t resolve_seed(const ArgParser& args) {
+  if (!args.has("seed")) return default_seed();
+  const auto seed = args.get_int("seed", 0);
+  HETSCALE_REQUIRE(seed >= 0, "--seed must be >= 0");
+  return static_cast<std::uint64_t>(seed);
+}
+
 std::vector<std::string> split(const std::string& text, char sep) {
   std::vector<std::string> out;
   std::string piece;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "hetscale/des/task.hpp"
+#include "hetscale/net/network.hpp"
 #include "hetscale/vmpi/message.hpp"
 
 namespace hetscale::vmpi {
@@ -126,6 +127,12 @@ class Comm {
   static constexpr int kTagBcastRing = (1 << 28) + 6;
   static constexpr int kTagAllgather = (1 << 28) + 7;
   static constexpr int kTagAlltoall = (1 << 28) + 8;
+
+  /// One logical transmission to `dst`, consulting the machine's fault
+  /// hooks: under message loss this models the full retry schedule (every
+  /// attempt occupies the wire; timeouts back off exponentially) and
+  /// returns the *final* attempt's result. Hook-free, it is one transfer.
+  net::TransferResult transmit(int dst, double bytes, des::SimTime start);
 
   des::Task<std::any> bcast_flat(int root, double bytes, std::any payload);
   des::Task<std::any> bcast_binomial(int root, double bytes,

@@ -11,6 +11,7 @@
 #include "hetscale/machine/cluster.hpp"
 #include "hetscale/net/network.hpp"
 #include "hetscale/vmpi/comm.hpp"
+#include "hetscale/vmpi/faults.hpp"
 #include "hetscale/vmpi/message.hpp"
 #include "hetscale/vmpi/trace.hpp"
 
@@ -85,6 +86,12 @@ class Machine {
   TraceRecorder& enable_tracing();
   TraceRecorder* tracer() { return tracer_.get(); }
 
+  /// Attach fault hooks (before run()). Non-owning: the caller keeps the
+  /// hooks alive for the run and reads their accounting afterwards. Null
+  /// (the default) runs the machine healthy, hook-free.
+  void attach_fault_hooks(FaultHooks* hooks);
+  FaultHooks* fault_hooks() { return fault_hooks_; }
+
   /// An SPMD program: called once per rank to create that rank's coroutine.
   using Program = std::function<des::Task<void>(Comm&)>;
 
@@ -102,6 +109,7 @@ class Machine {
   std::vector<Comm> comms_;
   CollectiveTuning tuning_;
   std::unique_ptr<TraceRecorder> tracer_;
+  FaultHooks* fault_hooks_ = nullptr;
   bool ran_ = false;
 };
 

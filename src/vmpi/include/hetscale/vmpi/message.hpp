@@ -50,21 +50,36 @@ class Mailbox {
   std::optional<Message> take_match(int source, int tag);
 
   /// Awaitable: suspend until the next post. Only one waiter may exist.
-  auto wait_for_post() { return WaitAwaiter{*this}; }
+  /// The (source, tag) the receiver is matching is remembered while it is
+  /// suspended, so a deadlocked run can name what every blocked rank was
+  /// waiting for (Machine::run's diagnosis).
+  auto wait_for_post(int source = kAnySource, int tag = kAnyTag) {
+    return WaitAwaiter{*this, source, tag};
+  }
 
   std::size_t pending_count() const { return pending_.size(); }
+
+  /// The (source, tag) of a receiver currently suspended on this mailbox.
+  struct WaitingRecv {
+    int source = kAnySource;
+    int tag = kAnyTag;
+  };
+  std::optional<WaitingRecv> waiting_recv() const { return waiting_; }
 
  private:
   struct WaitAwaiter {
     Mailbox& box;
+    int source;
+    int tag;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> handle);
-    void await_resume() const noexcept {}
+    void await_resume() const noexcept { box.waiting_.reset(); }
   };
 
   des::Scheduler* scheduler_;
   std::deque<Message> pending_;
   std::coroutine_handle<> waiter_;
+  std::optional<WaitingRecv> waiting_;
 };
 
 }  // namespace hetscale::vmpi

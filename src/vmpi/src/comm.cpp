@@ -18,13 +18,50 @@ des::Task<void> Comm::compute(double flops, double efficiency) {
   HETSCALE_REQUIRE(flops >= 0.0, "flop count must be non-negative");
   HETSCALE_REQUIRE(efficiency > 0.0, "efficiency must be positive");
   const double duration = flops / (rate_flops() * efficiency);
+  // compute_s keeps the *healthy* duration even under faults: injected time
+  // (slowdown stretch, checkpoints, crash rework) shows up in elapsed and is
+  // attributed by the injector's own accounting, so overhead_s() cleanly
+  // separates "useful work" from "everything the faults cost".
   machine_->rank_stats(rank_).compute_s += duration;
   const des::SimTime start = now();
-  co_await machine_->scheduler().delay(duration);
+  if (auto* hooks = machine_->fault_hooks()) {
+    const des::SimTime end = hooks->compute_end(rank_, start, duration);
+    HETSCALE_CHECK(end >= start, "fault hooks moved a compute into the past");
+    co_await machine_->scheduler().resume_at(end);
+  } else {
+    co_await machine_->scheduler().delay(duration);
+  }
   if (auto* tracer = machine_->tracer()) {
     tracer->record_interval({rank_, TraceInterval::Kind::kCompute, start,
                              now(), -1, 0, 0.0});
   }
+}
+
+net::TransferResult Comm::transmit(int dst, double bytes, des::SimTime start) {
+  const int src_node = machine_->processor(rank_).node;
+  const int dst_node = machine_->processor(dst).node;
+  auto* hooks = machine_->fault_hooks();
+  if (hooks == nullptr) {
+    return machine_->network().transfer(src_node, dst_node, bytes, start);
+  }
+  const SendFaultPlan plan = hooks->send_faults(rank_);
+  HETSCALE_CHECK(plan.attempts >= 1, "a send needs at least one attempt");
+  // Each attempt really occupies the wire (lost frames still congest a
+  // shared medium); between attempts the sender sits out an exponentially
+  // backed-off timeout. Only the final attempt's arrival matters — the
+  // earlier frames were dropped.
+  des::SimTime depart = start;
+  double timeout = plan.retry_timeout_s;
+  net::TransferResult result{};
+  for (int attempt = 1; attempt <= plan.attempts; ++attempt) {
+    result = machine_->network().transfer(src_node, dst_node, bytes, depart);
+    if (attempt < plan.attempts) {
+      depart = result.sender_free + timeout;
+      timeout *= plan.backoff;
+    }
+  }
+  if (depart > start) hooks->record_retry_wait(rank_, depart - start);
+  return result;
 }
 
 des::Task<void> Comm::send(int dst, int tag, double bytes, std::any payload) {
@@ -32,9 +69,7 @@ des::Task<void> Comm::send(int dst, int tag, double bytes, std::any payload) {
   HETSCALE_REQUIRE(dst != rank_, "send-to-self is not supported");
   auto& stats = machine_->rank_stats(rank_);
   const des::SimTime start = now();
-  const auto result = machine_->network().transfer(
-      machine_->processor(rank_).node, machine_->processor(dst).node, bytes,
-      start);
+  const auto result = transmit(dst, bytes, start);
   machine_->mailbox(dst).post(
       Message{rank_, tag, bytes, std::move(payload), result.arrival});
   ++stats.messages_sent;
@@ -56,9 +91,7 @@ Comm::SendRequest Comm::isend(int dst, int tag, double bytes,
   HETSCALE_REQUIRE(dst != rank_, "send-to-self is not supported");
   auto& stats = machine_->rank_stats(rank_);
   const des::SimTime start = now();
-  const auto result = machine_->network().transfer(
-      machine_->processor(rank_).node, machine_->processor(dst).node, bytes,
-      start);
+  const auto result = transmit(dst, bytes, start);
   machine_->mailbox(dst).post(
       Message{rank_, tag, bytes, std::move(payload), result.arrival});
   ++stats.messages_sent;
@@ -101,7 +134,7 @@ des::Task<Message> Comm::recv(int source, int tag) {
       }
       co_return std::move(*message);
     }
-    co_await box.wait_for_post();
+    co_await box.wait_for_post(source, tag);
   }
 }
 

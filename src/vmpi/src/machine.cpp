@@ -1,6 +1,7 @@
 #include "hetscale/vmpi/machine.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "hetscale/net/shared_bus.hpp"
 #include "hetscale/net/switched.hpp"
@@ -78,6 +79,33 @@ TraceRecorder& Machine::enable_tracing() {
   return *tracer_;
 }
 
+void Machine::attach_fault_hooks(FaultHooks* hooks) {
+  HETSCALE_REQUIRE(!ran_, "attach fault hooks before running the machine");
+  fault_hooks_ = hooks;
+}
+
+namespace {
+std::string describe_rank_wait(int rank, const Mailbox& box) {
+  std::ostringstream out;
+  const auto waiting = box.waiting_recv();
+  out << "  rank " << rank << " blocked in recv(source=";
+  if (waiting->source == kAnySource) {
+    out << "ANY";
+  } else {
+    out << waiting->source;
+  }
+  out << ", tag=";
+  if (waiting->tag == kAnyTag) {
+    out << "ANY";
+  } else {
+    out << waiting->tag;
+  }
+  out << "); " << box.pending_count() << " pending unmatched message"
+      << (box.pending_count() == 1 ? "" : "s");
+  return out.str();
+}
+}  // namespace
+
 RunResult Machine::run(const Program& program) {
   HETSCALE_REQUIRE(!ran_, "a Machine is single-shot; construct a fresh one");
   ran_ = true;
@@ -85,7 +113,23 @@ RunResult Machine::run(const Program& program) {
     scheduler_.spawn(rank_main(*this, comms_[static_cast<std::size_t>(r)],
                                program));
   }
-  scheduler_.run();
+  try {
+    scheduler_.run();
+  } catch (const des::DeadlockError& deadlock) {
+    // Quiescence with pending receivers: name what every blocked rank was
+    // waiting for and what sat unmatched in its mailbox — the usual causes
+    // are a tag mismatch or a rank that exited early (mailbox exhaustion).
+    std::ostringstream out;
+    out << deadlock.what() << "\n";
+    for (int r = 0; r < world_size(); ++r) {
+      const Mailbox& box = mailboxes_[static_cast<std::size_t>(r)];
+      if (!box.waiting_recv()) continue;
+      out << describe_rank_wait(r, box) << "\n";
+    }
+    out << "check that every posted tag has a matching receive and that no "
+           "rank returned while peers still expected its messages";
+    throw des::DeadlockError(out.str());
+  }
 
   RunResult result;
   result.ranks = stats_;

@@ -35,6 +35,7 @@ void Mailbox::WaitAwaiter::await_suspend(std::coroutine_handle<> handle) {
   HETSCALE_CHECK(box.waiter_ == nullptr,
                  "two concurrent receives on one rank's mailbox");
   box.waiter_ = handle;
+  box.waiting_ = WaitingRecv{source, tag};
 }
 
 }  // namespace hetscale::vmpi

@@ -1,0 +1,148 @@
+// Injector — the charged time is exact, hand-computable arithmetic: rate
+// scaling integrates the piecewise-constant factor, checkpoints are charged
+// when crossed, and a crash pays the restart delay plus everything since
+// the last checkpoint.
+#include "hetscale/fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::fault {
+namespace {
+
+TEST(Injector, HealthyPlanIsTheIdentity) {
+  const FaultPlan plan;
+  Injector injector(plan, {1e6, 1e6});
+  EXPECT_DOUBLE_EQ(injector.compute_end(0, 3.0, 2.0), 5.0);
+  const vmpi::SendFaultPlan send = injector.send_faults(0);
+  EXPECT_EQ(send.attempts, 1);
+  EXPECT_DOUBLE_EQ(injector.totals().total_s(), 0.0);
+  EXPECT_DOUBLE_EQ(injector.critical_path_fault_s(), 0.0);
+}
+
+TEST(Injector, HalfSpeedDoublesComputeTime) {
+  FaultPlan plan;
+  plan.add_slowdown({0, 0.0, 100.0, 0.5});
+  Injector injector(plan, {1e6});
+  EXPECT_DOUBLE_EQ(injector.compute_end(0, 0.0, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(injector.rank_stats(0).slowdown_s, 10.0);
+}
+
+TEST(Injector, PartialWindowIntegratesTheFactor) {
+  FaultPlan plan;
+  plan.add_slowdown({0, 5.0, 10.0, 0.5});
+  Injector injector(plan, {1e6});
+  // 10 healthy seconds from t=0: 5 healthy + the [5,10) window yielding
+  // 2.5 healthy-equivalents + 2.5 healthy after it = 12.5 elapsed.
+  EXPECT_DOUBLE_EQ(injector.compute_end(0, 0.0, 10.0), 12.5);
+  EXPECT_DOUBLE_EQ(injector.rank_stats(0).slowdown_s, 2.5);
+}
+
+TEST(Injector, SlowdownsOnlyAffectTheirRank) {
+  FaultPlan plan;
+  plan.add_slowdown({0, 0.0, 100.0, 0.5});
+  Injector injector(plan, {1e6, 1e6});
+  EXPECT_DOUBLE_EQ(injector.compute_end(1, 0.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(injector.rank_stats(1).slowdown_s, 0.0);
+}
+
+TEST(Injector, CheckpointChargedWhenCrossed) {
+  FaultPlan plan;
+  CheckpointPolicy policy;
+  policy.interval_s = 1.0;
+  policy.bytes = 12.5e6;         // 1 s at the default 12.5 MB/s
+  policy.flops = 1e6;            // 1 s at the 1 Mflop/s healthy rate
+  plan.set_checkpoint(policy);
+  Injector injector(plan, {1e6});
+  // 1.5 healthy seconds cross the checkpoint due at t=1: pay the 2 s cost
+  // there, then finish the remaining 0.5 s.
+  EXPECT_DOUBLE_EQ(injector.compute_end(0, 0.0, 1.5), 3.5);
+  EXPECT_EQ(injector.rank_stats(0).checkpoints, 1u);
+  EXPECT_DOUBLE_EQ(injector.rank_stats(0).checkpoint_s, 2.0);
+  EXPECT_DOUBLE_EQ(injector.rank_stats(0).slowdown_s, 0.0);
+}
+
+TEST(Injector, CrashPaysRestartPlusReworkSinceLastCheckpoint) {
+  FaultPlan plan;
+  plan.add_crash({0, 5.0});
+  plan.set_restart_delay(1.0);
+  CheckpointPolicy policy;
+  policy.interval_s = 4.0;  // free checkpoints: isolate the rework term
+  plan.set_checkpoint(policy);
+  Injector injector(plan, {1e6});
+  // Checkpoint at t=4 (cost 0), crash at t=5: rework = 1 s restart +
+  // (5 - 4) s since the checkpoint; the remaining 1 healthy second then
+  // runs to completion.
+  EXPECT_DOUBLE_EQ(injector.compute_end(0, 0.0, 6.0), 8.0);
+  EXPECT_EQ(injector.rank_stats(0).crashes, 1u);
+  EXPECT_DOUBLE_EQ(injector.rank_stats(0).rework_s, 2.0);
+}
+
+TEST(Injector, UncheckpointedCrashRollsBackToTheStart) {
+  FaultPlan plan;
+  plan.add_crash({0, 5.0});
+  plan.set_restart_delay(1.0);
+  Injector injector(plan, {1e6});
+  // rework = 1 s restart + all 5 s since t=0; then the remaining 5 s run.
+  EXPECT_DOUBLE_EQ(injector.compute_end(0, 0.0, 10.0), 16.0);
+  EXPECT_DOUBLE_EQ(injector.rank_stats(0).rework_s, 6.0);
+}
+
+TEST(Injector, CrashWhileBlockedManifestsAtTheNextCompute) {
+  FaultPlan plan;
+  plan.add_crash({0, 5.0});
+  plan.set_restart_delay(1.0);
+  Injector injector(plan, {1e6});
+  // The rank was blocked in recv past the scheduled crash; the crash fires
+  // at the compute's start, and the elapsed blocked time counts as rework.
+  EXPECT_DOUBLE_EQ(injector.compute_end(0, 10.0, 1.0), 22.0);
+  EXPECT_DOUBLE_EQ(injector.rank_stats(0).rework_s, 11.0);
+}
+
+TEST(Injector, LossDrawsAreDeterministicPerMessageCounter) {
+  FaultPlan plan;
+  LossModel loss;
+  loss.drop_probability = 0.5;
+  plan.set_loss(loss);
+  Injector a(plan, {1e6, 1e6});
+  Injector b(plan, {1e6, 1e6});
+  std::uint64_t retries = 0;
+  for (int message = 0; message < 64; ++message) {
+    const vmpi::SendFaultPlan fa = a.send_faults(0);
+    const vmpi::SendFaultPlan fb = b.send_faults(0);
+    EXPECT_EQ(fa.attempts, fb.attempts) << message;
+    ASSERT_GE(fa.attempts, 1);
+    ASSERT_LE(fa.attempts, loss.max_attempts);
+    EXPECT_DOUBLE_EQ(fa.retry_timeout_s, loss.retry_timeout_s);
+    EXPECT_DOUBLE_EQ(fa.backoff, loss.backoff);
+    retries += static_cast<std::uint64_t>(fa.attempts - 1);
+  }
+  EXPECT_GT(retries, 0u);  // at p=0.5 some of 64 sends certainly retried
+  EXPECT_EQ(a.rank_stats(0).retries, retries);
+  EXPECT_EQ(a.rank_stats(1).retries, 0u);  // streams are per-rank
+}
+
+TEST(Injector, RetryWaitsAccumulateIntoTheLedger) {
+  const FaultPlan plan;
+  Injector injector(plan, {1e6, 1e6});
+  injector.record_retry_wait(1, 0.25);
+  injector.record_retry_wait(1, 0.5);
+  EXPECT_DOUBLE_EQ(injector.rank_stats(1).retry_s, 0.75);
+  EXPECT_DOUBLE_EQ(injector.totals().retry_s, 0.75);
+  EXPECT_DOUBLE_EQ(injector.critical_path_fault_s(), 0.75);
+  EXPECT_THROW(injector.record_retry_wait(1, -1.0), PreconditionError);
+}
+
+TEST(Injector, ValidatesItsInputs) {
+  const FaultPlan plan;
+  EXPECT_THROW(Injector(plan, std::vector<double>{}), PreconditionError);
+  Injector injector(plan, {1e6});
+  EXPECT_THROW(injector.compute_end(1, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(injector.compute_end(0, 0.0, -1.0), PreconditionError);
+  EXPECT_THROW(injector.rank_stats(-1), PreconditionError);
+  EXPECT_THROW(injector.send_faults(5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::fault

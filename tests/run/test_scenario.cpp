@@ -129,6 +129,36 @@ TEST(ScenarioRegistry, RenderSelectsTheRendering) {
   EXPECT_EQ(render(result, OutputFormat::kJson, storage), result.to_json());
 }
 
+// Non-finite reals must degrade to JSON null through the *full* scenario
+// path — registry lookup, run, render — not just in Value::write_json.
+TEST(ScenarioRegistry, NonFiniteScalarsRenderAsNullThroughTheRegistry) {
+  register_scenario(
+      {"test_scenario_degenerate_values", "NaN/Inf handling",
+       [](const RunContext&) {
+         RunResult result;
+         result.scenario = "test_scenario_degenerate_values";
+         result.columns = {"metric", "value"};
+         result.add_row({Value("ratio"), Value::real(std::nan(""))});
+         result.add_scalar("nan_scalar", Value::real(std::nan("")));
+         result.add_scalar("pos_overflow", Value::real(INFINITY));
+         result.add_scalar("neg_overflow", Value::real(-INFINITY));
+         return result;
+       }});
+  const Scenario* scenario = find_scenario("test_scenario_degenerate_values");
+  ASSERT_NE(scenario, nullptr);
+  Runner runner(1);
+  const RunResult result = scenario->run({runner, OutputFormat::kJson});
+  std::string storage;
+  const std::string json = render(result, OutputFormat::kJson, storage);
+  EXPECT_NE(json.find("[\"ratio\", null]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nan_scalar\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pos_overflow\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"neg_overflow\": null"), std::string::npos) << json;
+  // Nothing a strict JSON parser would reject leaked through.
+  EXPECT_EQ(json.find("nan("), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+}
+
 // The PR's regression gate: a real scenario, run through the registry,
 // emits byte-identical documents at jobs=1 and jobs=8 in every format.
 TEST(ScenarioRegistry, ScenarioOutputIsWorkerCountInvariant) {

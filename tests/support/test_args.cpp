@@ -167,6 +167,48 @@ TEST(Args, JobsEnvFallback) {
   ::unsetenv("HETSCALE_JOBS");
 }
 
+TEST(Args, SeedFlagResolution) {
+  ArgParser args;
+  add_seed_flag(args);
+  args.parse({"--seed", "42"});
+  EXPECT_EQ(resolve_seed(args), 42u);
+
+  ArgParser negative;
+  add_seed_flag(negative);
+  negative.parse({"--seed=-3"});
+  EXPECT_THROW(resolve_seed(negative), PreconditionError);
+
+  ArgParser garbled;
+  add_seed_flag(garbled);
+  garbled.parse({"--seed", "12abc"});
+  EXPECT_THROW(resolve_seed(garbled), PreconditionError);
+}
+
+TEST(Args, SeedEnvFallback) {
+  ArgParser args;
+  add_seed_flag(args);
+  args.parse(std::vector<std::string>{});
+
+  ::unsetenv("HETSCALE_SEED");
+  EXPECT_EQ(default_seed(), 0u);
+  EXPECT_EQ(resolve_seed(args), 0u);
+
+  ::setenv("HETSCALE_SEED", "12345", 1);
+  EXPECT_EQ(default_seed(), 12345u);
+  EXPECT_EQ(resolve_seed(args), 12345u);
+
+  ::setenv("HETSCALE_SEED", "not-a-number", 1);
+  EXPECT_EQ(default_seed(), 0u);  // unparsable env falls back to 0
+
+  // An explicit flag beats the environment.
+  ::setenv("HETSCALE_SEED", "9", 1);
+  ArgParser explicit_flag;
+  add_seed_flag(explicit_flag);
+  explicit_flag.parse({"--seed", "2"});
+  EXPECT_EQ(resolve_seed(explicit_flag), 2u);
+  ::unsetenv("HETSCALE_SEED");
+}
+
 TEST(Split, SplitsAndTrims) {
   EXPECT_EQ(split("a, b ,c", ','), (std::vector<std::string>{"a", "b", "c"}));
   EXPECT_EQ(split("", ','), std::vector<std::string>{});

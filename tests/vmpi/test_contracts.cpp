@@ -83,6 +83,45 @@ TEST(Contracts, RankAccessorsValidateRange) {
   EXPECT_THROW(machine.rank_stats(99), PreconditionError);
 }
 
+TEST(Contracts, QuiescenceWithPendingReceiverDiagnosesTheWait) {
+  auto machine = Machine::switched(trio());
+  try {
+    machine.run([](Comm& comm) -> Task<void> {
+      // Rank 0 waits on a tag nobody ever sends: mailbox exhaustion.
+      if (comm.rank() == 0) co_await comm.recv(1, /*tag=*/7);
+    });
+    FAIL() << "expected a deadlock diagnosis";
+  } catch (const des::DeadlockError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("rank 0 blocked in recv(source=1, tag=7)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("0 pending unmatched message"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("matching receive"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, TagMismatchDiagnosisNamesThePendingMessage) {
+  auto machine = Machine::switched(trio());
+  try {
+    machine.run([](Comm& comm) -> Task<void> {
+      // Rank 1 posts tag 3; rank 0 waits for tag 7 — the message sits
+      // unmatched in the mailbox while the receiver starves.
+      if (comm.rank() == 1) co_await comm.send(0, /*tag=*/3, 8.0, {});
+      if (comm.rank() == 0) co_await comm.recv(1, /*tag=*/7);
+    });
+    FAIL() << "expected a deadlock diagnosis";
+  } catch (const des::DeadlockError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("rank 0 blocked in recv(source=1, tag=7)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("1 pending unmatched message"), std::string::npos)
+        << what;
+  }
+}
+
 TEST(Contracts, FailureInOneRankSurfacesWithoutHangingOthers) {
   auto machine = Machine::switched(trio());
   EXPECT_THROW(machine.run([](Comm& comm) -> Task<void> {

@@ -8,6 +8,9 @@
 //   hetscale_cli series  --algo ge --ladder "2,4,8,16" --target 0.3
 //   hetscale_cli predict --ladder "2,4,8" --target 0.3
 //   hetscale_cli trace   --algo ge --cluster "sunbladex4" --n 64 --out ge.trace.json
+//   hetscale_cli inject  --algo ge --cluster "sunbladex4" --n 256 --seed 7 \
+//                        --slowdown 0.6 --loss 0.05 --crash-rate 0.5 \
+//                        --checkpoint-interval 0.25
 //
 // Cluster grammar: comma-separated "<type>[xCOUNT][:CPUS]" with types
 // server / sunblade / v210 (see machine/parse.hpp). Ladders name the
@@ -27,10 +30,13 @@
 #include "hetscale/marked/suite.hpp"
 #include "hetscale/predict/models.hpp"
 #include "hetscale/predict/probe.hpp"
+#include "hetscale/fault/plan.hpp"
 #include "hetscale/run/runner.hpp"
 #include "hetscale/run/scenario.hpp"
+#include "hetscale/scal/fault_study.hpp"
 #include "hetscale/scal/iso_solver.hpp"
 #include "hetscale/scal/series.hpp"
+#include "hetscale/scenarios/fault.hpp"
 #include "hetscale/scenarios/paper.hpp"
 #include "hetscale/support/args.hpp"
 #include "hetscale/support/csv.hpp"
@@ -65,6 +71,7 @@ std::unique_ptr<scal::ClusterCombination> make_combination(
 
 int cmd_run(const ArgParser& args) {
   scenarios::register_paper_scenarios();
+  scenarios::register_fault_scenarios();
   const auto& positional = args.positional();
   const std::string name = positional.size() > 1 ? positional[1] : "list";
   if (name == "list") {
@@ -83,8 +90,10 @@ int cmd_run(const ArgParser& args) {
     return 2;
   }
   run::Runner runner(resolve_jobs(args));
-  const run::RunContext context{
-      runner, run::parse_format(args.get_or("format", "text"))};
+  const run::RunContext context{runner,
+                                run::parse_format(args.get_or("format",
+                                                              "text")),
+                                resolve_seed(args)};
   const run::RunResult result = scenario->run(context);
   std::string storage;
   std::cout << run::render(result, context.format, storage);
@@ -197,6 +206,86 @@ int cmd_predict(const ArgParser& args) {
   return 0;
 }
 
+int cmd_inject(const ArgParser& args) {
+  auto combo = make_combination(args.get_or("algo", "ge"),
+                                machine::parse_cluster(args.get("cluster")));
+  const auto n = args.get_int("n", 256);
+  const auto seed = resolve_seed(args);
+  const int ranks = combo->processor_count();
+  const double t_healthy = combo->measure(n).seconds;
+
+  // Assemble the plan spec from the flags; each knob is off by default.
+  // Event generation and the restart delay scale with the healthy runtime:
+  // crashes scheduled far beyond the run would otherwise chain (each
+  // restart pushes the run past the next scheduled crash) into a rework
+  // cascade that says nothing about the combination.
+  fault::PlanSpec spec;
+  spec.horizon_s = 20.0 * t_healthy;
+  spec.restart_delay_s = 0.1 * t_healthy;
+  const double slowdown = args.get_double("slowdown", 1.0);
+  HETSCALE_REQUIRE(slowdown > 0.0 && slowdown <= 1.0,
+                   "--slowdown must be in (0, 1]");
+  if (slowdown < 1.0) {
+    const fault::PlanSpec preset = scenarios::degraded_plan_spec();
+    spec.slowdown_probability = 1.0;
+    spec.slowdown_factor = slowdown;
+    spec.slowdown_duty = preset.slowdown_duty;
+    spec.slowdown_period_s = preset.slowdown_period_s;
+  }
+  spec.loss.drop_probability = args.get_double("loss", 0.0);
+  spec.crash_rate_per_s = args.get_double("crash-rate", 0.0);
+  const double interval = args.get_double("checkpoint-interval", 0.0);
+  if (interval > 0.0) {
+    spec.checkpoint.interval_s = interval;
+    spec.checkpoint.bytes = 8.0 * static_cast<double>(n) *
+                            static_cast<double>(n) /
+                            static_cast<double>(ranks);
+    spec.checkpoint.flops =
+        static_cast<double>(n) * static_cast<double>(n);
+  }
+  const auto plan = fault::FaultPlan::generate(seed, spec, ranks);
+  const auto d = scal::decompose_faults(*combo, n, plan);
+
+  std::cout << "plan: " << plan.summary() << '\n';
+  Table table("Fault overhead decomposition (" + combo->name() +
+              ", N = " + std::to_string(n) + ")");
+  table.set_header({"quantity", "healthy", "faulty"});
+  table.add_row({"elapsed (s)", Table::fixed(d.healthy.seconds, 4),
+                 Table::fixed(d.faulty.measurement.seconds, 4)});
+  table.add_row({"speed efficiency E_s",
+                 Table::fixed(d.healthy.speed_efficiency, 4),
+                 Table::fixed(d.faulty.measurement.speed_efficiency, 4)});
+  table.add_row({"critical-path overhead (s)",
+                 Table::fixed(d.healthy.overhead_s, 4),
+                 Table::fixed(d.faulty.measurement.overhead_s, 4)});
+  std::cout << table;
+
+  const auto& totals = d.faulty.fault_totals;
+  Table faults("Injected fault time (summed over ranks)");
+  faults.set_header({"cause", "seconds", "count"});
+  faults.add_row({"slowdown stretch", Table::fixed(totals.slowdown_s, 4),
+                  "-"});
+  faults.add_row({"checkpoints", Table::fixed(totals.checkpoint_s, 4),
+                  std::to_string(totals.checkpoints)});
+  faults.add_row({"crash rework", Table::fixed(totals.rework_s, 4),
+                  std::to_string(totals.crashes)});
+  faults.add_row({"retry waits", Table::fixed(totals.retry_s, 4),
+                  std::to_string(totals.retries)});
+  std::cout << faults;
+  std::cout << "fault overhead = " << Table::fixed(d.fault_overhead_s, 4)
+            << " s (attributed " << Table::fixed(d.attributed_s, 4)
+            << " s on the critical path, residual "
+            << Table::fixed(d.residual_s, 4)
+            << " s of blocking/contention)\n"
+            << "effective marked speed = "
+            << Table::fixed(d.faulty.effective_marked_speed / 1e6, 1)
+            << " Mflops (healthy C = "
+            << Table::fixed(combo->marked_speed() / 1e6, 1)
+            << "), efficiency retention = "
+            << Table::fixed(d.efficiency_retention, 4) << '\n';
+  return 0;
+}
+
 int cmd_trace(const ArgParser& args) {
   const std::string algo = args.get_or("algo", "ge");
   auto cluster = machine::parse_cluster(args.get("cluster"));
@@ -242,8 +331,14 @@ int main(int argc, char** argv) {
       .add_flag("n", "trace: problem size", "64")
       .add_flag("nmin", "solve: search floor", "4")
       .add_flag("out", "trace: chrome-trace output file")
-      .add_flag("format", "run: output format (text, csv, json)", "text");
+      .add_flag("format", "run: output format (text, csv, json)", "text")
+      .add_flag("slowdown", "inject: straggler compute-rate factor", "1.0")
+      .add_flag("loss", "inject: per-transmission drop probability", "0.0")
+      .add_flag("crash-rate", "inject: crashes per second per rank", "0.0")
+      .add_flag("checkpoint-interval", "inject: checkpoint period (s)",
+                "0.0");
   add_jobs_flag(args);
+  add_seed_flag(args);
   try {
     args.parse(argc - 1, argv + 1);
     const auto& positional = args.positional();
@@ -255,9 +350,10 @@ int main(int argc, char** argv) {
     if (command == "series") return cmd_series(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "trace") return cmd_trace(args);
+    if (command == "inject") return cmd_inject(args);
     std::cout << "hetscale_cli — isospeed-efficiency scalability analyses\n"
               << "commands: run | marked | solve | curve | series | predict "
-                 "| trace\n\n"
+                 "| trace | inject\n\n"
               << args.help("hetscale_cli <command>");
     return command.empty() ? 0 : 2;
   } catch (const hetscale::Error& error) {
