@@ -1,0 +1,11 @@
+// Profile — GE time budget, measured vs modeled t0 and To.
+//
+// Thin launcher for the profile_ge_time_budget scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/profile.hpp"
+
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_profile_scenarios();
+  return hetscale::run::scenario_main("profile_ge_time_budget", argc, argv);
+}

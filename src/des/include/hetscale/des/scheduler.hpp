@@ -42,6 +42,9 @@ class Scheduler {
   /// Total resumption events processed so far (for tests and micro benches).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// High-water mark of the pending-event queue depth.
+  std::uint64_t max_queue_depth() const { return max_queue_depth_; }
+
   /// Enqueue a coroutine resumption at absolute virtual time `t >= now()`.
   void schedule_at(SimTime t, std::coroutine_handle<> handle);
 
@@ -95,6 +98,7 @@ class Scheduler {
   SimTime now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t max_queue_depth_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<RootHandle> roots_;
 };

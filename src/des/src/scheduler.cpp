@@ -1,5 +1,7 @@
 #include "hetscale/des/scheduler.hpp"
 
+#include <algorithm>
+
 namespace hetscale::des {
 
 Scheduler::~Scheduler() {
@@ -12,6 +14,7 @@ void Scheduler::schedule_at(SimTime t, std::coroutine_handle<> handle) {
   HETSCALE_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
   HETSCALE_REQUIRE(handle != nullptr, "cannot schedule a null coroutine");
   queue_.push(Event{t, next_sequence_++, handle});
+  max_queue_depth_ = std::max<std::uint64_t>(max_queue_depth_, queue_.size());
 }
 
 void Scheduler::spawn(Task<void> task) {

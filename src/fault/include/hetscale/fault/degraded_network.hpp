@@ -34,6 +34,12 @@ class DegradedNetwork final : public net::Network {
 
   const net::Network& inner() const { return *inner_; }
 
+  /// The decorator records nominal traffic; the inner model carries the
+  /// (inflated) frames, so on-wire truth lives there.
+  const net::Network& wire_model() const override {
+    return inner_->wire_model();
+  }
+
  private:
   // Never reached: transfer() is overridden wholesale and delegates to the
   // inner model.

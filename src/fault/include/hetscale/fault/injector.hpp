@@ -64,6 +64,8 @@ class Injector final : public vmpi::FaultHooks {
                            double healthy_seconds) override;
   vmpi::SendFaultPlan send_faults(int rank) override;
   void record_retry_wait(int rank, double seconds) override;
+  void bind_span_sink(obs::SpanStore* spans) override;
+  vmpi::FaultProfile fault_profile() const override;
 
   const RankFaultStats& rank_stats(int rank) const;
   int ranks() const { return static_cast<int>(states_.size()); }
@@ -94,6 +96,9 @@ class Injector final : public vmpi::FaultHooks {
   const FaultPlan* plan_;
   CounterRng rng_;
   std::vector<RankState> states_;
+  obs::SpanStore* spans_ = nullptr;  ///< profiling sink; null when off
+  int checkpoint_span_id_ = -1;
+  int rework_span_id_ = -1;
 };
 
 }  // namespace hetscale::fault

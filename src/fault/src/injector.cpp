@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "hetscale/obs/span.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::fault {
@@ -113,6 +114,10 @@ des::SimTime Injector::compute_end(int rank, des::SimTime start,
       case At::kRateChange:
         break;
       case At::kCheckpoint:
+        if (spans_ != nullptr) {
+          spans_->record(rank, checkpoint_span_id_, t,
+                         t + state.checkpoint_cost_s);
+        }
         t += state.checkpoint_cost_s;
         added_checkpoint += state.checkpoint_cost_s;
         ++state.stats.checkpoints;
@@ -127,6 +132,9 @@ des::SimTime Injector::compute_end(int rank, des::SimTime start,
         // rework measure: waiting inside it counts as lost work too.
         const double rework =
             plan_->restart_delay_s() + (t - state.last_checkpoint);
+        if (spans_ != nullptr) {
+          spans_->record(rank, rework_span_id_, t, t + rework);
+        }
         t += rework;
         added_rework += rework;
         ++state.stats.crashes;
@@ -143,8 +151,10 @@ des::SimTime Injector::compute_end(int rank, des::SimTime start,
 
   state.stats.checkpoint_s += added_checkpoint;
   state.stats.rework_s += added_rework;
-  state.stats.slowdown_s +=
-      (t - start) - healthy_seconds - added_checkpoint - added_rework;
+  // Remainder of the stretch; clamp away the subtraction's floating-point
+  // dust (it can land a hair below zero when no slowdown is active).
+  state.stats.slowdown_s += std::max(
+      0.0, (t - start) - healthy_seconds - added_checkpoint - added_rework);
   return t;
 }
 
@@ -175,6 +185,21 @@ void Injector::record_retry_wait(int rank, double seconds) {
   HETSCALE_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
   HETSCALE_REQUIRE(seconds >= 0.0, "retry wait must be non-negative");
   states_[static_cast<std::size_t>(rank)].stats.retry_s += seconds;
+}
+
+void Injector::bind_span_sink(obs::SpanStore* spans) {
+  spans_ = spans;
+  if (spans_ != nullptr) {
+    checkpoint_span_id_ = spans_->intern("checkpoint");
+    rework_span_id_ = spans_->intern("fault.rework");
+  }
+}
+
+vmpi::FaultProfile Injector::fault_profile() const {
+  const RankFaultStats total = totals();
+  return vmpi::FaultProfile{total.slowdown_s, total.checkpoint_s,
+                            total.rework_s,   total.retry_s,
+                            total.checkpoints, total.crashes, total.retries};
 }
 
 const RankFaultStats& Injector::rank_stats(int rank) const {

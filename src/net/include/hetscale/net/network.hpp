@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 
 #include "hetscale/des/scheduler.hpp"
@@ -44,10 +45,21 @@ struct NetworkParams {
   double per_message_overhead_s = 1e-4;  ///< software send/recv setup cost
 };
 
+/// Cumulative on-wire totals of one physical link (a node's injection port
+/// on a switched fabric, or a sender's share of the shared bus).
+struct LinkStats {
+  double bytes = 0.0;   ///< payload bytes transmitted
+  double wire_s = 0.0;  ///< time the link was transmitting
+  double stall_s = 0.0; ///< time frames waited for the link (contention)
+};
+
 /// Cumulative traffic statistics.
 struct NetworkStats {
   std::uint64_t messages = 0;
   double bytes = 0.0;
+  double wire_seconds = 0.0;        ///< total transmission time on all links
+  double contention_seconds = 0.0;  ///< total time frames queued for a link
+  std::map<int, LinkStats> links;   ///< keyed by sending node
 };
 
 class Network {
@@ -67,6 +79,12 @@ class Network {
   const NetworkParams& params() const { return params_; }
   const NetworkStats& stats() const { return stats_; }
 
+  /// The network whose stats() describe what was physically on the wire.
+  /// Decorators that re-route transfers through an inner model (and record
+  /// only *nominal* traffic on themselves) forward to it, so profilers can
+  /// always reach on-wire truth.
+  virtual const Network& wire_model() const { return *this; }
+
  protected:
   /// Model-specific remote path; local transfers are handled by the base.
   virtual TransferResult remote_transfer(int src_node, int dst_node,
@@ -76,6 +94,10 @@ class Network {
   /// transfer() call this with the *nominal* size, so traffic reports stay
   /// comparable between healthy and degraded runs).
   void record_traffic(double bytes);
+
+  /// Count one frame's link occupancy: `wire_s` of transmission and
+  /// `stall_s` of waiting for the link, charged to `src_node`'s link.
+  void record_wire(int src_node, double bytes, double wire_s, double stall_s);
 
   NetworkParams params_;
 

@@ -26,4 +26,14 @@ void Network::record_traffic(double bytes) {
   stats_.bytes += bytes;
 }
 
+void Network::record_wire(int src_node, double bytes, double wire_s,
+                          double stall_s) {
+  stats_.wire_seconds += wire_s;
+  stats_.contention_seconds += stall_s;
+  LinkStats& link = stats_.links[src_node];
+  link.bytes += bytes;
+  link.wire_s += wire_s;
+  link.stall_s += stall_s;
+}
+
 }  // namespace hetscale::net

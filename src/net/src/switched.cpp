@@ -1,5 +1,7 @@
 #include "hetscale/net/switched.hpp"
 
+#include <algorithm>
+
 namespace hetscale::net {
 
 des::Timeline& SwitchedNetwork::tx_port(int node) {
@@ -13,8 +15,11 @@ TransferResult SwitchedNetwork::remote_transfer(int src_node, int /*dst_node*/,
                                                 double bytes, SimTime depart) {
   // Each node owns a full-duplex link into the switch: its transmissions
   // serialize with each other but not with any other node's.
-  const SimTime wire_done =
-      tx_port(src_node).reserve(depart, params_.remote.wire_time(bytes));
+  const double wire = params_.remote.wire_time(bytes);
+  des::Timeline& port = tx_port(src_node);
+  const SimTime start = std::max(depart, port.free_at());
+  const SimTime wire_done = port.reserve(depart, wire);
+  record_wire(src_node, bytes, wire, start - depart);
   const SimTime arrival = wire_done + params_.remote.latency_s;
   return TransferResult{arrival, wire_done};
 }

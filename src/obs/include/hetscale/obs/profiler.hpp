@@ -1,0 +1,142 @@
+// Profiler — accumulates one RunProfile per simulated machine run and
+// folds them into a deterministic report.
+//
+// Determinism contract: runs may be appended from any worker thread in any
+// order (the experiment Runner schedules simulations concurrently), but
+// report() sorts a copy of the runs before folding, so every exported
+// total is bitwise identical at --jobs 1 and --jobs N. Wall-clock numbers
+// cannot be made stable and are quarantined in WallStats, which exporters
+// omit unless explicitly asked for.
+//
+// The ambient profiler (current()/ProfilerScope) is how instrumentation
+// reaches the simulation layers without threading a pointer through every
+// constructor: vmpi::Machine picks up obs::current() when it is built and
+// publishes its RunProfile when run() finishes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "hetscale/obs/budget.hpp"
+
+namespace hetscale::obs {
+
+/// Per-link on-wire totals, keyed by the sending node (its injection port
+/// on a switched fabric; its share of the medium on a shared bus).
+struct LinkProfile {
+  int node = 0;
+  double bytes = 0.0;
+  double wire_s = 0.0;
+  double stall_s = 0.0;
+
+  auto operator<=>(const LinkProfile&) const = default;
+};
+
+/// Injected-fault time charged to a run, by cause.
+struct FaultProfileTotals {
+  double slowdown_s = 0.0;
+  double checkpoint_s = 0.0;
+  double rework_s = 0.0;
+  double retry_s = 0.0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t retries = 0;
+
+  double total_s() const {
+    return slowdown_s + checkpoint_s + rework_s + retry_s;
+  }
+
+  auto operator<=>(const FaultProfileTotals&) const = default;
+};
+
+/// Everything one machine run contributes to the report. All values are
+/// virtual-time or event counts — deterministic by construction. The
+/// defaulted ordering is what report() sorts by; no field may be NaN.
+struct RunProfile {
+  double elapsed_s = 0.0;
+  TimeBudget budget;
+
+  // vmpi rank totals
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  std::uint64_t messages = 0;
+  double bytes = 0.0;
+  std::uint64_t retries = 0;
+  double backoff_s = 0.0;
+
+  // des
+  std::uint64_t des_events = 0;
+  std::uint64_t des_queue_depth_max = 0;
+
+  // net (on-wire truth, from the innermost network model)
+  double wire_s = 0.0;
+  double contention_s = 0.0;
+  std::vector<LinkProfile> links;
+
+  // fault injection
+  FaultProfileTotals fault;
+
+  auto operator<=>(const RunProfile&) const = default;
+};
+
+/// Host-side, non-deterministic observations (wall clock, worker
+/// scheduling). Never part of byte-stable exports.
+struct WallStats {
+  double wall_s = 0.0;         ///< wall time spent inside instrumented work
+  double worker_busy_s = 0.0;  ///< summed per-lane busy wall time
+  std::uint64_t batches = 0;
+  std::uint64_t tasks = 0;
+  int jobs = 0;
+
+  bool empty() const { return batches == 0 && tasks == 0 && wall_s == 0.0; }
+};
+
+struct ReportOptions;
+class Report;
+
+class Profiler {
+ public:
+  /// Append one finished run. Thread-safe.
+  void add_run(RunProfile run);
+
+  /// Record host-side batch execution (volatile; Runner calls this).
+  /// Thread-safe.
+  void record_batch(int jobs, std::uint64_t tasks, double wall_s,
+                    double worker_busy_s);
+
+  std::size_t runs() const;
+
+  /// Copy of the runs, sorted into canonical order for deterministic folds.
+  std::vector<RunProfile> sorted_runs() const;
+
+  WallStats wall() const;
+
+  /// Fold the runs into an exportable report (defined in report.cpp).
+  Report report(const ReportOptions& options) const;
+  Report report() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<RunProfile> runs_;
+  WallStats wall_;
+};
+
+/// The ambient profiler instrumented layers publish to; nullptr when
+/// profiling is off (the zero-overhead default).
+Profiler* current();
+
+/// Install `profiler` as the ambient profiler for this scope's lifetime.
+class ProfilerScope {
+ public:
+  explicit ProfilerScope(Profiler& profiler);
+  ProfilerScope(const ProfilerScope&) = delete;
+  ProfilerScope& operator=(const ProfilerScope&) = delete;
+  ~ProfilerScope();
+
+ private:
+  Profiler* previous_;
+};
+
+}  // namespace hetscale::obs

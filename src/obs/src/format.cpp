@@ -1,0 +1,49 @@
+#include "hetscale/obs/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::obs {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  HETSCALE_REQUIRE(std::isfinite(value),
+                   "cannot format a non-finite value as a JSON number");
+  std::ostringstream os;
+  os.precision(15);
+  os << value;
+  return os.str();
+}
+
+std::string json_number_or_null(double value) {
+  if (!std::isfinite(value)) return "null";
+  return format_double(value);
+}
+
+}  // namespace hetscale::obs

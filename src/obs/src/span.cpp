@@ -1,0 +1,97 @@
+#include "hetscale/obs/span.hpp"
+
+#include <utility>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::obs {
+
+namespace {
+
+SpanCategory infer_category(const std::string& name) {
+  if (name == "compute") return SpanCategory::kCompute;
+  if (name == "send.wait" || name == "recv.wait" || name == "barrier") {
+    return SpanCategory::kComm;
+  }
+  if (name == "checkpoint" || name.rfind("fault.", 0) == 0) {
+    return SpanCategory::kFault;
+  }
+  return SpanCategory::kOther;
+}
+
+}  // namespace
+
+int SpanStore::intern(const std::string& name) {
+  return intern(name, infer_category(name));
+}
+
+int SpanStore::intern(const std::string& name, SpanCategory category) {
+  HETSCALE_REQUIRE(!name.empty(), "span name must be non-empty");
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.push_back(name);
+  categories_.push_back(category);
+  ids_.emplace(name, id);
+  return id;
+}
+
+const std::string& SpanStore::name(int id) const {
+  HETSCALE_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < names_.size(),
+                   "span name id out of range");
+  return names_[static_cast<std::size_t>(id)];
+}
+
+SpanCategory SpanStore::category(int id) const {
+  HETSCALE_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < names_.size(),
+                   "span name id out of range");
+  return categories_[static_cast<std::size_t>(id)];
+}
+
+int SpanStore::depth_of(int lane) const {
+  const auto it = open_depth_.find(lane);
+  return it != open_depth_.end() ? it->second : 0;
+}
+
+void SpanStore::record(int lane, int name_id, double begin, double end,
+                       int peer, int tag, double bytes) {
+  HETSCALE_REQUIRE(end >= begin, "span must not end before it begins");
+  name(name_id);  // bounds check
+  spans_.push_back(Span{lane, name_id, begin, end, depth_of(lane), peer, tag,
+                        bytes});
+}
+
+std::size_t SpanStore::open(int lane, int name_id, double begin) {
+  name(name_id);  // bounds check
+  const std::size_t handle = spans_.size();
+  // end < begin marks the span as open; close() fills the real end.
+  spans_.push_back(Span{lane, name_id, begin, begin - 1.0, depth_of(lane),
+                        -1, 0, 0.0});
+  ++open_depth_[lane];
+  ++open_count_;
+  return handle;
+}
+
+void SpanStore::close(std::size_t handle, double end) {
+  if (handle == kNoSpan) return;
+  HETSCALE_REQUIRE(handle < spans_.size(), "span handle out of range");
+  Span& span = spans_[handle];
+  HETSCALE_REQUIRE(span.end < span.begin, "span is already closed");
+  HETSCALE_REQUIRE(end >= span.begin, "span must not end before it begins");
+  span.end = end;
+  --open_depth_[span.lane];
+  --open_count_;
+}
+
+double SpanStore::clock_now() const {
+  HETSCALE_REQUIRE(clock_ != nullptr,
+                   "no clock bound (SpanStore::bind_clock)");
+  return clock_();
+}
+
+ScopedSpan::ScopedSpan(SpanStore& store, int lane, int name_id)
+    : store_(&store), handle_(store.open(lane, name_id, store.clock_now())) {}
+
+ScopedSpan::~ScopedSpan() { store_->close(handle_, store_->clock_now()); }
+
+}  // namespace hetscale::obs

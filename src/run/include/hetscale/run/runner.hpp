@@ -69,6 +69,8 @@ class Runner {
 
   void worker_loop();
   void drain(Batch& batch);
+  void run_batch(std::size_t count,
+                 const std::function<void(std::size_t)>& task);
 
   int jobs_ = 1;
   std::vector<std::thread> workers_;

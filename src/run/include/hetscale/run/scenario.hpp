@@ -16,6 +16,10 @@
 #include "hetscale/run/result.hpp"
 #include "hetscale/run/runner.hpp"
 
+namespace hetscale::obs {
+class Profiler;
+}  // namespace hetscale::obs
+
 namespace hetscale::run {
 
 enum class OutputFormat { kText, kCsv, kJson };
@@ -26,6 +30,11 @@ struct RunContext {
   /// Experiment seed (--seed / HETSCALE_SEED). Fault scenarios expand it
   /// into a FaultPlan; healthy scenarios are free to ignore it.
   std::uint64_t seed = 0;
+  /// Profiler collecting this run's instrumentation, or null when
+  /// profiling is off. Scenarios normally need not touch it — machines
+  /// publish to the ambient obs::current() automatically — but it is here
+  /// so a scenario can attach extra context if it wants to.
+  obs::Profiler* profiler = nullptr;
 };
 
 struct Scenario {
@@ -54,8 +63,9 @@ const std::string& render(const RunResult& result, OutputFormat format,
 
 /// Shared main() for scenario-backed binaries and the CLI `run` command:
 /// parses --format=text|csv|json, --jobs N / -j N (HETSCALE_JOBS fallback),
-/// --seed N (HETSCALE_SEED fallback), and --help from argv[1..], runs the
-/// named scenario, prints to stdout. Returns a process exit code.
+/// --seed N (HETSCALE_SEED fallback), --profile (time-budget report on
+/// stderr), and --help from argv[1..], runs the named scenario, prints to
+/// stdout. Returns a process exit code.
 int scenario_main(const std::string& name, int argc, const char* const* argv);
 
 }  // namespace hetscale::run

@@ -11,7 +11,8 @@
 
 namespace hetscale::run {
 
-Value::Value(bool value) : kind_(Kind::kBool), text_(value ? "true" : "false") {}
+Value::Value(bool value)
+    : kind_(Kind::kBool), text_(value ? "true" : "false") {}
 
 Value::Value(int value) : Value(static_cast<std::int64_t>(value)) {}
 

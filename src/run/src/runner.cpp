@@ -1,9 +1,11 @@
 #include "hetscale/run/runner.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <limits>
 
+#include "hetscale/obs/profiler.hpp"
 #include "hetscale/support/args.hpp"
 #include "hetscale/support/error.hpp"
 
@@ -94,6 +96,34 @@ void Runner::run_indexed(std::size_t count,
                          const std::function<void(std::size_t)>& task) {
   HETSCALE_REQUIRE(task != nullptr, "batch task must be callable");
   if (count == 0) return;
+  obs::Profiler* profiler = obs::current();
+  if (profiler == nullptr) {
+    run_batch(count, task);
+    return;
+  }
+  // Profiled batch: measure the batch's wall time and the summed per-task
+  // busy time (host-side occupancy — volatile across --jobs, so the
+  // profiler quarantines it in WallStats).
+  using Clock = std::chrono::steady_clock;
+  std::atomic<std::int64_t> busy_ns{0};
+  const std::function<void(std::size_t)> timed = [&](std::size_t i) {
+    const Clock::time_point begin = Clock::now();
+    task(i);
+    busy_ns.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          Clock::now() - begin)
+                          .count(),
+                      std::memory_order_relaxed);
+  };
+  const Clock::time_point begin = Clock::now();
+  run_batch(count, timed);
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+  profiler->record_batch(jobs_, count, wall_s,
+                         1e-9 * static_cast<double>(busy_ns.load()));
+}
+
+void Runner::run_batch(std::size_t count,
+                       const std::function<void(std::size_t)>& task) {
   if (jobs_ == 1 || count == 1 || t_on_worker) {
     for (std::size_t i = 0; i < count; ++i) task(i);
     return;

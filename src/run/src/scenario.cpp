@@ -2,8 +2,10 @@
 
 #include <iostream>
 #include <map>
+#include <optional>
 #include <utility>
 
+#include "hetscale/obs/report.hpp"
 #include "hetscale/support/args.hpp"
 #include "hetscale/support/error.hpp"
 
@@ -68,6 +70,8 @@ int scenario_main(const std::string& name, int argc,
   try {
     ArgParser args;
     args.add_flag("format", "output format: text, csv, json", "text");
+    args.add_bool("profile",
+                  "profile the run; prints a time-budget report to stderr");
     args.add_bool("help", "show this help");
     add_jobs_flag(args);
     add_seed_flag(args);
@@ -83,11 +87,25 @@ int scenario_main(const std::string& name, int argc,
     }
 
     Runner runner(resolve_jobs(args));
+    std::optional<obs::Profiler> profiler;
+    std::optional<obs::ProfilerScope> profiler_scope;
+    if (args.has("profile")) {
+      profiler.emplace();
+      profiler_scope.emplace(*profiler);
+    }
     const RunContext context{runner, parse_format(args.get("format")),
-                             resolve_seed(args)};
+                             resolve_seed(args),
+                             profiler ? &*profiler : nullptr};
     const RunResult result = scenario->run(context);
+    profiler_scope.reset();
     std::string storage;
     std::cout << render(result, context.format, storage);
+    if (profiler) {
+      obs::ReportOptions options;
+      options.subject = scenario->name;
+      options.include_wall = true;
+      std::cerr << profiler->report(options).to_table().str();
+    }
     return 0;
   } catch (const hetscale::Error& error) {
     std::cerr << "error: " << error.what() << '\n';

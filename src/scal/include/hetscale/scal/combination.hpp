@@ -42,6 +42,10 @@ struct Measurement {
 
 enum class NetworkKind { kSharedBus, kSwitched };
 
+class ClusterCombination;
+struct ProfiledRun;  // scal/profile.hpp
+ProfiledRun profile_run(ClusterCombination& combination, std::int64_t n);
+
 /// Build a single-shot machine for one run of a combination.
 vmpi::Machine make_machine(const machine::Cluster& cluster, NetworkKind kind,
                            const net::NetworkParams& params);
@@ -116,6 +120,12 @@ class ClusterCombination : public Combination {
   /// whose network is wrapped in a fault::DegradedNetwork with a
   /// fault::Injector attached — it needs the run hook and the config.
   friend class FaultedCombination;
+
+  /// The profiled measurement path (scal/profile.hpp) re-runs compute()'s
+  /// recipe on its own machine so it can keep the tracer.
+  friend struct ProfiledRun;
+  friend ProfiledRun profile_run(ClusterCombination& combination,
+                                 std::int64_t n);
 
   /// One full simulation at size n — pure w.r.t. this object.
   Measurement compute(std::int64_t n) const;

@@ -1,0 +1,17 @@
+// Profiled-run scenarios — the instrumentation layer's artifact surface.
+//
+// The obs module (docs/architecture.md) splits a run's elapsed virtual
+// time into compute / comm / sequential / fault / residual and derives the
+// *measured* sequential time t0 and total overhead To from the partition.
+// The scenario here closes the loop against the paper: it profiles GE on
+// the Sunwulf ladder and compares the measured t0/To with the analytic
+// values the prediction pipeline (§4.5) computes from probed parameters.
+#pragma once
+
+namespace hetscale::scenarios {
+
+/// Register the profiling scenarios (profile_ge_time_budget) with the
+/// global scenario registry. Idempotent.
+void register_profile_scenarios();
+
+}  // namespace hetscale::scenarios

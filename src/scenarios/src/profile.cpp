@@ -1,0 +1,124 @@
+#include "hetscale/scenarios/profile.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "hetscale/numeric/stats.hpp"
+#include "hetscale/predict/models.hpp"
+#include "hetscale/predict/probe.hpp"
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scal/profile.hpp"
+#include "hetscale/scenarios/paper.hpp"
+#include "hetscale/support/table.hpp"
+
+namespace hetscale::scenarios {
+
+namespace {
+
+using run::RunContext;
+using run::RunResult;
+using run::Value;
+
+/// One profiled operating point: a ladder system at the rank the paper
+/// associates with it (Table 3's measured sizes for E_s = 0.3).
+struct BudgetPoint {
+  int nodes;
+  std::int64_t n;
+};
+
+RunResult profile_ge(const RunContext&) {
+  RunResult result;
+  result.scenario = "profile_ge_time_budget";
+  result.title = "Profile  GE time budget: measured vs modeled t0 and To";
+  std::ostringstream os;
+  os << artifact_header(
+      result.title,
+      "Elapsed virtual time split into compute/comm/sequential/fault/"
+      "residual by the obs span sweep; measured t0 = sequential, To = comm "
+      "+ fault + residual, against the probed analytic model (paper "
+      "Sec. 4.5).");
+
+  const auto comm = predict::probe_comm_model(
+      predict::ProbeConfig{.node = machine::sunwulf::sunblade_spec()});
+  predict::GeOverheadModel model;
+
+  const std::vector<BudgetPoint> points{{2, 310}, {4, 480}, {8, 800}};
+
+  result.columns = {"nodes",        "n",           "elapsed_s",
+                    "compute_s",    "comm_s",      "sequential_s",
+                    "fault_s",      "residual_s",  "t0_measured_s",
+                    "t0_model_s",   "to_measured_s", "to_model_s",
+                    "overhead_rel_error"};
+
+  Table table;
+  table.set_header({"Nodes", "N", "Elapsed (s)", "Compute", "Comm",
+                    "Seq (t0)", "Residual", "t0 model", "To meas",
+                    "To model", "t0+To err"});
+
+  double worst_error = 0.0;
+  for (const auto& point : points) {
+    auto combo = make_ge(point.nodes);
+    const auto profiled = scal::profile_run(*combo, point.n);
+    const auto& budget = profiled.budget();
+
+    const auto system = predict::system_model_for(
+        machine::sunwulf::ge_ensemble(point.nodes), comm);
+    const double n = static_cast<double>(point.n);
+    const double t0_model = model.sequential_time(n, system);
+    const double to_model = model.overhead(n, system);
+
+    // The pivot row's normalize step is sequential in the model but can be
+    // classified as compute or overhead by the sweep depending on overlap,
+    // so the robust comparison is the total non-parallel time t0 + To.
+    const double overhead_error =
+        numeric::relative_error(budget.measured_t0() + budget.measured_to(),
+                                t0_model + to_model);
+    worst_error = std::max(worst_error, overhead_error);
+
+    table.add_row({std::to_string(point.nodes), std::to_string(point.n),
+                   Table::fixed(budget.elapsed_s, 3),
+                   Table::fixed(budget.compute_s, 3),
+                   Table::fixed(budget.comm_s, 3),
+                   Table::fixed(budget.sequential_s, 3),
+                   Table::fixed(budget.residual_s, 3),
+                   Table::fixed(t0_model, 3),
+                   Table::fixed(budget.measured_to(), 3),
+                   Table::fixed(to_model, 3),
+                   Table::fixed(overhead_error, 3)});
+    result.add_row({Value(point.nodes), Value(point.n),
+                    Value::fixed(budget.elapsed_s, 6),
+                    Value::fixed(budget.compute_s, 6),
+                    Value::fixed(budget.comm_s, 6),
+                    Value::fixed(budget.sequential_s, 6),
+                    Value::fixed(budget.fault_s, 6),
+                    Value::fixed(budget.residual_s, 6),
+                    Value::fixed(budget.measured_t0(), 6),
+                    Value::fixed(t0_model, 6),
+                    Value::fixed(budget.measured_to(), 6),
+                    Value::fixed(to_model, 6),
+                    Value::fixed(overhead_error, 3)});
+  }
+  os << table;
+  os << "(partition is exact: compute + comm + sequential + fault + "
+        "residual == elapsed in virtual time)\n";
+  result.add_scalar("worst_overhead_rel_error", Value::fixed(worst_error, 3));
+  result.text = os.str();
+  return result;
+}
+
+}  // namespace
+
+void register_profile_scenarios() {
+  static const bool registered = [] {
+    run::register_scenario(
+        {"profile_ge_time_budget",
+         "Profiled GE ladder: measured time budget vs the analytic model",
+         profile_ge});
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace hetscale::scenarios

@@ -2,11 +2,16 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace hetscale {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes writes: the experiment Runner logs from worker threads, and
+// interleaved operator<< chains would shear lines mid-record.
+std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,6 +30,7 @@ LogLevel log_level() { return g_level.load(); }
 
 namespace detail {
 void log_write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
   std::clog << "[hetscale " << level_name(level) << "] " << message << '\n';
 }
 }  // namespace detail

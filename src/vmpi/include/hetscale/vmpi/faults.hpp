@@ -15,7 +15,13 @@
 // own hooks.
 #pragma once
 
+#include <cstdint>
+
 #include "hetscale/des/scheduler.hpp"
+
+namespace hetscale::obs {
+class SpanStore;
+}  // namespace hetscale::obs
 
 namespace hetscale::vmpi {
 
@@ -24,6 +30,19 @@ struct SendFaultPlan {
   int attempts = 1;            ///< transmissions until one gets through
   double retry_timeout_s = 0;  ///< wait before the first retransmission
   double backoff = 1.0;        ///< timeout multiplier per further retry
+};
+
+/// Summed fault charges over a whole run, reported by the hooks for the
+/// profiling layer (mirrors obs::FaultProfileTotals without the obs
+/// dependency).
+struct FaultProfile {
+  double slowdown_s = 0.0;
+  double checkpoint_s = 0.0;
+  double rework_s = 0.0;
+  double retry_s = 0.0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t retries = 0;
 };
 
 class FaultHooks {
@@ -45,6 +64,14 @@ class FaultHooks {
   /// Time `rank`'s message spent in timeouts/retransmissions beyond the
   /// first attempt (for the fault-overhead decomposition).
   virtual void record_retry_wait(int rank, double seconds) = 0;
+
+  /// A profiling Machine offers its span store so the hooks can record
+  /// `checkpoint` / `fault.rework` spans at the instants they charge time.
+  /// Optional: the default keeps fault models span-free.
+  virtual void bind_span_sink(obs::SpanStore* /*spans*/) {}
+
+  /// Summed charges for the profiling report. Optional.
+  virtual FaultProfile fault_profile() const { return {}; }
 };
 
 }  // namespace hetscale::vmpi

@@ -10,6 +10,7 @@
 #include "hetscale/des/task.hpp"
 #include "hetscale/machine/cluster.hpp"
 #include "hetscale/net/network.hpp"
+#include "hetscale/obs/profiler.hpp"
 #include "hetscale/vmpi/comm.hpp"
 #include "hetscale/vmpi/faults.hpp"
 #include "hetscale/vmpi/message.hpp"
@@ -86,6 +87,12 @@ class Machine {
   TraceRecorder& enable_tracing();
   TraceRecorder* tracer() { return tracer_.get(); }
 
+  /// The ambient profiler this machine publishes to, picked up from
+  /// obs::current() at construction (null when profiling is off). A
+  /// profiled machine traces automatically and appends one obs::RunProfile
+  /// when run() completes.
+  obs::Profiler* profiler() { return profiler_; }
+
   /// Attach fault hooks (before run()). Non-owning: the caller keeps the
   /// hooks alive for the run and reads their accounting afterwards. Null
   /// (the default) runs the machine healthy, hook-free.
@@ -110,6 +117,7 @@ class Machine {
   CollectiveTuning tuning_;
   std::unique_ptr<TraceRecorder> tracer_;
   FaultHooks* fault_hooks_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   bool ran_ = false;
 };
 

@@ -1,11 +1,15 @@
 // Execution tracing — where did the virtual time go?
 //
 // When enabled on a Machine, every compute interval, blocking send/recv
-// interval, and message is recorded. Two consumers:
+// interval, barrier, and message is recorded into an obs::SpanStore (the
+// instrumentation layer's span container; fault hooks add `checkpoint` and
+// `fault.rework` spans to the same store). Consumers:
 //   * chrome_trace_json(): the Chrome trace-event format (load in
 //     chrome://tracing or Perfetto) — one lane per rank, with message flow
 //     arrows from sender to receiver;
-//   * utilization_table(): a per-rank compute/communication/idle breakdown.
+//   * utilization_table(): a per-rank compute/communication/idle breakdown;
+//   * obs::compute_time_budget(): the measured t0/To decomposition the
+//     profiler reports.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include <vector>
 
 #include "hetscale/des/scheduler.hpp"
+#include "hetscale/obs/span.hpp"
 
 namespace hetscale::vmpi {
 
@@ -38,14 +43,28 @@ struct TraceMessage {
 
 class TraceRecorder {
  public:
+  TraceRecorder();
+
   void record_interval(TraceInterval interval);
   void record_message(TraceMessage message);
 
-  const std::vector<TraceInterval>& intervals() const { return intervals_; }
+  /// The point-to-point and compute intervals, materialized from the span
+  /// store (structural spans — barriers, fault charges — are not leaf
+  /// intervals and are excluded; their constituent sends/recvs are listed).
+  std::vector<TraceInterval> intervals() const;
   const std::vector<TraceMessage>& messages() const { return messages_; }
 
+  /// The underlying span store (all spans, including barrier/fault ones).
+  obs::SpanStore& spans() { return spans_; }
+  const obs::SpanStore& spans() const { return spans_; }
+
+  /// Interned name id of the `barrier` span, for explicit open()/close()
+  /// from coroutine code.
+  int barrier_name_id() const { return barrier_id_; }
+
   /// Chrome trace-event JSON ("X" duration events per rank lane, "s"/"f"
-  /// flow pairs per message). Times in microseconds of virtual time.
+  /// flow pairs per message). Times in microseconds of virtual time. All
+  /// span names are JSON-escaped; an empty trace renders as "[]".
   std::string chrome_trace_json() const;
 
   /// Per-rank utilization over [0, horizon]: compute, blocked-communicating
@@ -53,8 +72,12 @@ class TraceRecorder {
   std::string utilization_table(des::SimTime horizon) const;
 
  private:
-  std::vector<TraceInterval> intervals_;
+  obs::SpanStore spans_;
   std::vector<TraceMessage> messages_;
+  int compute_id_;
+  int send_id_;
+  int recv_id_;
+  int barrier_id_;
 };
 
 }  // namespace hetscale::vmpi

@@ -227,6 +227,13 @@ des::Task<std::any> Comm::bcast_large(int root, double bytes,
 des::Task<void> Comm::barrier() {
   // All-to-root token gather, then a root-to-all release — 2(p-1) messages.
   constexpr int kRoot = 0;
+  // Explicit open/close (not RAII): the coroutine frame may be destroyed at
+  // an unrelated virtual time, so the span must close at the single exit
+  // point below, while the rank is still running.
+  auto* tracer = machine_->tracer();
+  const std::size_t span =
+      tracer ? tracer->spans().open(rank_, tracer->barrier_name_id(), now())
+             : obs::kNoSpan;
   if (rank_ == kRoot) {
     for (int src = 0; src < size_; ++src) {
       if (src == kRoot) continue;
@@ -240,6 +247,7 @@ des::Task<void> Comm::barrier() {
     co_await send(kRoot, kTagBarrierIn, kTokenBytes, {});
     co_await recv(kRoot, kTagBarrierOut);
   }
+  if (tracer) tracer->spans().close(span, now());
 }
 
 des::Task<std::vector<std::any>> Comm::gather(int root, double bytes,

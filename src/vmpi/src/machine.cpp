@@ -5,6 +5,7 @@
 
 #include "hetscale/net/shared_bus.hpp"
 #include "hetscale/net/switched.hpp"
+#include "hetscale/obs/budget.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::vmpi {
@@ -35,6 +36,14 @@ Machine::Machine(machine::Cluster cluster,
   for (int r = 0; r < size; ++r) {
     mailboxes_.emplace_back(scheduler_);
     comms_.emplace_back(*this, r, size);
+  }
+  // Profiling is ambient: a machine built inside a ProfilerScope traces
+  // itself and publishes a RunProfile when run() completes, so every
+  // scenario is profileable without plumbing.
+  profiler_ = obs::current();
+  if (profiler_ != nullptr) {
+    enable_tracing().spans().bind_clock(
+        [scheduler = &scheduler_] { return scheduler->now(); });
   }
 }
 
@@ -76,12 +85,14 @@ des::Task<void> rank_main(Machine& machine, Comm& comm,
 TraceRecorder& Machine::enable_tracing() {
   HETSCALE_REQUIRE(!ran_, "enable tracing before running the machine");
   if (!tracer_) tracer_ = std::make_unique<TraceRecorder>();
+  if (fault_hooks_ != nullptr) fault_hooks_->bind_span_sink(&tracer_->spans());
   return *tracer_;
 }
 
 void Machine::attach_fault_hooks(FaultHooks* hooks) {
   HETSCALE_REQUIRE(!ran_, "attach fault hooks before running the machine");
   fault_hooks_ = hooks;
+  if (tracer_ && hooks != nullptr) hooks->bind_span_sink(&tracer_->spans());
 }
 
 namespace {
@@ -135,6 +146,41 @@ RunResult Machine::run(const Program& program) {
   result.ranks = stats_;
   result.network = network_->stats();
   for (const auto& r : stats_) result.elapsed = std::max(result.elapsed, r.finish);
+
+  if (profiler_ != nullptr) {
+    obs::RunProfile profile;
+    profile.elapsed_s = result.elapsed;
+    profile.budget =
+        obs::compute_time_budget(tracer_->spans(), result.elapsed);
+    for (const auto& r : stats_) {
+      profile.compute_s += r.compute_s;
+      profile.comm_s += r.comm_s;
+    }
+    // Traffic (messages, nominal bytes) comes from the outermost model;
+    // link occupancy comes from the wire model, where degraded (inflated)
+    // frames actually held the medium.
+    profile.messages = result.network.messages;
+    profile.bytes = result.network.bytes;
+    const net::NetworkStats& wire = network_->wire_model().stats();
+    profile.wire_s = wire.wire_seconds;
+    profile.contention_s = wire.contention_seconds;
+    for (const auto& [node, link] : wire.links) {
+      profile.links.push_back(
+          obs::LinkProfile{node, link.bytes, link.wire_s, link.stall_s});
+    }
+    profile.des_events = scheduler_.events_processed();
+    profile.des_queue_depth_max = scheduler_.max_queue_depth();
+    if (fault_hooks_ != nullptr) {
+      const FaultProfile faults = fault_hooks_->fault_profile();
+      profile.retries = faults.retries;
+      profile.backoff_s = faults.retry_s;
+      profile.fault = obs::FaultProfileTotals{
+          faults.slowdown_s, faults.checkpoint_s, faults.rework_s,
+          faults.retry_s,    faults.checkpoints,  faults.crashes,
+          faults.retries};
+    }
+    profiler_->add_run(std::move(profile));
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "hetscale/obs/format.hpp"
 #include "hetscale/support/error.hpp"
 #include "hetscale/support/table.hpp"
 
@@ -12,29 +13,54 @@ namespace hetscale::vmpi {
 
 namespace {
 
-const char* kind_name(TraceInterval::Kind kind) {
-  switch (kind) {
-    case TraceInterval::Kind::kCompute: return "compute";
-    case TraceInterval::Kind::kSend: return "send";
-    case TraceInterval::Kind::kRecv: return "recv";
-  }
-  return "?";
-}
-
 double to_us(des::SimTime t) { return t * 1e6; }
 
 }  // namespace
 
+TraceRecorder::TraceRecorder()
+    : compute_id_(spans_.intern("compute")),
+      send_id_(spans_.intern("send.wait")),
+      recv_id_(spans_.intern("recv.wait")),
+      barrier_id_(spans_.intern("barrier")) {}
+
 void TraceRecorder::record_interval(TraceInterval interval) {
   HETSCALE_REQUIRE(interval.end >= interval.begin,
                    "interval must not end before it begins");
-  intervals_.push_back(interval);
+  int name_id = compute_id_;
+  switch (interval.kind) {
+    case TraceInterval::Kind::kCompute: name_id = compute_id_; break;
+    case TraceInterval::Kind::kSend: name_id = send_id_; break;
+    case TraceInterval::Kind::kRecv: name_id = recv_id_; break;
+  }
+  spans_.record(interval.rank, name_id, interval.begin, interval.end,
+                interval.peer, interval.tag, interval.bytes);
 }
 
 void TraceRecorder::record_message(TraceMessage message) {
   HETSCALE_REQUIRE(message.arrive >= message.depart,
                    "message must not arrive before departing");
   messages_.push_back(message);
+}
+
+std::vector<TraceInterval> TraceRecorder::intervals() const {
+  std::vector<TraceInterval> out;
+  out.reserve(spans_.spans().size());
+  for (const obs::Span& span : spans_.spans()) {
+    if (span.end < span.begin) continue;  // left open (deadlocked run)
+    TraceInterval::Kind kind;
+    if (span.name_id == compute_id_) {
+      kind = TraceInterval::Kind::kCompute;
+    } else if (span.name_id == send_id_) {
+      kind = TraceInterval::Kind::kSend;
+    } else if (span.name_id == recv_id_) {
+      kind = TraceInterval::Kind::kRecv;
+    } else {
+      continue;  // structural span (barrier) or fault charge
+    }
+    out.push_back(TraceInterval{span.lane, kind, span.begin, span.end,
+                                span.peer, span.tag, span.bytes});
+  }
+  return out;
 }
 
 std::string TraceRecorder::chrome_trace_json() const {
@@ -47,15 +73,16 @@ std::string TraceRecorder::chrome_trace_json() const {
     first = false;
     os << "\n";
   };
-  for (const auto& interval : intervals_) {
+  for (const obs::Span& span : spans_.spans()) {
+    if (span.end < span.begin) continue;  // left open (deadlocked run)
     sep();
-    os << R"({"name":")" << kind_name(interval.kind)
-       << R"(","ph":"X","pid":0,"tid":)" << interval.rank
-       << R"(,"ts":)" << to_us(interval.begin)
-       << R"(,"dur":)" << to_us(interval.end - interval.begin);
-    if (interval.kind != TraceInterval::Kind::kCompute) {
-      os << R"(,"args":{"peer":)" << interval.peer << R"(,"tag":)"
-         << interval.tag << R"(,"bytes":)" << interval.bytes << "}";
+    os << R"({"name":")" << obs::json_escape(spans_.name(span.name_id))
+       << R"(","ph":"X","pid":0,"tid":)" << span.lane
+       << R"(,"ts":)" << to_us(span.begin)
+       << R"(,"dur":)" << to_us(span.end - span.begin);
+    if (span.peer >= 0) {
+      os << R"(,"args":{"peer":)" << span.peer << R"(,"tag":)" << span.tag
+         << R"(,"bytes":)" << span.bytes << "}";
     }
     os << "}";
   }
@@ -72,7 +99,7 @@ std::string TraceRecorder::chrome_trace_json() const {
        << R"(,"pid":0,"tid":)" << m.destination << R"(,"ts":)"
        << to_us(m.arrive) << "}";
   }
-  os << "\n]\n";
+  os << (first ? "]\n" : "\n]\n");
   return os.str();
 }
 
@@ -83,7 +110,7 @@ std::string TraceRecorder::utilization_table(des::SimTime horizon) const {
     double comm = 0.0;
   };
   std::map<int, Bucket> per_rank;
-  for (const auto& interval : intervals_) {
+  for (const auto& interval : intervals()) {
     auto& bucket = per_rank[interval.rank];
     const double duration = interval.end - interval.begin;
     if (interval.kind == TraceInterval::Kind::kCompute) {

@@ -116,5 +116,20 @@ TEST(Scheduler, RunWithNoWorkIsNoop) {
   EXPECT_DOUBLE_EQ(sched.now(), 0.0);
 }
 
+TEST(Scheduler, TracksQueueDepthHighWaterMark) {
+  Scheduler sched;
+  EXPECT_EQ(sched.max_queue_depth(), 0u);
+  // 5 processes pending at once right after the spawns; each then drains
+  // one event at a time, so the high-water mark is the spawn burst.
+  for (int i = 0; i < 5; ++i) {
+    sched.spawn([](Scheduler& s) -> Task<void> {
+      co_await s.delay(1.0);
+      co_await s.delay(1.0);
+    }(sched));
+  }
+  sched.run();
+  EXPECT_EQ(sched.max_queue_depth(), 5u);
+}
+
 }  // namespace
 }  // namespace hetscale::des

@@ -1,0 +1,111 @@
+// End-to-end checks of the instrumentation layer against the paper's
+// scalability model: the profiled time budget partitions elapsed time, the
+// measured t0/To reproduce the analytic predictions, and profiling never
+// perturbs or destabilizes the simulated results.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hetscale/machine/sunwulf.hpp"
+#include "hetscale/numeric/stats.hpp"
+#include "hetscale/obs/profiler.hpp"
+#include "hetscale/obs/report.hpp"
+#include "hetscale/predict/models.hpp"
+#include "hetscale/predict/probe.hpp"
+#include "hetscale/run/runner.hpp"
+#include "hetscale/scal/profile.hpp"
+#include "hetscale/scenarios/paper.hpp"
+
+namespace hetscale {
+namespace {
+
+TEST(ProfileBudget, GePartitionSumsToElapsed) {
+  auto combo = scenarios::make_ge(2);
+  const auto profiled = scal::profile_run(*combo, 310);
+  const obs::TimeBudget& budget = profiled.budget();
+  EXPECT_DOUBLE_EQ(budget.total(), budget.elapsed_s);
+  EXPECT_DOUBLE_EQ(budget.elapsed_s, profiled.measurement.seconds);
+  EXPECT_GT(budget.compute_s, 0.0);
+  EXPECT_GT(budget.comm_s, 0.0);
+  EXPECT_GT(budget.sequential_s, 0.0);
+  EXPECT_EQ(budget.fault_s, 0.0);  // healthy run
+}
+
+TEST(ProfileBudget, MeasuredOverheadTracksAnalyticModel) {
+  const auto comm = predict::probe_comm_model(
+      predict::ProbeConfig{.node = machine::sunwulf::sunblade_spec()});
+  predict::GeOverheadModel model;
+
+  for (const int nodes : {2, 4}) {
+    auto combo = scenarios::make_ge(nodes);
+    const std::int64_t n = nodes == 2 ? 310 : 480;
+    const auto profiled = scal::profile_run(*combo, n);
+    const obs::TimeBudget& budget = profiled.budget();
+
+    const auto system = predict::system_model_for(
+        machine::sunwulf::ge_ensemble(nodes), comm);
+    const double t0_model =
+        model.sequential_time(static_cast<double>(n), system);
+    const double to_model = model.overhead(static_cast<double>(n), system);
+
+    // The sweep can classify the pivot-normalize instants as t0 or To
+    // depending on overlap, so compare the total non-parallel time.
+    const double measured = budget.measured_t0() + budget.measured_to();
+    EXPECT_LT(numeric::relative_error(measured, t0_model + to_model), 0.30)
+        << "nodes=" << nodes << " measured=" << measured
+        << " model=" << t0_model + to_model;
+  }
+}
+
+TEST(ProfileBudget, ProfilingDoesNotPerturbMeasurement) {
+  auto plain = scenarios::make_ge(2);
+  const scal::Measurement& baseline = plain->measure(200);
+
+  auto profiled_combo = scenarios::make_ge(2);
+  const auto profiled = scal::profile_run(*profiled_combo, 200);
+
+  // Bitwise equality: instrumentation must not alter simulated timing.
+  EXPECT_EQ(profiled.measurement.seconds, baseline.seconds);
+  EXPECT_EQ(profiled.measurement.work_flops, baseline.work_flops);
+  EXPECT_EQ(profiled.measurement.speed_efficiency,
+            baseline.speed_efficiency);
+  EXPECT_EQ(profiled.measurement.overhead_s, baseline.overhead_s);
+}
+
+TEST(ProfileBudget, ReportJsonIsByteStableAcrossJobs) {
+  const std::vector<std::int64_t> sizes{50, 100, 150, 200, 250};
+  auto render = [&](int jobs) {
+    obs::Profiler profiler;
+    {
+      obs::ProfilerScope scope(profiler);
+      auto combo = scenarios::make_ge(2);
+      run::Runner runner(jobs);
+      (void)combo->measure_many(sizes, runner);
+    }
+    obs::ReportOptions options;
+    options.subject = "ge";
+    std::ostringstream os;
+    profiler.report(options).to_json(os);
+    return os.str();
+  };
+  const std::string j1 = render(1);
+  const std::string j8 = render(8);
+  EXPECT_EQ(j1, j8);
+  EXPECT_NE(j1.find("\"schema\": \"hetscale.obs.report/v1\""),
+            std::string::npos);
+}
+
+TEST(ProfileBudget, ChromeTraceAndUtilizationComeAlong) {
+  auto combo = scenarios::make_ge(2);
+  const auto profiled = scal::profile_run(*combo, 100);
+  EXPECT_NE(profiled.chrome_trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(profiled.utilization.find("rank"), std::string::npos);
+  EXPECT_EQ(profiled.profile.messages > 0, true);
+  EXPECT_GT(profiled.profile.des_events, 0u);
+  EXPECT_GT(profiled.profile.wire_s, 0.0);
+}
+
+}  // namespace
+}  // namespace hetscale

@@ -1,0 +1,122 @@
+#include "hetscale/obs/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetscale/obs/span.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::obs {
+namespace {
+
+// All fixtures use dyadic span bounds, so segment sums are exact and the
+// partition identity holds bit for bit (EXPECT_EQ, not EXPECT_NEAR).
+
+TEST(Budget, EmptyStoreIsAllResidual) {
+  SpanStore store;
+  const TimeBudget budget = compute_time_budget(store, 4.0);
+  EXPECT_EQ(budget.residual_s, 4.0);
+  EXPECT_EQ(budget.total(), budget.elapsed_s);
+}
+
+TEST(Budget, TwoLanesComputingIsParallelCompute) {
+  SpanStore store;
+  const int compute = store.intern("compute");
+  store.record(0, compute, 0.0, 2.0);
+  store.record(1, compute, 0.0, 2.0);
+  const TimeBudget budget = compute_time_budget(store, 2.0);
+  EXPECT_EQ(budget.compute_s, 2.0);
+  EXPECT_EQ(budget.sequential_s, 0.0);
+  EXPECT_EQ(budget.total(), budget.elapsed_s);
+}
+
+TEST(Budget, SingleComputingLaneIsSequential) {
+  // Lane 0 computes alone over [0, 1), both lanes over [1, 2), idle tail.
+  SpanStore store;
+  const int compute = store.intern("compute");
+  store.record(0, compute, 0.0, 2.0);
+  store.record(1, compute, 1.0, 2.0);
+  const TimeBudget budget = compute_time_budget(store, 2.5);
+  EXPECT_EQ(budget.sequential_s, 1.0);
+  EXPECT_EQ(budget.compute_s, 1.0);
+  EXPECT_EQ(budget.residual_s, 0.5);
+  EXPECT_EQ(budget.total(), budget.elapsed_s);
+  EXPECT_EQ(budget.measured_t0(), 1.0);
+  EXPECT_EQ(budget.measured_to(), 0.5);
+}
+
+TEST(Budget, CommOnlyCountsWhenNobodyComputes) {
+  // Lane 0 computes through [0, 2]; lane 1 waits in comm the whole time,
+  // then both are in comm over [2, 3].
+  SpanStore store;
+  const int compute = store.intern("compute");
+  const int send = store.intern("send.wait");
+  store.record(0, compute, 0.0, 2.0);
+  store.record(1, send, 0.0, 3.0);
+  store.record(0, send, 2.0, 3.0);
+  const TimeBudget budget = compute_time_budget(store, 3.0);
+  EXPECT_EQ(budget.sequential_s, 2.0);  // one lane computing dominates
+  EXPECT_EQ(budget.comm_s, 1.0);
+  EXPECT_EQ(budget.total(), budget.elapsed_s);
+}
+
+TEST(Budget, FaultOutranksCommAndYieldsToCompute) {
+  SpanStore store;
+  const int compute = store.intern("compute");
+  const int rework = store.intern("fault.rework");
+  const int send = store.intern("send.wait");
+  // [0, 1): lane 0 rework + lane 1 comm -> fault (no one computes).
+  // [1, 2): lanes 0+1 compute while lane 0 still inside rework: the
+  //         lane's own priority is fault, so only lane 1 computes ->
+  //         sequential.
+  store.record(0, rework, 0.0, 2.0);
+  store.record(1, send, 0.0, 1.0);
+  store.record(0, compute, 1.0, 2.0);
+  store.record(1, compute, 1.0, 2.0);
+  const TimeBudget budget = compute_time_budget(store, 2.0);
+  EXPECT_EQ(budget.fault_s, 1.0);
+  EXPECT_EQ(budget.sequential_s, 1.0);
+  EXPECT_EQ(budget.comm_s, 0.0);
+  EXPECT_EQ(budget.total(), budget.elapsed_s);
+}
+
+TEST(Budget, SpansClampToElapsedAndOpenSpansAreSkipped) {
+  SpanStore store;
+  const int compute = store.intern("compute");
+  const int barrier = store.intern("barrier");
+  store.record(0, compute, -1.0, 10.0);  // clipped to [0, 2]
+  store.record(1, compute, 0.0, 10.0);   // clipped to [0, 2]
+  store.open(0, barrier, 0.0);           // never closed: ignored
+  const TimeBudget budget = compute_time_budget(store, 2.0);
+  EXPECT_EQ(budget.compute_s, 2.0);
+  EXPECT_EQ(budget.total(), budget.elapsed_s);
+}
+
+TEST(Budget, OtherCategorySpansAreInvisible) {
+  SpanStore store;
+  store.record(0, store.intern("mystery"), 0.0, 2.0);
+  const TimeBudget budget = compute_time_budget(store, 2.0);
+  EXPECT_EQ(budget.residual_s, 2.0);
+}
+
+TEST(Budget, AccumulationAddsElementwise) {
+  TimeBudget a;
+  a.compute_s = 1.0;
+  a.elapsed_s = 2.0;
+  a.residual_s = 1.0;
+  TimeBudget b;
+  b.comm_s = 0.5;
+  b.elapsed_s = 0.5;
+  a += b;
+  EXPECT_EQ(a.compute_s, 1.0);
+  EXPECT_EQ(a.comm_s, 0.5);
+  EXPECT_EQ(a.elapsed_s, 2.5);
+  EXPECT_EQ(a.total(), a.elapsed_s);
+}
+
+TEST(Budget, NegativeElapsedThrows) {
+  SpanStore store;
+  EXPECT_THROW(compute_time_budget(store, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::obs

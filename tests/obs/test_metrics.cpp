@@ -1,0 +1,140 @@
+#include "hetscale/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAndRejectsNegative) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("events_total");
+  counter.add(2.0);
+  counter.inc();
+  EXPECT_DOUBLE_EQ(counter.value, 3.0);
+  EXPECT_THROW(counter.add(-1.0), PreconditionError);
+}
+
+TEST(Metrics, GaugeSetMaxTracksHighWaterMark) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("queue_depth");
+  gauge.set_max(3.0);
+  gauge.set_max(1.0);
+  EXPECT_DOUBLE_EQ(gauge.value, 3.0);
+  gauge.set(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value, 0.5);
+}
+
+TEST(Metrics, LabelSetsKeyDistinctInstruments) {
+  MetricsRegistry registry;
+  registry.counter("bytes_total", {{"node", "0"}}).add(10.0);
+  registry.counter("bytes_total", {{"node", "1"}}).add(20.0);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_DOUBLE_EQ(registry.find_counter("bytes_total", {{"node", "0"}})->value,
+                   10.0);
+  EXPECT_DOUBLE_EQ(registry.find_counter("bytes_total", {{"node", "1"}})->value,
+                   20.0);
+}
+
+TEST(Metrics, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  registry.counter("x_total", {{"a", "1"}, {"b", "2"}}).add(1.0);
+  // Same logical instrument, labels listed in the other order.
+  registry.counter("x_total", {{"b", "2"}, {"a", "1"}}).add(1.0);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      registry.find_counter("x_total", {{"b", "2"}, {"a", "1"}})->value, 2.0);
+}
+
+TEST(Metrics, DuplicateLabelKeyThrows) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("x_total", {{"a", "1"}, {"a", "2"}}),
+               PreconditionError);
+}
+
+TEST(Metrics, TypeClashThrows) {
+  MetricsRegistry registry;
+  registry.counter("mixed");
+  EXPECT_THROW(registry.gauge("mixed"), PreconditionError);
+  EXPECT_THROW(registry.histogram("mixed", {1.0}), PreconditionError);
+}
+
+TEST(Metrics, InvalidNameThrows) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter(""), PreconditionError);
+  EXPECT_THROW(registry.counter("9starts_with_digit"), PreconditionError);
+  EXPECT_THROW(registry.counter("has space"), PreconditionError);
+}
+
+TEST(Metrics, HistogramBucketBoundariesAreInclusive) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 10.0});
+  h.observe(1.0);   // le="1" (boundary is inclusive)
+  h.observe(1.5);   // le="10"
+  h.observe(10.0);  // le="10"
+  h.observe(11.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 23.5);
+}
+
+TEST(Metrics, HistogramBoundsClashThrows) {
+  MetricsRegistry registry;
+  registry.histogram("lat", {1.0, 10.0});
+  EXPECT_THROW(registry.histogram("lat", {1.0, 5.0}), PreconditionError);
+  // Same bounds find the same instrument.
+  registry.histogram("lat", {1.0, 10.0}).observe(0.5);
+  EXPECT_EQ(registry.find_histogram("lat")->count(), 1u);
+}
+
+TEST(Metrics, ExportOrderIsIndependentOfRegistrationOrder) {
+  auto render = [](const std::vector<std::string>& order) {
+    MetricsRegistry registry;
+    for (const auto& node : order) {
+      registry.counter("bytes_total", {{"node", node}}).add(1.0);
+    }
+    registry.gauge("depth").set(2.0);
+    std::ostringstream os;
+    registry.write_prometheus(os);
+    std::ostringstream js;
+    registry.write_json(js);
+    return os.str() + js.str();
+  };
+  EXPECT_EQ(render({"2", "0", "1"}), render({"0", "1", "2"}));
+}
+
+TEST(Metrics, PrometheusHistogramIsCumulativeWithInf) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat_seconds", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 3"), std::string::npos);
+}
+
+TEST(Metrics, JsonRendersNonFiniteAsNull) {
+  MetricsRegistry registry;
+  registry.gauge("g").set(std::nan(""));
+  std::ostringstream os;
+  registry.write_json(os);
+  EXPECT_NE(os.str().find("null"), std::string::npos);
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetscale::obs

@@ -142,6 +142,55 @@ TEST(Trace, TracingDoesNotPerturbTiming) {
   EXPECT_EQ(a.elapsed, b.elapsed);
 }
 
+TEST(Trace, EmptyTraceIsValidJson) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.chrome_trace_json(), "[]\n");
+}
+
+TEST(Trace, ZeroLengthIntervalsStayValid) {
+  TraceRecorder recorder;
+  recorder.record_interval(
+      {0, TraceInterval::Kind::kCompute, 1.0, 1.0, -1, 0, 0.0});
+  EXPECT_EQ(recorder.intervals().size(), 1u);
+  const std::string json = recorder.chrome_trace_json();
+  EXPECT_NE(json.find(R"("dur":0)"), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+}
+
+TEST(Trace, ChromeJsonEscapesSpanNames) {
+  TraceRecorder recorder;
+  auto& spans = recorder.spans();
+  spans.record(0, spans.intern("weird\"name\\here"), 0.0, 1.0);
+  const std::string json = recorder.chrome_trace_json();
+  EXPECT_NE(json.find(R"(weird\"name\\here)"), std::string::npos);
+  // The raw quote must never appear unescaped inside the name field.
+  EXPECT_EQ(json.find("weird\"name"), std::string::npos);
+}
+
+TEST(Trace, BarrierSpansNestWaitsBeneathThem) {
+  auto machine = Machine::switched(pair_cluster());
+  auto& tracer = machine.enable_tracing();
+  machine.run([](Comm& comm) -> Task<void> {
+    co_await comm.compute(units::mflop(1.0));
+    co_await comm.barrier();
+  });
+  const auto& spans = tracer.spans();
+  EXPECT_EQ(spans.open_count(), 0u);  // every barrier span closed
+  int barriers = 0;
+  int nested = 0;
+  for (const auto& span : spans.spans()) {
+    if (span.name_id == tracer.barrier_name_id()) {
+      ++barriers;
+      EXPECT_GE(span.end, span.begin);
+      EXPECT_EQ(span.depth, 0);
+    } else if (span.depth > 0) {
+      ++nested;  // a send/recv wait inside the barrier
+    }
+  }
+  EXPECT_EQ(barriers, 2);  // one per rank
+  EXPECT_GT(nested, 0);
+}
+
 TEST(Trace, InvalidRecordsRejected) {
   TraceRecorder recorder;
   EXPECT_THROW(recorder.record_interval(

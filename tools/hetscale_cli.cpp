@@ -7,6 +7,9 @@
 //   hetscale_cli curve   --algo mm --cluster "server:1,v210x3:1" --from 32 --to 512 --step 32
 //   hetscale_cli series  --algo ge --ladder "2,4,8,16" --target 0.3
 //   hetscale_cli predict --ladder "2,4,8" --target 0.3
+//   hetscale_cli profile table2_ge_two_nodes --format json --out report.json
+//   hetscale_cli profile --algo sort --cluster "sunbladex4" --n 4096
+//                        --format table --trace-out sort.trace.json
 //   hetscale_cli trace   --algo ge --cluster "sunbladex4" --n 64 --out ge.trace.json
 //   hetscale_cli inject  --algo ge --cluster "sunbladex4" --n 256 --seed 7 \
 //                        --slowdown 0.6 --loss 0.05 --crash-rate 0.5 \
@@ -16,10 +19,15 @@
 // server / sunblade / v210 (see machine/parse.hpp). Ladders name the
 // paper's GE/MM ensembles by node count. `run` executes a registered
 // scenario (the paper's tables and figures) on a --jobs-wide worker pool;
-// solve / curve / series accept --jobs too.
+// solve / curve / series accept --jobs too. `profile` runs either a
+// registered scenario or a single algorithm with instrumentation on and
+// exports the hetscale.obs.report in --format json | prom | table; `trace`
+// is the historical alias for the single-run form (utilization table plus
+// --out chrome trace).
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +36,7 @@
 #include "hetscale/machine/parse.hpp"
 #include "hetscale/machine/sunwulf.hpp"
 #include "hetscale/marked/suite.hpp"
+#include "hetscale/obs/report.hpp"
 #include "hetscale/predict/models.hpp"
 #include "hetscale/predict/probe.hpp"
 #include "hetscale/fault/plan.hpp"
@@ -35,9 +44,11 @@
 #include "hetscale/run/scenario.hpp"
 #include "hetscale/scal/fault_study.hpp"
 #include "hetscale/scal/iso_solver.hpp"
+#include "hetscale/scal/profile.hpp"
 #include "hetscale/scal/series.hpp"
 #include "hetscale/scenarios/fault.hpp"
 #include "hetscale/scenarios/paper.hpp"
+#include "hetscale/scenarios/profile.hpp"
 #include "hetscale/support/args.hpp"
 #include "hetscale/support/csv.hpp"
 #include "hetscale/support/table.hpp"
@@ -72,6 +83,7 @@ std::unique_ptr<scal::ClusterCombination> make_combination(
 int cmd_run(const ArgParser& args) {
   scenarios::register_paper_scenarios();
   scenarios::register_fault_scenarios();
+  scenarios::register_profile_scenarios();
   const auto& positional = args.positional();
   const std::string name = positional.size() > 1 ? positional[1] : "list";
   if (name == "list") {
@@ -90,13 +102,26 @@ int cmd_run(const ArgParser& args) {
     return 2;
   }
   run::Runner runner(resolve_jobs(args));
-  const run::RunContext context{runner,
-                                run::parse_format(args.get_or("format",
-                                                              "text")),
-                                resolve_seed(args)};
-  const run::RunResult result = scenario->run(context);
+  obs::Profiler profiler;
+  const bool profile = args.has("profile");
+  run::RunContext context{runner,
+                          run::parse_format(args.get_or("format", "text")),
+                          resolve_seed(args)};
   std::string storage;
-  std::cout << run::render(result, context.format, storage);
+  if (profile) {
+    // The artifact keeps stdout; the instrumentation report rides along
+    // on stderr as a time-budget table.
+    context.profiler = &profiler;
+    obs::ProfilerScope scope(profiler);
+    const run::RunResult result = scenario->run(context);
+    std::cout << run::render(result, context.format, storage);
+    obs::ReportOptions options;
+    options.subject = name;
+    std::cerr << profiler.report(options).to_table();
+  } else {
+    const run::RunResult result = scenario->run(context);
+    std::cout << run::render(result, context.format, storage);
+  }
   return 0;
 }
 
@@ -286,35 +311,96 @@ int cmd_inject(const ArgParser& args) {
   return 0;
 }
 
-int cmd_trace(const ArgParser& args) {
-  const std::string algo = args.get_or("algo", "ge");
-  auto cluster = machine::parse_cluster(args.get("cluster"));
-  const auto n = args.get_int("n", 64);
-  auto machine = vmpi::Machine::switched(cluster);
-  auto& tracer = machine.enable_tracing();
-  double elapsed = 0.0;
-  if (algo == "ge") {
-    algos::GeOptions options;
-    options.n = n;
-    options.with_data = false;
-    elapsed = algos::run_parallel_ge(machine, options).run.elapsed;
-  } else if (algo == "mm") {
-    algos::MmOptions options;
-    options.n = n;
-    options.with_data = false;
-    elapsed = algos::run_parallel_mm(machine, options).run.elapsed;
+// Emit `report` per --format json | prom | table to --out or stdout.
+void write_report(const ArgParser& args, const obs::Report& report) {
+  const std::string format = args.get_or("format", "table");
+  std::ostringstream os;
+  if (format == "json") {
+    report.to_json(os);
+  } else if (format == "prom") {
+    report.to_prometheus(os);
+  } else if (format == "table") {
+    os << report.to_table();
   } else {
-    throw PreconditionError("trace supports --algo ge or mm");
+    throw PreconditionError("profile supports --format json, prom, or table");
   }
-  std::cout << tracer.utilization_table(elapsed);
   if (args.has("out")) {
     std::ofstream out(args.get("out"));
     HETSCALE_REQUIRE(out.good(), "cannot open --out file for writing");
-    out << tracer.chrome_trace_json();
-    std::cout << "chrome trace written to " << args.get("out")
+    out << os.str();
+  } else {
+    std::cout << os.str();
+  }
+}
+
+/// One instrumented run of --algo (ge, mm, sort, jacobi) on --cluster at
+/// --n. In profile mode the report goes to stdout (or --out) and the
+/// per-rank utilization table to stderr; `trace` keeps its historical
+/// contract — utilization on stdout, chrome trace via --out.
+int profile_adhoc(const ArgParser& args, bool trace_alias) {
+  auto combo = make_combination(args.get_or("algo", "ge"),
+                                machine::parse_cluster(args.get("cluster")));
+  const auto n = args.get_int("n", 64);
+  const auto profiled = scal::profile_run(*combo, n);
+  if (trace_alias) {
+    std::cout << profiled.utilization;
+    if (args.has("out")) {
+      std::ofstream out(args.get("out"));
+      HETSCALE_REQUIRE(out.good(), "cannot open --out file for writing");
+      out << profiled.chrome_trace;
+      std::cout << "chrome trace written to " << args.get("out")
+                << " (open in chrome://tracing)\n";
+    }
+    return 0;
+  }
+  if (args.has("trace-out")) {
+    std::ofstream out(args.get("trace-out"));
+    HETSCALE_REQUIRE(out.good(), "cannot open --trace-out file for writing");
+    out << profiled.chrome_trace;
+    std::cerr << "chrome trace written to " << args.get("trace-out")
               << " (open in chrome://tracing)\n";
   }
+  std::cerr << profiled.utilization;
+  obs::Profiler profiler;
+  profiler.add_run(profiled.profile);
+  obs::ReportOptions options;
+  options.subject = combo->name();
+  write_report(args, profiler.report(options));
   return 0;
+}
+
+int cmd_profile(const ArgParser& args) {
+  const auto& positional = args.positional();
+  if (positional.size() > 1) {
+    scenarios::register_paper_scenarios();
+    scenarios::register_fault_scenarios();
+    scenarios::register_profile_scenarios();
+    const std::string& name = positional[1];
+    const run::Scenario* scenario = run::find_scenario(name);
+    if (scenario == nullptr) {
+      std::cerr << "error: unknown scenario '" << name
+                << "' (try: hetscale_cli run list)\n";
+      return 2;
+    }
+    obs::Profiler profiler;
+    {
+      // Machines constructed while the scope is live publish their
+      // RunProfile automatically; the scenario's own artifact output is
+      // discarded — the product of `profile` is the report.
+      obs::ProfilerScope scope(profiler);
+      run::Runner runner(resolve_jobs(args));
+      const run::RunContext context{runner, run::OutputFormat::kText,
+                                    resolve_seed(args), &profiler};
+      (void)scenario->run(context);
+    }
+    obs::ReportOptions options;
+    options.subject = name;
+    write_report(args, profiler.report(options));
+    return 0;
+  }
+  HETSCALE_REQUIRE(args.has("cluster"),
+                   "profile needs a scenario name or --cluster (see --help)");
+  return profile_adhoc(args, /*trace_alias=*/false);
 }
 
 }  // namespace
@@ -328,10 +414,13 @@ int main(int argc, char** argv) {
       .add_flag("from", "curve: first N", "32")
       .add_flag("to", "curve: last N", "512")
       .add_flag("step", "curve: N increment", "32")
-      .add_flag("n", "trace: problem size", "64")
+      .add_flag("n", "profile/trace: problem size", "64")
       .add_flag("nmin", "solve: search floor", "4")
-      .add_flag("out", "trace: chrome-trace output file")
-      .add_flag("format", "run: output format (text, csv, json)", "text")
+      .add_flag("out", "profile: report file; trace: chrome-trace file")
+      .add_flag("trace-out", "profile: chrome-trace output file")
+      .add_flag("format",
+                "run: text, csv, json; profile: json, prom, table", "text")
+      .add_bool("profile", "run: also print the obs report to stderr")
       .add_flag("slowdown", "inject: straggler compute-rate factor", "1.0")
       .add_flag("loss", "inject: per-transmission drop probability", "0.0")
       .add_flag("crash-rate", "inject: crashes per second per rank", "0.0")
@@ -349,11 +438,12 @@ int main(int argc, char** argv) {
     if (command == "curve") return cmd_curve(args);
     if (command == "series") return cmd_series(args);
     if (command == "predict") return cmd_predict(args);
-    if (command == "trace") return cmd_trace(args);
+    if (command == "profile") return cmd_profile(args);
+    if (command == "trace") return profile_adhoc(args, /*trace_alias=*/true);
     if (command == "inject") return cmd_inject(args);
     std::cout << "hetscale_cli — isospeed-efficiency scalability analyses\n"
               << "commands: run | marked | solve | curve | series | predict "
-                 "| trace | inject\n\n"
+                 "| profile | trace | inject\n\n"
               << args.help("hetscale_cli <command>");
     return command.empty() ? 0 : 2;
   } catch (const hetscale::Error& error) {
