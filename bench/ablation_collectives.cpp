@@ -29,6 +29,13 @@ class TunedGeCombination final : public scal::ClusterCombination {
   }
 
  private:
+  // The tuning changes timing, so it must be part of the measurement-store
+  // fingerprint — otherwise flat and binomial runs would alias.
+  std::string algo_key() const override {
+    return "ge:bcast=" + std::to_string(static_cast<int>(tuning_.small_bcast)) +
+           ",large>=" + std::to_string(tuning_.large_bcast_threshold_bytes);
+  }
+
   RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override {
     machine.set_tuning(tuning_);
     algos::GeOptions options;

@@ -26,6 +26,10 @@ class PipelinedGeCombination final : public scal::ClusterCombination {
   }
 
  private:
+  // Distinct from plain "ge": pipelining changes the timing, so the two
+  // must not share measurement-store entries.
+  std::string algo_key() const override { return "ge:pipelined"; }
+
   RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override {
     algos::GeOptions options;
     options.n = n;

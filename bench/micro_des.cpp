@@ -3,6 +3,10 @@
 // harness can drive per wall-clock second.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <string>
 
 #include "hetscale/algos/ge.hpp"
@@ -11,25 +15,76 @@
 #include "hetscale/machine/sunwulf.hpp"
 #include "hetscale/support/units.hpp"
 #include "hetscale/vmpi/machine.hpp"
+#if __has_include("hetscale/scal/measure_store.hpp")
+#include "hetscale/scal/measure_store.hpp"
+#define HETSCALE_HAS_MEASURE_STORE 1
+#endif
+#include "hetscale/run/runner.hpp"
+#include "hetscale/scal/iso_solver.hpp"
+#include "hetscale/scenarios/paper.hpp"
+
+// ---- Counting allocator hook ------------------------------------------------
+// Global operator new is replaced binary-wide so the benchmarks can report
+// allocations per simulated event/message — the quantity the slab queue and
+// payload arena exist to eliminate. The count is relaxed-atomic: workers
+// allocate concurrently in the ladder benchmark, and ordering is irrelevant.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace hetscale;
 using des::Task;
 
+std::uint64_t allocations() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+// args: {total events, concurrent delay loops}. One loop is the ubiquitous
+// schedule-one/pop-one rhythm (the scheduler's front-slot fast path); many
+// loops keep that many events pending at once, which is where the queue
+// structure itself — ladder buckets vs binary heap — dominates. Staggered
+// delay periods stop the loops from degenerating into lock-step ties.
 void BM_SchedulerDelayEvents(benchmark::State& state) {
   const int events = static_cast<int>(state.range(0));
+  const int loops = static_cast<int>(state.range(1));
+  const int per_loop = events / loops;
+  std::uint64_t allocs = 0;
   for (auto _ : state) {
+    const std::uint64_t before = allocations();
     des::Scheduler sched;
-    sched.spawn([](des::Scheduler& s, int n) -> Task<void> {
-      for (int i = 0; i < n; ++i) co_await s.delay(1.0);
-    }(sched, events));
+    for (int c = 0; c < loops; ++c) {
+      sched.spawn([](des::Scheduler& s, int n, double dt) -> Task<void> {
+        for (int i = 0; i < n; ++i) co_await s.delay(dt);
+      }(sched, per_loop, 1.0 + 0.001 * c));
+    }
     sched.run();
     benchmark::DoNotOptimize(sched.now());
+    allocs += allocations() - before;
   }
-  state.SetItemsProcessed(state.iterations() * events);
+  const auto total = state.iterations() *
+                     static_cast<std::uint64_t>(per_loop) * loops;
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.counters["allocs_per_event"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(total));
 }
-BENCHMARK(BM_SchedulerDelayEvents)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_SchedulerDelayEvents)
+    ->Args({1000, 1})
+    ->Args({100000, 1})
+    ->Args({100000, 64})
+    ->Args({100000, 1024});
 
 void BM_TimelineReserve(benchmark::State& state) {
   des::Timeline timeline;
@@ -52,8 +107,10 @@ machine::Cluster blades(int n) {
 
 void BM_PingPong(benchmark::State& state) {
   const int rounds = static_cast<int>(state.range(0));
+  std::uint64_t allocs = 0;
   for (auto _ : state) {
     auto machine = vmpi::Machine::switched(blades(2));
+    const std::uint64_t before = allocations();
     machine.run([rounds](vmpi::Comm& comm) -> Task<void> {
       for (int i = 0; i < rounds; ++i) {
         if (comm.rank() == 0) {
@@ -65,8 +122,12 @@ void BM_PingPong(benchmark::State& state) {
         }
       }
     });
+    allocs += allocations() - before;
   }
   state.SetItemsProcessed(state.iterations() * rounds * 2);
+  state.counters["allocs_per_msg"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() * rounds * 2));
 }
 BENCHMARK(BM_PingPong)->Arg(1000);
 
@@ -96,6 +157,37 @@ void BM_GeTimingOnlyRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_GeTimingOnlyRun)->Arg(128)->Arg(512);
+
+// The GE iso-solver ladder from table3/table4: direct search for the size
+// achieving the paper's target speed-efficiency, one solve per node count.
+// Measures end-to-end solver wall-clock with the 8-worker speculative
+// bisection; the measurement store is disabled so every iteration pays for
+// its simulations instead of replaying the first iteration's memo.
+void BM_GeLadderSolve(benchmark::State& state) {
+#ifdef HETSCALE_HAS_MEASURE_STORE
+  auto& store = scal::MeasurementStore::global();
+  const bool was_enabled = store.enabled();
+  store.set_enabled(false);
+#endif
+  run::Runner runner(8);
+  scal::IsoSolveOptions options;
+  options.method = scal::IsoSolveOptions::Method::kDirectSearch;
+  options.runner = &runner;
+  for (auto _ : state) {
+    double achieved = 0.0;
+    for (const int nodes : {2, 4, 8}) {
+      auto combo = scenarios::make_ge(nodes);
+      const auto solved =
+          scal::required_problem_size(*combo, scenarios::kGeTargetEs, options);
+      achieved += solved.achieved_es;
+    }
+    benchmark::DoNotOptimize(achieved);
+  }
+#ifdef HETSCALE_HAS_MEASURE_STORE
+  store.set_enabled(was_enabled);
+#endif
+}
+BENCHMARK(BM_GeLadderSolve)->Unit(benchmark::kMillisecond);
 
 void BM_GeWithDataRun(benchmark::State& state) {
   const auto n = state.range(0);

@@ -7,7 +7,6 @@
 //   2. Wrapping the built-in Jacobi stencil into a scal::Combination so the
 //      whole analysis pipeline (iso-solver, trend line, ψ) applies to it —
 //      the generality the paper's conclusion asks for.
-#include <any>
 #include <iostream>
 #include <memory>
 
@@ -32,13 +31,14 @@ Task<void> ring_reduce(vmpi::Comm& comm, double flops_per_rank) {
   const int prev = (comm.rank() - 1 + comm.size()) % comm.size();
   if (comm.size() == 1) co_return;
   if (comm.rank() == 0) {
-    co_await comm.send(next, kTag, 8.0, std::any(1.0));
+    co_await comm.send(next, kTag, 8.0, vmpi::Payload(1.0));
     const auto back = co_await comm.recv(prev, kTag);
     std::cout << "  ring token accumulated " << back.value<double>()
               << " over " << comm.size() << " ranks\n";
   } else {
     const auto token = co_await comm.recv(prev, kTag);
-    co_await comm.send(next, kTag, 8.0, std::any(token.value<double>() + 1.0));
+    co_await comm.send(next, kTag, 8.0,
+                       vmpi::Payload(token.value<double>() + 1.0));
   }
 }
 

@@ -1,6 +1,7 @@
 #include "hetscale/algos/ge.hpp"
 
-#include <any>
+#include <algorithm>
+#include <array>
 #include <memory>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "hetscale/numeric/linsolve.hpp"
 #include "hetscale/numeric/matrix.hpp"
 #include "hetscale/support/error.hpp"
+#include "hetscale/vmpi/payload.hpp"
 
 namespace hetscale::algos {
 
@@ -18,6 +20,7 @@ namespace {
 
 using des::Task;
 using vmpi::Comm;
+using vmpi::Payload;
 
 constexpr int kRoot = 0;
 constexpr int kTagRows = 100;
@@ -26,12 +29,13 @@ constexpr int kTagCollect = 101;
 constexpr int kTagPivotBase = 2000;
 constexpr double kMetadataBytes = 16.0;
 
-using Pack = std::shared_ptr<std::vector<double>>;
-
 struct RankData {
   std::vector<std::int64_t> rows;  ///< owned global row indices, ascending
-  std::vector<std::vector<double>> a_rows;  ///< with_data: full-length rows
-  std::vector<double> rhs;
+  /// with_data: one contiguous slab of rows.size() x (n + 1) doubles, each
+  /// row holding its n coefficients followed by its rhs entry. Keeping the
+  /// rhs in-row means the elimination update and the wire format are the
+  /// same memory — no per-step pack/unpack copies.
+  std::vector<double> slab;
   std::size_t next = 0;  ///< first local index with global row >= step i
 };
 
@@ -41,35 +45,33 @@ struct GeShared {
   bool barrier_each_step = true;
   std::vector<int> owners;
   std::vector<RankData> ranks;
-  numeric::Matrix a0;       ///< original system (kept for the residual)
+  numeric::Matrix a0;  ///< original system (kept for the residual)
   std::vector<double> b0;
   double charged = 0.0;
   std::vector<double> solution;
   double residual = 0.0;
 };
 
-/// Pack the rows owned by `data` as [row cols..., rhs] per row.
-Pack pack_rows(const GeShared& sh, const RankData& data) {
-  auto pack = std::make_shared<std::vector<double>>();
-  pack->reserve(data.rows.size() * static_cast<std::size_t>(sh.n + 1));
-  for (std::size_t k = 0; k < data.rows.size(); ++k) {
-    pack->insert(pack->end(), data.a_rows[k].begin(), data.a_rows[k].end());
-    pack->push_back(data.rhs[k]);
-  }
-  return pack;
+std::size_t row_stride(const GeShared& sh) {
+  return static_cast<std::size_t>(sh.n + 1);
 }
 
-void unpack_rows(const GeShared& sh, RankData& data, const Pack& pack) {
-  const auto stride = static_cast<std::size_t>(sh.n + 1);
-  HETSCALE_CHECK(pack->size() == data.rows.size() * stride,
+double* local_row(GeShared& sh, RankData& data, std::size_t local) {
+  return data.slab.data() + local * row_stride(sh);
+}
+
+/// Fill a pooled buffer with `data`'s rows as [row cols..., rhs] per row —
+/// exactly the slab's own layout, so this is one memcpy.
+Payload pack_rows(const GeShared& sh, const RankData& data) {
+  (void)sh;
+  return Payload::copy_of(std::span<const double>(data.slab));
+}
+
+void unpack_rows(const GeShared& sh, RankData& data, const Payload& pack) {
+  const auto doubles = pack.doubles();
+  HETSCALE_CHECK(doubles.size() == data.rows.size() * row_stride(sh),
                  "row pack size mismatch");
-  data.a_rows.resize(data.rows.size());
-  data.rhs.resize(data.rows.size());
-  for (std::size_t k = 0; k < data.rows.size(); ++k) {
-    const double* base = pack->data() + k * stride;
-    data.a_rows[k].assign(base, base + sh.n);
-    data.rhs[k] = base[static_cast<std::size_t>(sh.n)];
-  }
+  data.slab.assign(doubles.begin(), doubles.end());
 }
 
 /// Stage 0: process 0 distributes rows (heterogeneous cyclic), preceded by
@@ -83,34 +85,40 @@ Task<void> ge_distribute(Comm& comm, GeShared& sh, RankData& mine) {
   co_await comm.bcast(kRoot, kMetadataBytes, {});
 
   if (rank == kRoot) {
+    const std::size_t stride = row_stride(sh);
     for (int dst = 0; dst < p; ++dst) {
       if (dst == kRoot) continue;
       auto& theirs = sh.ranks[static_cast<std::size_t>(dst)];
-      std::any payload;
+      Payload payload;
       if (sh.with_data) {
-        auto pack = std::make_shared<std::vector<double>>();
-        pack->reserve(theirs.rows.size() * static_cast<std::size_t>(n + 1));
+        payload = Payload::buffer(theirs.rows.size() * stride);
+        auto out = payload.doubles();
+        std::size_t at = 0;
         for (auto g : theirs.rows) {
           auto row = sh.a0.row(static_cast<std::size_t>(g));
-          pack->insert(pack->end(), row.begin(), row.end());
-          pack->push_back(sh.b0[static_cast<std::size_t>(g)]);
+          std::copy(row.begin(), row.end(), out.begin() + at);
+          out[at + static_cast<std::size_t>(n)] =
+              sh.b0[static_cast<std::size_t>(g)];
+          at += stride;
         }
-        payload = pack;
       }
       co_await comm.send(dst, kTagRows,
                          bytes_per_row * static_cast<double>(theirs.rows.size()),
                          std::move(payload));
     }
     if (sh.with_data) {
-      for (auto g : mine.rows) {
-        auto row = sh.a0.row(static_cast<std::size_t>(g));
-        mine.a_rows.emplace_back(row.begin(), row.end());
-        mine.rhs.push_back(sh.b0[static_cast<std::size_t>(g)]);
+      mine.slab.resize(mine.rows.size() * stride);
+      for (std::size_t k = 0; k < mine.rows.size(); ++k) {
+        const auto g = static_cast<std::size_t>(mine.rows[k]);
+        auto row = sh.a0.row(g);
+        double* dst_row = local_row(sh, mine, k);
+        std::copy(row.begin(), row.end(), dst_row);
+        dst_row[static_cast<std::size_t>(n)] = sh.b0[g];
       }
     }
   } else {
     auto message = co_await comm.recv(kRoot, kTagRows);
-    if (sh.with_data) unpack_rows(sh, mine, message.value<Pack>());
+    if (sh.with_data) unpack_rows(sh, mine, message.payload);
   }
 }
 
@@ -123,7 +131,7 @@ Task<void> ge_collect(Comm& comm, GeShared& sh, RankData& mine) {
   const double bytes_per_row = static_cast<double>(n + 1) * 8.0;
 
   if (rank != kRoot) {
-    std::any payload;
+    Payload payload;
     if (sh.with_data) payload = pack_rows(sh, mine);
     co_await comm.send(kRoot, kTagCollect,
                        bytes_per_row * static_cast<double>(mine.rows.size()),
@@ -133,15 +141,17 @@ Task<void> ge_collect(Comm& comm, GeShared& sh, RankData& mine) {
 
   numeric::Matrix u;
   std::vector<double> y;
+  const std::size_t stride = row_stride(sh);
   if (sh.with_data) {
     u = numeric::Matrix(static_cast<std::size_t>(n),
                         static_cast<std::size_t>(n));
     y.resize(static_cast<std::size_t>(n));
     for (std::size_t k = 0; k < mine.rows.size(); ++k) {
       const auto g = static_cast<std::size_t>(mine.rows[k]);
+      const double* base = local_row(sh, mine, k);
       auto dst = u.row(g);
-      std::copy(mine.a_rows[k].begin(), mine.a_rows[k].end(), dst.begin());
-      y[g] = mine.rhs[k];
+      std::copy(base, base + n, dst.begin());
+      y[g] = base[static_cast<std::size_t>(n)];
     }
   }
   for (int src = 0; src < p; ++src) {
@@ -149,13 +159,12 @@ Task<void> ge_collect(Comm& comm, GeShared& sh, RankData& mine) {
     auto message = co_await comm.recv(src, kTagCollect);
     if (sh.with_data) {
       auto& theirs = sh.ranks[static_cast<std::size_t>(src)];
-      const auto pack = message.value<Pack>();
-      const auto stride = static_cast<std::size_t>(n + 1);
-      HETSCALE_CHECK(pack->size() == theirs.rows.size() * stride,
+      const auto pack = message.payload.doubles();
+      HETSCALE_CHECK(pack.size() == theirs.rows.size() * stride,
                      "collected pack size mismatch");
       for (std::size_t k = 0; k < theirs.rows.size(); ++k) {
         const auto g = static_cast<std::size_t>(theirs.rows[k]);
-        const double* base = pack->data() + k * stride;
+        const double* base = pack.data() + k * stride;
         auto dst = u.row(g);
         std::copy(base, base + n, dst.begin());
         y[g] = base[static_cast<std::size_t>(n)];
@@ -171,37 +180,56 @@ Task<void> ge_collect(Comm& comm, GeShared& sh, RankData& mine) {
   }
 }
 
-/// Normalize local row `local` as pivot row `i` (with_data) and return its
-/// trailing columns + rhs for broadcasting.
-std::pair<Pack, double> normalize_pivot(GeShared& sh, RankData& mine,
-                                        std::int64_t i, std::size_t local) {
-  Pack pivot;
-  double pivot_rhs = 0.0;
+/// Normalize local row `local` as pivot row `i` (with_data) and return the
+/// broadcast buffer: the trailing columns [i, n) with the rhs folded in as
+/// the final element — n - i + 1 doubles. Folding the rhs in keeps the pivot
+/// a single pooled buffer end to end; the per-element arithmetic of the
+/// elimination is unchanged because the rhs update is the same subtract as
+/// any trailing column.
+Payload normalize_pivot(GeShared& sh, RankData& mine, std::int64_t i,
+                        std::size_t local) {
+  Payload pivot;
   if (sh.with_data) {
-    auto& row = mine.a_rows[local];
+    double* row = local_row(sh, mine, local);
     const double diag = row[static_cast<std::size_t>(i)];
     HETSCALE_CHECK(diag != 0.0, "zero pivot in pivot-free parallel GE");
     const double inv = 1.0 / diag;
-    for (std::int64_t c = i; c < sh.n; ++c) {
+    // Normalize columns [i, n) and the in-row rhs at column n.
+    for (std::int64_t c = i; c <= sh.n; ++c) {
       row[static_cast<std::size_t>(c)] *= inv;
     }
-    mine.rhs[local] *= inv;
-    pivot = std::make_shared<std::vector<double>>(row.begin() + i, row.end());
-    pivot_rhs = mine.rhs[local];
+    pivot = Payload::copy_of(std::span<const double>(
+        row + i, static_cast<std::size_t>(sh.n - i + 1)));
   }
-  return {std::move(pivot), pivot_rhs};
+  return pivot;
 }
 
-/// Eliminate owned local rows [first, end) at step i against the pivot.
+/// Eliminate owned local rows [first, end) at step i against the pivot
+/// (trailing columns + folded rhs). Batches target rows through the blocked
+/// rank-1 kernel; rows whose factor is already zero are skipped, exactly as
+/// kernels::eliminate_row does.
 void eliminate_rows(GeShared& sh, RankData& mine, std::int64_t i,
-                    std::size_t first, const Pack& pivot, double pivot_rhs) {
+                    std::size_t first, const Payload& pivot) {
   if (!sh.with_data) return;
-  std::span<const double> piv(*pivot);
+  const auto piv = pivot.doubles();
+  constexpr std::size_t kBatch = 16;
+  std::array<double*, kBatch> ptrs;
+  std::array<double, kBatch> factors;
+  std::size_t pending = 0;
+  auto flush = [&] {
+    kernels::rank1_update(piv, std::span<double* const>(ptrs.data(), pending),
+                          std::span<const double>(factors.data(), pending));
+    pending = 0;
+  };
   for (std::size_t k = first; k < mine.rows.size(); ++k) {
-    auto row = std::span<double>(mine.a_rows[k])
-                   .subspan(static_cast<std::size_t>(i));
-    kernels::eliminate_row(piv, pivot_rhs, row, mine.rhs[k], 0);
+    double* row = local_row(sh, mine, k) + i;
+    const double factor = row[0];
+    if (factor == 0.0) continue;
+    ptrs[pending] = row;
+    factors[pending] = factor;
+    if (++pending == kBatch) flush();
   }
+  if (pending > 0) flush();
 }
 
 /// Stage 1, as the paper specifies it: per step, two broadcasts (pivot row
@@ -222,35 +250,35 @@ Task<void> ge_eliminate_paper(Comm& comm, GeShared& sh, RankData& mine) {
     }
     const std::int64_t trailing = n - i;
 
-    Pack pivot;
-    double pivot_rhs = 0.0;
+    Payload pivot;
     if (rank == owner) {
       co_await charge(kernels::ge_normalize_flops(n, i));
       HETSCALE_CHECK(!sh.with_data ||
                          (mine.next < mine.rows.size() &&
                           mine.rows[mine.next] == i),
                      "owner does not hold the pivot row");
-      std::tie(pivot, pivot_rhs) = normalize_pivot(sh, mine, i, mine.next);
+      pivot = normalize_pivot(sh, mine, i, mine.next);
     }
 
     // Two broadcasts per step, as in the paper's model N(2 T_bcast + T_bar).
+    // The modeled byte counts are unchanged (trailing row, then rhs); the
+    // actual pivot buffer rides the first broadcast with the rhs folded in,
+    // which costs nothing — virtual time depends only on the modeled bytes.
     // Payloads are built in named locals — GCC's coroutine lowering
     // double-destroys temporaries materialized in conditional operators
     // inside co_await expressions.
-    std::any row_payload;
-    std::any rhs_payload;
+    Payload row_payload;
+    Payload rhs_payload;
     if (rank == owner) {
-      row_payload = pivot;
-      rhs_payload = pivot_rhs;
+      row_payload = pivot;  // refcount bump, not a data copy
+      if (sh.with_data) rhs_payload = Payload(pivot.doubles().back());
     }
-    std::any row_any = co_await comm.bcast(
+    Payload row_bcast = co_await comm.bcast(
         owner, static_cast<double>(trailing) * 8.0, std::move(row_payload));
-    std::any rhs_any =
+    Payload rhs_bcast =
         co_await comm.bcast(owner, 8.0, std::move(rhs_payload));
-    if (sh.with_data && rank != owner) {
-      pivot = std::any_cast<Pack>(row_any);
-      pivot_rhs = std::any_cast<double>(rhs_any);
-    }
+    (void)rhs_bcast;  // the rhs already arrived folded into the row buffer
+    if (sh.with_data && rank != owner) pivot = std::move(row_bcast);
 
     std::size_t first = mine.next;
     if (first < mine.rows.size() && mine.rows[first] == i) ++first;
@@ -258,7 +286,7 @@ Task<void> ge_eliminate_paper(Comm& comm, GeShared& sh, RankData& mine) {
     if (count > 0) {
       co_await charge(static_cast<double>(count) *
                       kernels::ge_eliminate_row_flops(n, i));
-      eliminate_rows(sh, mine, i, first, pivot, pivot_rhs);
+      eliminate_rows(sh, mine, i, first, pivot);
     }
     if (sh.barrier_each_step) co_await comm.barrier();
   }
@@ -282,31 +310,25 @@ Task<void> ge_eliminate_pipelined(Comm& comm, GeShared& sh, RankData& mine) {
     return static_cast<double>(n - i + 1) * 8.0;  // trailing row + rhs
   };
 
-  auto send_pivot = [&](std::int64_t i, const Pack& pivot,
-                        double pivot_rhs) {
-    std::any payload;
-    if (sh.with_data) {
-      auto pack = std::make_shared<std::vector<double>>(*pivot);
-      pack->push_back(pivot_rhs);
-      payload = pack;
-    }
+  auto send_pivot = [&](std::int64_t i, const Payload& pivot) {
     const int tag = kTagPivotBase + static_cast<int>(i);
     for (int dst = 0; dst < p; ++dst) {
       if (dst == rank) continue;
-      comm.isend(dst, tag, pivot_bytes(i), payload);
+      // Copying a Payload only bumps the buffer refcount — every receiver
+      // reads the same pooled block.
+      comm.isend(dst, tag, pivot_bytes(i), pivot);
     }
   };
 
   // Bootstrap: the owner of row 0 prepares and fires pivot 0.
-  Pack held_pivot;       // the pivot this rank owns for the *next* step
-  double held_rhs = 0.0;
+  Payload held_pivot;  // the pivot this rank owns for the *next* step
   if (rank == sh.owners[0]) {
     co_await charge(kernels::ge_normalize_flops(n, 0));
     while (mine.next < mine.rows.size() && mine.rows[mine.next] < 0) {
       ++mine.next;
     }
-    std::tie(held_pivot, held_rhs) = normalize_pivot(sh, mine, 0, 0);
-    send_pivot(0, held_pivot, held_rhs);
+    held_pivot = normalize_pivot(sh, mine, 0, 0);
+    send_pivot(0, held_pivot);
   }
 
   for (std::int64_t i = 0; i < n; ++i) {
@@ -315,20 +337,13 @@ Task<void> ge_eliminate_pipelined(Comm& comm, GeShared& sh, RankData& mine) {
       ++mine.next;
     }
 
-    Pack pivot;
-    double pivot_rhs = 0.0;
+    Payload pivot;
     if (rank == owner) {
       pivot = std::move(held_pivot);
-      pivot_rhs = held_rhs;
     } else {
       auto message =
           co_await comm.recv(owner, kTagPivotBase + static_cast<int>(i));
-      if (sh.with_data) {
-        const auto pack = message.value<Pack>();
-        pivot_rhs = pack->back();
-        pivot = std::make_shared<std::vector<double>>(pack->begin(),
-                                                      pack->end() - 1);
-      }
+      if (sh.with_data) pivot = std::move(message.payload);
     }
 
     std::size_t first = mine.next;
@@ -344,14 +359,13 @@ Task<void> ge_eliminate_pipelined(Comm& comm, GeShared& sh, RankData& mine) {
                           mine.rows[first] == i + 1),
                      "lookahead owner does not hold row i+1");
       co_await charge(kernels::ge_eliminate_row_flops(n, i));
-      eliminate_rows(sh, mine, i, first, pivot, pivot_rhs);
+      eliminate_rows(sh, mine, i, first, pivot);
       // eliminate_rows updated [first, end); re-do bookkeeping: we only
       // wanted row i+1 now, so do it precisely instead:
       remaining_first = first + 1;
       co_await charge(kernels::ge_normalize_flops(n, i + 1));
-      std::tie(held_pivot, held_rhs) =
-          normalize_pivot(sh, mine, i + 1, first);
-      send_pivot(i + 1, held_pivot, held_rhs);
+      held_pivot = normalize_pivot(sh, mine, i + 1, first);
+      send_pivot(i + 1, held_pivot);
     }
 
     const auto count = mine.rows.size() - remaining_first;
@@ -359,7 +373,7 @@ Task<void> ge_eliminate_pipelined(Comm& comm, GeShared& sh, RankData& mine) {
       co_await charge(static_cast<double>(count) *
                       kernels::ge_eliminate_row_flops(n, i));
       if (remaining_first == first) {
-        eliminate_rows(sh, mine, i, remaining_first, pivot, pivot_rhs);
+        eliminate_rows(sh, mine, i, remaining_first, pivot);
       }
       // (when the lookahead ran, eliminate_rows above already covered the
       // whole [first, end) range with identical arithmetic)

@@ -1,6 +1,5 @@
 #include "hetscale/algos/jacobi.hpp"
 
-#include <any>
 #include <memory>
 #include <utility>
 
@@ -9,6 +8,7 @@
 #include "hetscale/marked/suite.hpp"
 #include "hetscale/support/error.hpp"
 #include "hetscale/support/rng.hpp"
+#include "hetscale/vmpi/payload.hpp"
 
 namespace hetscale::algos {
 
@@ -16,6 +16,7 @@ namespace {
 
 using des::Task;
 using vmpi::Comm;
+using vmpi::Payload;
 
 constexpr int kRoot = 0;
 constexpr int kTagBand = 300;
@@ -23,8 +24,6 @@ constexpr int kTagGhostDown = 301;  ///< carries a row travelling to rank+1
 constexpr int kTagGhostUp = 302;    ///< carries a row travelling to rank-1
 constexpr int kTagCollect = 303;
 constexpr double kMetadataBytes = 16.0;
-
-using RowPtr = std::shared_ptr<std::vector<double>>;
 
 struct JacobiShared {
   std::int64_t n = 0;
@@ -85,16 +84,14 @@ Task<void> jacobi_rank(Comm& comm, JacobiShared& sh) {
   if (rank == kRoot) {
     for (int dst = 0; dst < p; ++dst) {
       if (dst == kRoot) continue;
-      std::any payload;
+      Payload payload;
       const auto dst_count = sh.counts[static_cast<std::size_t>(dst)];
       if (sh.with_data) {
         const auto dst_first = sh.offsets[static_cast<std::size_t>(dst)];
-        auto pack = std::make_shared<std::vector<double>>(
-            sh.grid0.begin() +
-                static_cast<std::ptrdiff_t>((dst_first - 1) * n),
-            sh.grid0.begin() +
-                static_cast<std::ptrdiff_t>((dst_first + dst_count + 1) * n));
-        payload = pack;
+        payload = Payload::copy_of(
+            std::span<const double>(sh.grid0)
+                .subspan(static_cast<std::size_t>((dst_first - 1) * n),
+                         static_cast<std::size_t>((dst_count + 2) * n)));
       }
       co_await comm.send(dst, kTagBand,
                          row_bytes * static_cast<double>(dst_count + 2),
@@ -108,7 +105,10 @@ Task<void> jacobi_rank(Comm& comm, JacobiShared& sh) {
     }
   } else {
     auto message = co_await comm.recv(kRoot, kTagBand);
-    if (sh.with_data) local = std::move(*message.value<RowPtr>());
+    if (sh.with_data) {
+      const auto band = message.payload.doubles();
+      local.assign(band.begin(), band.end());
+    }
   }
   std::vector<double> scratch(sh.with_data ? local.size() : 0);
 
@@ -116,22 +116,19 @@ Task<void> jacobi_rank(Comm& comm, JacobiShared& sh) {
   for (std::int64_t s = 0; s < sh.sweeps; ++s) {
     // Post sends first (sends are buffered: no rendezvous deadlock).
     if (rank > 0) {
-      std::any top;
+      // Ghost rows ride pooled buffers: every sweep reuses the same
+      // size-class blocks, so steady-state exchange allocates nothing.
+      Payload top;
       if (sh.with_data) {
-        top = std::make_shared<std::vector<double>>(
-            local.begin() + static_cast<std::ptrdiff_t>(w),
-            local.begin() + static_cast<std::ptrdiff_t>(2 * w));
+        top = Payload::copy_of(std::span<const double>(local).subspan(w, w));
       }
       co_await comm.send(rank - 1, kTagGhostUp, row_bytes, std::move(top));
     }
     if (rank + 1 < p) {
-      std::any bottom;
+      Payload bottom;
       if (sh.with_data) {
-        bottom = std::make_shared<std::vector<double>>(
-            local.begin() + static_cast<std::ptrdiff_t>(
-                                static_cast<std::size_t>(count) * w),
-            local.begin() + static_cast<std::ptrdiff_t>(
-                                static_cast<std::size_t>(count + 1) * w));
+        bottom = Payload::copy_of(std::span<const double>(local).subspan(
+            static_cast<std::size_t>(count) * w, w));
       }
       co_await comm.send(rank + 1, kTagGhostDown, row_bytes,
                          std::move(bottom));
@@ -139,15 +136,15 @@ Task<void> jacobi_rank(Comm& comm, JacobiShared& sh) {
     if (rank > 0) {
       auto message = co_await comm.recv(rank - 1, kTagGhostDown);
       if (sh.with_data) {
-        const auto ghost = message.value<RowPtr>();
-        std::copy(ghost->begin(), ghost->end(), local.begin());
+        const auto ghost = message.payload.doubles();
+        std::copy(ghost.begin(), ghost.end(), local.begin());
       }
     }
     if (rank + 1 < p) {
       auto message = co_await comm.recv(rank + 1, kTagGhostUp);
       if (sh.with_data) {
-        const auto ghost = message.value<RowPtr>();
-        std::copy(ghost->begin(), ghost->end(),
+        const auto ghost = message.payload.doubles();
+        std::copy(ghost.begin(), ghost.end(),
                   local.begin() + static_cast<std::ptrdiff_t>(
                                       static_cast<std::size_t>(count + 1) * w));
       }
@@ -160,12 +157,10 @@ Task<void> jacobi_rank(Comm& comm, JacobiShared& sh) {
 
   // ---- Collection ----
   if (rank != kRoot) {
-    std::any payload;
+    Payload payload;
     if (sh.with_data) {
-      payload = std::make_shared<std::vector<double>>(
-          local.begin() + static_cast<std::ptrdiff_t>(w),
-          local.begin() + static_cast<std::ptrdiff_t>(
-                              static_cast<std::size_t>(count + 1) * w));
+      payload = Payload::copy_of(std::span<const double>(local).subspan(
+          w, static_cast<std::size_t>(count) * w));
     }
     co_await comm.send(kRoot, kTagCollect,
                        row_bytes * static_cast<double>(count),
@@ -184,9 +179,9 @@ Task<void> jacobi_rank(Comm& comm, JacobiShared& sh) {
     if (src == kRoot) continue;
     auto message = co_await comm.recv(src, kTagCollect);
     if (sh.with_data) {
-      const auto band = message.value<RowPtr>();
+      const auto band = message.payload.doubles();
       const auto src_first = sh.offsets[static_cast<std::size_t>(src)];
-      std::copy(band->begin(), band->end(),
+      std::copy(band.begin(), band.end(),
                 sh.grid.begin() +
                     static_cast<std::ptrdiff_t>(src_first * n));
     }

@@ -1,6 +1,6 @@
 #include "hetscale/algos/mm.hpp"
 
-#include <any>
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -10,6 +10,7 @@
 #include "hetscale/numeric/linsolve.hpp"
 #include "hetscale/numeric/matmul.hpp"
 #include "hetscale/support/error.hpp"
+#include "hetscale/vmpi/payload.hpp"
 
 namespace hetscale::algos {
 
@@ -17,13 +18,12 @@ namespace {
 
 using des::Task;
 using vmpi::Comm;
+using vmpi::Payload;
 
 constexpr int kRoot = 0;
 constexpr int kTagARows = 200;
 constexpr int kTagCollect = 201;
 constexpr double kMetadataBytes = 16.0;
-
-using MatPtr = std::shared_ptr<numeric::Matrix>;
 
 struct MmShared {
   std::int64_t n = 0;
@@ -40,6 +40,7 @@ Task<void> mm_rank(Comm& comm, MmShared& sh) {
   const int rank = comm.rank();
   const int p = comm.size();
   const std::int64_t n = sh.n;
+  const auto nn = static_cast<std::size_t>(n);
   const auto my_count = sh.counts[static_cast<std::size_t>(rank)];
   const auto my_offset = sh.offsets[static_cast<std::size_t>(rank)];
   const double row_bytes = static_cast<double>(n) * 8.0;
@@ -47,22 +48,19 @@ Task<void> mm_rank(Comm& comm, MmShared& sh) {
   co_await comm.bcast(kRoot, kMetadataBytes, {});
 
   // ---- Step 1: distribute A's rows (heterogeneous block) ----
-  numeric::Matrix my_a;  // my block of A (non-root, with_data)
+  // Row-major blocks of A are contiguous in the root's storage, so each
+  // rank's slice ships as one pooled buffer without a staging Matrix.
+  Payload my_a;  // my block of A (non-root, with_data)
   if (rank == kRoot) {
     for (int dst = 0; dst < p; ++dst) {
       if (dst == kRoot) continue;
       const auto count = sh.counts[static_cast<std::size_t>(dst)];
-      std::any payload;
+      Payload payload;
       if (sh.with_data) {
         const auto begin = static_cast<std::size_t>(
             sh.offsets[static_cast<std::size_t>(dst)]);
-        auto block = std::make_shared<numeric::Matrix>(
-            static_cast<std::size_t>(count), static_cast<std::size_t>(n));
-        for (std::size_t r = 0; r < static_cast<std::size_t>(count); ++r) {
-          auto src = sh.a.row(begin + r);
-          std::copy(src.begin(), src.end(), block->row(r).begin());
-        }
-        payload = block;
+        payload = Payload::copy_of(sh.a.data().subspan(
+            begin * nn, static_cast<std::size_t>(count) * nn));
       }
       co_await comm.send(dst, kTagARows,
                          row_bytes * static_cast<double>(count),
@@ -70,75 +68,68 @@ Task<void> mm_rank(Comm& comm, MmShared& sh) {
     }
   } else {
     auto message = co_await comm.recv(kRoot, kTagARows);
-    if (sh.with_data) my_a = std::move(*message.value<MatPtr>());
+    if (sh.with_data) my_a = std::move(message.payload);
   }
 
   // ---- Step 2: distribute B (full matrix to every rank) ----
   // Payload hoisted into a named local (see ge.cpp for the GCC coroutine
   // temporary-lifetime pitfall this avoids).
-  std::any b_payload;
+  Payload b_payload;
   if (rank == kRoot && sh.with_data) {
-    b_payload = std::make_shared<numeric::Matrix>(sh.b);
+    b_payload = Payload::copy_of(sh.b.data());
   }
-  std::any b_any = co_await comm.bcast(
+  Payload b_bcast = co_await comm.bcast(
       kRoot, row_bytes * static_cast<double>(n), std::move(b_payload));
-  MatPtr b_holder;  // keeps the broadcast payload alive on non-root ranks
-  const numeric::Matrix* my_b = nullptr;
+  std::span<const double> my_b;
   if (sh.with_data) {
-    if (rank == kRoot) {
-      my_b = &sh.b;
-    } else {
-      b_holder = std::any_cast<MatPtr>(b_any);
-      my_b = b_holder.get();
-    }
+    my_b = rank == kRoot ? std::span<const double>(sh.b.data())
+                         : std::span<const double>(b_bcast.doubles());
   }
 
   // ---- Step 3: local computation, no communication ----
   sh.charged += kernels::mm_rows_flops(n, my_count);
   co_await comm.compute(kernels::mm_rows_flops(n, my_count));
-  numeric::Matrix my_c;
+  Payload my_c;
   if (sh.with_data && my_count > 0) {
-    const numeric::Matrix& a_block =
-        rank == kRoot ? sh.a : my_a;
-    const auto begin =
-        rank == kRoot ? static_cast<std::size_t>(my_offset) : std::size_t{0};
-    my_c = numeric::multiply_rows(a_block, *my_b, begin,
-                                  begin + static_cast<std::size_t>(my_count));
+    my_c = Payload::buffer(static_cast<std::size_t>(my_count) * nn);
+    if (rank == kRoot) {
+      numeric::multiply_rows_into(
+          sh.a.data(), nn, static_cast<std::size_t>(my_offset),
+          static_cast<std::size_t>(my_offset + my_count), my_b, nn,
+          my_c.doubles());
+    } else {
+      numeric::multiply_rows_into(my_a.doubles(), nn, 0,
+                                  static_cast<std::size_t>(my_count), my_b,
+                                  nn, my_c.doubles());
+    }
   }
 
   // ---- Step 4: collect C at process 0 ----
   if (rank != kRoot) {
-    std::any payload;
-    if (sh.with_data) {
-      payload = std::make_shared<numeric::Matrix>(std::move(my_c));
-    }
     co_await comm.send(kRoot, kTagCollect,
                        row_bytes * static_cast<double>(my_count),
-                       std::move(payload));
+                       std::move(my_c));
     co_return;
   }
 
   if (sh.with_data) {
-    sh.c = numeric::Matrix(static_cast<std::size_t>(n),
-                           static_cast<std::size_t>(n));
-    for (std::size_t r = 0; r < static_cast<std::size_t>(my_count); ++r) {
-      auto src = my_c.row(r);
-      auto dst = sh.c.row(static_cast<std::size_t>(my_offset) + r);
-      std::copy(src.begin(), src.end(), dst.begin());
+    sh.c = numeric::Matrix(nn, nn);
+    if (my_count > 0) {
+      const auto mine = my_c.doubles();
+      std::copy(mine.begin(), mine.end(),
+                sh.c.data().begin() +
+                    static_cast<std::size_t>(my_offset) * nn);
     }
   }
   for (int src = 0; src < p; ++src) {
     if (src == kRoot) continue;
     auto message = co_await comm.recv(src, kTagCollect);
     if (sh.with_data) {
-      const auto block = message.value<MatPtr>();
+      const auto block = message.payload.doubles();
       const auto begin =
           static_cast<std::size_t>(sh.offsets[static_cast<std::size_t>(src)]);
-      for (std::size_t r = 0; r < block->rows(); ++r) {
-        auto brow = block->row(r);
-        auto dst = sh.c.row(begin + r);
-        std::copy(brow.begin(), brow.end(), dst.begin());
-      }
+      std::copy(block.begin(), block.end(),
+                sh.c.data().begin() + begin * nn);
     }
   }
 }

@@ -1,15 +1,16 @@
 #include "hetscale/algos/sort.hpp"
 
 #include <algorithm>
-#include <any>
 #include <cmath>
 #include <memory>
+#include <span>
 #include <utility>
 
 #include "hetscale/dist/distribution.hpp"
 #include "hetscale/marked/suite.hpp"
 #include "hetscale/support/error.hpp"
 #include "hetscale/support/rng.hpp"
+#include "hetscale/vmpi/payload.hpp"
 
 namespace hetscale::algos {
 
@@ -17,14 +18,13 @@ namespace {
 
 using des::Task;
 using vmpi::Comm;
+using vmpi::Payload;
 
 constexpr int kRoot = 0;
 constexpr int kTagKeys = 400;
 constexpr int kTagCollect = 401;
 constexpr double kMetadataBytes = 16.0;
 constexpr double kBytesPerKey = 8.0;
-
-using Vec = std::shared_ptr<std::vector<double>>;
 
 struct SortShared {
   std::int64_t n = 0;
@@ -62,9 +62,12 @@ Task<void> sort_rank(Comm& comm, SortShared& sh) {
     const auto offsets = dist::block_offsets(sh.counts);
     for (int dst = 0; dst < p; ++dst) {
       if (dst == kRoot) continue;
-      auto pack = std::make_shared<std::vector<double>>(
-          sh.keys0.begin() + offsets[static_cast<std::size_t>(dst)],
-          sh.keys0.begin() + offsets[static_cast<std::size_t>(dst) + 1]);
+      const auto begin =
+          static_cast<std::size_t>(offsets[static_cast<std::size_t>(dst)]);
+      const auto end =
+          static_cast<std::size_t>(offsets[static_cast<std::size_t>(dst) + 1]);
+      Payload pack = Payload::copy_of(
+          std::span<const double>(sh.keys0).subspan(begin, end - begin));
       co_await comm.send(
           dst, kTagKeys,
           kBytesPerKey *
@@ -75,7 +78,8 @@ Task<void> sort_rank(Comm& comm, SortShared& sh) {
                  sh.keys0.begin() + offsets[1]);
   } else {
     auto message = co_await comm.recv(kRoot, kTagKeys);
-    local = std::move(*message.value<Vec>());
+    const auto keys = message.payload.doubles();
+    local.assign(keys.begin(), keys.end());
   }
 
   // ---- Phase 2: local sort ----
@@ -91,23 +95,27 @@ Task<void> sort_rank(Comm& comm, SortShared& sh) {
     HETSCALE_CHECK(!local.empty(),
                    "sample sort needs every rank to own at least one key");
     const int oversample = std::max(32, 4 * (p - 1));
-    auto samples = std::make_shared<std::vector<double>>();
+    Payload samples = Payload::buffer(static_cast<std::size_t>(oversample));
+    auto sample_out = samples.doubles();
     for (int k = 1; k <= oversample; ++k) {
       const auto at = static_cast<std::size_t>(
           static_cast<double>(local.size()) * k / (oversample + 1));
-      samples->push_back(local[std::min(at, local.size() - 1)]);
+      sample_out[static_cast<std::size_t>(k - 1)] =
+          local[std::min(at, local.size() - 1)];
     }
     auto gathered = co_await comm.gather(
-        kRoot, kBytesPerKey * static_cast<double>(oversample), samples);
-    std::any splitters_any;
+        kRoot, kBytesPerKey * static_cast<double>(oversample),
+        std::move(samples));
+    Payload splitters_payload;
     if (rank == kRoot) {
       std::vector<double> all;
       for (const auto& part : gathered) {
-        const auto vec = std::any_cast<Vec>(part);
-        all.insert(all.end(), vec->begin(), vec->end());
+        const auto vec = part.doubles();
+        all.insert(all.end(), vec.begin(), vec.end());
       }
       std::sort(all.begin(), all.end());
-      auto chosen = std::make_shared<std::vector<double>>();
+      splitters_payload = Payload::buffer(static_cast<std::size_t>(p - 1));
+      auto chosen = splitters_payload.doubles();
       double cumulative = 0.0;
       double total_speed = 0.0;
       for (double c : sh.speeds) total_speed += c;
@@ -121,20 +129,21 @@ Task<void> sort_rank(Comm& comm, SortShared& sh) {
         }
         const auto at = static_cast<std::size_t>(
             fraction * static_cast<double>(all.size()));
-        chosen->push_back(all[std::min(at, all.size() - 1)]);
+        chosen[static_cast<std::size_t>(k - 1)] =
+            all[std::min(at, all.size() - 1)];
       }
-      splitters_any = chosen;
     }
-    splitters_any = co_await comm.bcast(
+    Payload splitters_bcast = co_await comm.bcast(
         kRoot, kBytesPerKey * static_cast<double>(p - 1),
-        std::move(splitters_any));
-    splitters = *std::any_cast<Vec>(splitters_any);
+        std::move(splitters_payload));
+    const auto chosen = splitters_bcast.doubles();
+    splitters.assign(chosen.begin(), chosen.end());
   }
 
   // ---- Phase 4: bucket partition + alltoall ----
   std::vector<double> received;
   if (p > 1) {
-    std::vector<std::any> parts;
+    std::vector<Payload> parts;
     std::vector<double> parts_bytes;
     auto cursor = local.begin();
     for (int d = 0; d < p; ++d) {
@@ -142,16 +151,16 @@ Task<void> sort_rank(Comm& comm, SortShared& sh) {
                        ? std::upper_bound(cursor, local.end(),
                                           splitters[static_cast<std::size_t>(d)])
                        : local.end();
-      auto bucket = std::make_shared<std::vector<double>>(cursor, until);
-      parts_bytes.push_back(kBytesPerKey *
-                            static_cast<double>(bucket->size()));
-      parts.emplace_back(std::move(bucket));
+      const auto count = static_cast<std::size_t>(until - cursor);
+      parts_bytes.push_back(kBytesPerKey * static_cast<double>(count));
+      parts.push_back(Payload::copy_of(std::span<const double>(
+          local.data() + (cursor - local.begin()), count)));
       cursor = until;
     }
     auto incoming = co_await comm.alltoall(parts_bytes, std::move(parts));
     for (const auto& part : incoming) {
-      const auto vec = std::any_cast<Vec>(part);
-      received.insert(received.end(), vec->begin(), vec->end());
+      const auto vec = part.doubles();
+      received.insert(received.end(), vec.begin(), vec.end());
     }
   } else {
     received = std::move(local);
@@ -165,18 +174,18 @@ Task<void> sort_rank(Comm& comm, SortShared& sh) {
   std::sort(received.begin(), received.end());
 
   // ---- Phase 6: gather — concatenation by rank is globally sorted ----
-  auto mine = std::make_shared<std::vector<double>>(std::move(received));
-  const double bytes = kBytesPerKey * static_cast<double>(mine->size());
+  const double bytes = kBytesPerKey * static_cast<double>(received.size());
   if (rank != kRoot) {
+    Payload mine = Payload::copy_of(received);
     co_await comm.send(kRoot, kTagCollect, bytes, std::move(mine));
     co_return;
   }
   sh.sorted.reserve(static_cast<std::size_t>(n));
-  sh.sorted.insert(sh.sorted.end(), mine->begin(), mine->end());
+  sh.sorted.insert(sh.sorted.end(), received.begin(), received.end());
   for (int src = 1; src < p; ++src) {
     auto message = co_await comm.recv(src, kTagCollect);
-    const auto vec = message.value<Vec>();
-    sh.sorted.insert(sh.sorted.end(), vec->begin(), vec->end());
+    const auto vec = message.payload.doubles();
+    sh.sorted.insert(sh.sorted.end(), vec.begin(), vec.end());
   }
 }
 

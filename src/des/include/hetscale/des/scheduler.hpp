@@ -5,20 +5,22 @@
 // were scheduled (a monotonically increasing sequence number breaks ties),
 // and everything runs on the calling thread — two runs of the same model are
 // bit-identical.
+//
+// Hot path: the next event to run is held in a dedicated front slot, so the
+// ubiquitous schedule-one/pop-one rhythm of `delay(dt)` never touches the
+// backing ladder queue at all; only genuinely overlapping events spill into
+// LadderEventQueue (event_queue.hpp).
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
+#include "hetscale/des/event_queue.hpp"
 #include "hetscale/des/task.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::des {
-
-/// Virtual time, in seconds.
-using SimTime = double;
 
 /// The event queue drained while a root process was still suspended — the
 /// model deadlocked (e.g. a recv with no matching send). A distinct type so
@@ -42,11 +44,31 @@ class Scheduler {
   /// Total resumption events processed so far (for tests and micro benches).
   std::uint64_t events_processed() const { return events_processed_; }
 
-  /// High-water mark of the pending-event queue depth.
-  std::uint64_t max_queue_depth() const { return max_queue_depth_; }
+  /// High-water mark of the pending-event queue depth. Only the overlap
+  /// path maintains max_queue_depth_, so a run that never held two pending
+  /// events reports depth 1 (anything scheduled at all means depth >= 1).
+  std::uint64_t max_queue_depth() const {
+    if (max_queue_depth_ == 0 && next_sequence_ > 0) return 1;
+    return max_queue_depth_;
+  }
 
   /// Enqueue a coroutine resumption at absolute virtual time `t >= now()`.
-  void schedule_at(SimTime t, std::coroutine_handle<> handle);
+  /// Fast path: when nothing is pending (the schedule-one/pop-one rhythm of
+  /// `delay`), the event goes straight into the front slot and the ladder is
+  /// never touched. Only that path is inline — folding the ladder push into
+  /// every coroutine resume site bloats the actors enough to dominate the
+  /// event loop, so the overlap case stays an out-of-line call.
+  void schedule_at(SimTime t, std::coroutine_handle<> handle) {
+    HETSCALE_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
+    HETSCALE_REQUIRE(handle != nullptr, "cannot schedule a null coroutine");
+    if (!front_.handle) {
+      // An empty front slot implies an empty ladder (pop refills the slot
+      // before draining it), so the new event is the only one pending.
+      front_ = Event{t, next_sequence_++, handle};
+      return;
+    }
+    schedule_overlapping(Event{t, next_sequence_++, handle});
+  }
 
   /// Register `task` as a root process; it starts when run() reaches the
   /// current virtual time. Exceptions escaping a root are captured and
@@ -81,25 +103,17 @@ class Scheduler {
     void await_resume() const noexcept {}
   };
 
-  struct Event {
-    SimTime time;
-    std::uint64_t sequence;
-    std::coroutine_handle<> handle;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.sequence > b.sequence;
-    }
-  };
-
   using RootHandle = std::coroutine_handle<Task<void>::promise_type>;
+
+  /// Slow path of schedule_at: an event arrives while another is pending.
+  void schedule_overlapping(const Event& event);
 
   SimTime now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t max_queue_depth_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  Event front_{};           ///< next event to run; empty iff handle is null
+  LadderEventQueue queue_;  ///< everything behind the front slot
   std::vector<RootHandle> roots_;
 };
 

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
 
+#include "hetscale/des/frame_pool.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::des {
@@ -24,6 +26,15 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
+
+  // Coroutine frames come from the thread-local slab pool (frame_pool.hpp):
+  // simulated operations allocate frames of a handful of sizes at a very
+  // high rate, and recycling them keeps the simulation hot path free of
+  // malloc traffic. Inherited by every Task promise.
+  static void* operator new(std::size_t size) { return frame_alloc(size); }
+  static void operator delete(void* p, std::size_t size) noexcept {
+    frame_free(p, size);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

@@ -1,0 +1,47 @@
+#include "hetscale/des/event_queue.hpp"
+
+namespace hetscale::des {
+
+void LadderEventQueue::rebuild() {
+  HETSCALE_DCHECK(ladder_count_ == 0 && !far_.empty(),
+                  "rebuild needs a drained ladder and pending far events");
+  // The drain clears a bucket only when it advances past it, so the bucket
+  // the previous epoch stopped in still holds its popped prefix — drop it
+  // before re-bucketing or those events would be popped twice.
+  buckets_[cur_].clear();
+  SimTime lo = far_.front().time;
+  SimTime hi = lo;
+  for (const Event& e : far_) {
+    if (e.time < lo) lo = e.time;
+    if (e.time > hi) hi = e.time;
+  }
+  // Adapt the bucket width to the observed span, then extend the epoch to
+  // twice that span. The extension is what makes the steady state cheap: in
+  // the dominant rotating rhythm (pop the minimum, reschedule it one period
+  // ahead) the re-push lands just past the current maximum, so an epoch that
+  // ended exactly at `hi` would shunt every re-push to the far list and pay
+  // a full rebuild + sort per revolution. With headroom the wheel rotates in
+  // place — pushes drop into later buckets a couple of events deep, and each
+  // bucket is sorted once, when the drain reaches it. A degenerate span (all
+  // events at one instant) gets an arbitrary positive width — everything
+  // lands in bucket 0 and the epoch behaves like a single sorted run.
+  double width = 2.0 * (hi - lo) / static_cast<double>(kBuckets);
+  if (!(width > 0.0)) width = 1.0;
+  epoch_start_ = lo;
+  epoch_end_ = lo + width * static_cast<double>(kBuckets);
+  inv_width_ = 1.0 / width;
+  for (const Event& e : far_) {
+    std::size_t idx =
+        static_cast<std::size_t>((e.time - epoch_start_) * inv_width_);
+    if (idx >= kBuckets) idx = kBuckets - 1;
+    buckets_[idx].push_back(e);
+  }
+  ladder_count_ = far_.size();
+  far_.clear();  // keeps capacity — the far slab is reused
+  cur_ = 0;
+  sort_bucket(buckets_[0]);
+  drain_pos_ = buckets_[0].data();
+  drain_end_ = buckets_[0].data() + buckets_[0].size();
+}
+
+}  // namespace hetscale::des

@@ -1,7 +1,5 @@
 #include "hetscale/des/scheduler.hpp"
 
-#include <algorithm>
-
 namespace hetscale::des {
 
 Scheduler::~Scheduler() {
@@ -10,11 +8,15 @@ Scheduler::~Scheduler() {
   }
 }
 
-void Scheduler::schedule_at(SimTime t, std::coroutine_handle<> handle) {
-  HETSCALE_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
-  HETSCALE_REQUIRE(handle != nullptr, "cannot schedule a null coroutine");
-  queue_.push(Event{t, next_sequence_++, handle});
-  max_queue_depth_ = std::max<std::uint64_t>(max_queue_depth_, queue_.size());
+void Scheduler::schedule_overlapping(const Event& event) {
+  if (event_before(event, front_)) {
+    queue_.push(front_);
+    front_ = event;
+  } else {
+    queue_.push(event);
+  }
+  const std::uint64_t depth = queue_.size() + 1;  // + the front slot
+  if (depth > max_queue_depth_) max_queue_depth_ = depth;
 }
 
 void Scheduler::spawn(Task<void> task) {
@@ -25,13 +27,21 @@ void Scheduler::spawn(Task<void> task) {
 }
 
 void Scheduler::run() {
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    HETSCALE_CHECK(event.time >= now_, "event queue went back in time");
-    now_ = event.time;
+  while (front_.handle) {
+    // Advance the clock and lift the handle out of the front slot, then
+    // refill the slot from the ladder before resuming — the resumed
+    // coroutine usually schedules its next hop straight back into the (now
+    // possibly empty) front slot.
+    HETSCALE_DCHECK(front_.time >= now_, "event queue went back in time");
+    now_ = front_.time;
     ++events_processed_;
-    event.handle.resume();
+    const std::coroutine_handle<> handle = front_.handle;
+    if (queue_.empty()) {
+      front_.handle = nullptr;
+    } else {
+      front_ = queue_.pop_min();
+    }
+    handle.resume();
   }
   // Surface failures and deadlocks from root processes.
   for (auto handle : roots_) {

@@ -5,12 +5,23 @@
 // the accounting auditable.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 namespace hetscale::kernels {
 
-/// y += a * x. Requires equal lengths.
+/// y += a * x. Requires equal lengths. Four-way unrolled — the compiler
+/// cannot reassociate FP on its own, but independent lanes still pipeline.
 void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// Blocked rank-1 update: rows[k] -= factors[k] * x for every k, processing
+/// four target rows per pass over x so the shared vector is loaded once per
+/// block instead of once per row. Each rows[k] must point at x.size()
+/// doubles. Per-element arithmetic is identical to axpy(-factors[k], x, ...)
+/// — GE's elimination step routes through here without changing a bit of its
+/// output.
+void rank1_update(std::span<const double> x, std::span<double* const> rows,
+                  std::span<const double> factors);
 
 /// Dot product. Requires equal lengths.
 double dot(std::span<const double> x, std::span<const double> y);

@@ -6,7 +6,43 @@ namespace hetscale::kernels {
 
 void axpy(double a, std::span<const double> x, std::span<double> y) {
   HETSCALE_REQUIRE(x.size() == y.size(), "axpy length mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  const std::size_t m = x.size();
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    y[i] += a * x[i];
+    y[i + 1] += a * x[i + 1];
+    y[i + 2] += a * x[i + 2];
+    y[i + 3] += a * x[i + 3];
+  }
+  for (; i < m; ++i) y[i] += a * x[i];
+}
+
+void rank1_update(std::span<const double> x, std::span<double* const> rows,
+                  std::span<const double> factors) {
+  HETSCALE_REQUIRE(rows.size() == factors.size(),
+                   "rank1_update needs one factor per row");
+  const std::size_t m = x.size();
+  std::size_t r = 0;
+  for (; r + 4 <= rows.size(); r += 4) {
+    double* y0 = rows[r];
+    double* y1 = rows[r + 1];
+    double* y2 = rows[r + 2];
+    double* y3 = rows[r + 3];
+    const double f0 = factors[r];
+    const double f1 = factors[r + 1];
+    const double f2 = factors[r + 2];
+    const double f3 = factors[r + 3];
+    for (std::size_t c = 0; c < m; ++c) {
+      const double xc = x[c];
+      y0[c] -= f0 * xc;
+      y1[c] -= f1 * xc;
+      y2[c] -= f2 * xc;
+      y3[c] -= f3 * xc;
+    }
+  }
+  for (; r < rows.size(); ++r) {
+    axpy(-factors[r], x, std::span<double>(rows[r], m));
+  }
 }
 
 double dot(std::span<const double> x, std::span<const double> y) {

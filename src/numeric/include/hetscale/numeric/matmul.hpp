@@ -1,6 +1,8 @@
 // Sequential matrix multiplication reference.
 #pragma once
 
+#include <span>
+
 #include "hetscale/numeric/matrix.hpp"
 
 namespace hetscale::numeric {
@@ -14,5 +16,15 @@ Matrix multiply(const Matrix& a, const Matrix& b);
 /// the per-rank computation of the paper's row-distributed parallel MM.
 Matrix multiply_rows(const Matrix& a, const Matrix& b, std::size_t row_begin,
                      std::size_t row_end);
+
+/// The same row-slice product over raw row-major storage: out is overwritten
+/// with A[row_begin, row_end) * B. Operating on spans lets the parallel MM
+/// multiply straight out of (and into) pooled message buffers without
+/// materializing Matrix copies. `a` holds a_rows x a_cols doubles, `b` holds
+/// a_cols x b_cols, `out` holds (row_end - row_begin) x b_cols.
+void multiply_rows_into(std::span<const double> a, std::size_t a_cols,
+                        std::size_t row_begin, std::size_t row_end,
+                        std::span<const double> b, std::size_t b_cols,
+                        std::span<double> out);
 
 }  // namespace hetscale::numeric

@@ -1,5 +1,7 @@
 #include "hetscale/numeric/matmul.hpp"
 
+#include <algorithm>
+
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::numeric {
@@ -13,19 +15,33 @@ Matrix multiply_rows(const Matrix& a, const Matrix& b, std::size_t row_begin,
   HETSCALE_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
   HETSCALE_REQUIRE(row_begin <= row_end && row_end <= a.rows(),
                    "row slice out of range");
-  const std::size_t n = b.cols();
-  Matrix c(row_end - row_begin, n);
+  Matrix c(row_end - row_begin, b.cols());
+  multiply_rows_into(a.data(), a.cols(), row_begin, row_end, b.data(),
+                     b.cols(), c.data());
+  return c;
+}
+
+void multiply_rows_into(std::span<const double> a, std::size_t a_cols,
+                        std::size_t row_begin, std::size_t row_end,
+                        std::span<const double> b, std::size_t b_cols,
+                        std::span<double> out) {
+  HETSCALE_REQUIRE(row_begin <= row_end && row_end * a_cols <= a.size(),
+                   "row slice out of range");
+  HETSCALE_REQUIRE(b.size() == a_cols * b_cols, "inner dimensions must agree");
+  HETSCALE_REQUIRE(out.size() == (row_end - row_begin) * b_cols,
+                   "output block size mismatch");
+  std::fill(out.begin(), out.end(), 0.0);
+  const std::size_t n = b_cols;
   for (std::size_t i = row_begin; i < row_end; ++i) {
-    auto arow = a.row(i);
-    auto crow = c.row(i - row_begin);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
+    const double* arow = a.data() + i * a_cols;
+    double* crow = out.data() + (i - row_begin) * n;
+    for (std::size_t k = 0; k < a_cols; ++k) {
       const double aik = arow[k];
       if (aik == 0.0) continue;
-      auto brow = b.row(k);
+      const double* brow = b.data() + k * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
     }
   }
-  return c;
 }
 
 }  // namespace hetscale::numeric

@@ -113,6 +113,12 @@ class ClusterCombination : public Combination {
   };
   virtual RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const = 0;
 
+  /// Everything about the *algorithm* that determines a run, e.g.
+  /// "jacobi:sweeps=50". Combined with the cluster/network config into the
+  /// MeasurementStore fingerprint, so combinations measured under different
+  /// display names still share measurements.
+  virtual std::string algo_key() const = 0;
+
   const Config& config() const { return config_; }
 
  private:
@@ -130,11 +136,16 @@ class ClusterCombination : public Combination {
   /// One full simulation at size n — pure w.r.t. this object.
   Measurement compute(std::int64_t n) const;
 
+  /// The MeasurementStore fingerprint, built lazily (algo_key() is virtual,
+  /// so it cannot be computed in the constructor).
+  const std::string& store_key();
+
   std::string name_;
   Config config_;
   double marked_speed_ = 0.0;        ///< measured once, then constant
   std::vector<double> rank_speeds_;  ///< per-rank marked speeds
   std::map<std::int64_t, Measurement> cache_;
+  std::string store_key_;
 };
 
 /// GE on a cluster (the paper's first combination).
@@ -145,6 +156,7 @@ class GeCombination final : public ClusterCombination {
 
  private:
   RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
+  std::string algo_key() const override { return "ge"; }
 };
 
 /// MM on a cluster (the paper's second combination).
@@ -155,6 +167,7 @@ class MmCombination final : public ClusterCombination {
 
  private:
   RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
+  std::string algo_key() const override { return "mm"; }
 };
 
 /// Sample sort on a cluster (extension; see algos/sort.hpp). Always runs
@@ -168,6 +181,7 @@ class SortCombination final : public ClusterCombination {
 
  private:
   RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
+  std::string algo_key() const override;
   algos::SortSplitters splitters_;
 };
 
@@ -179,6 +193,7 @@ class JacobiCombination final : public ClusterCombination {
 
  private:
   RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
+  std::string algo_key() const override;
   std::int64_t sweeps_;
 };
 

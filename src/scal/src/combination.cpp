@@ -1,6 +1,5 @@
 #include "hetscale/scal/combination.hpp"
 
-#include <set>
 #include <utility>
 
 #include "hetscale/algos/ge.hpp"
@@ -10,6 +9,7 @@
 #include "hetscale/marked/suite.hpp"
 #include "hetscale/numeric/linsolve.hpp"
 #include "hetscale/run/runner.hpp"
+#include "hetscale/scal/measure_store.hpp"
 #include "hetscale/scal/metrics.hpp"
 #include "hetscale/support/error.hpp"
 
@@ -40,9 +40,33 @@ ClusterCombination::ClusterCombination(std::string name, Config config)
   for (double c : rank_speeds_) marked_speed_ += c;
 }
 
+const std::string& ClusterCombination::store_key() {
+  // Lazy: algo_key() is virtual and cannot be called from the constructor.
+  if (store_key_.empty()) {
+    store_key_ = config_fingerprint(algo_key(), config_.cluster,
+                                    config_.network, config_.net_params,
+                                    config_.with_data);
+  }
+  return store_key_;
+}
+
 const Measurement& ClusterCombination::measure(std::int64_t n) {
-  if (auto it = cache_.find(n); it != cache_.end()) return it->second;
-  return cache_.emplace(n, compute(n)).first->second;
+  // Single probe: try_emplace both answers membership and reserves the
+  // slot, so hit and miss each cost one tree walk.
+  const auto [it, inserted] = cache_.try_emplace(n);
+  if (!inserted) return it->second;
+  auto& store = MeasurementStore::global();
+  if (store.enabled() && store.try_get(store_key(), n, it->second)) {
+    return it->second;
+  }
+  try {
+    it->second = compute(n);
+  } catch (...) {
+    cache_.erase(it);  // don't leave a default-constructed placeholder
+    throw;
+  }
+  if (store.enabled()) store.put(store_key(), n, it->second);
+  return it->second;
 }
 
 Measurement ClusterCombination::compute(std::int64_t n) const {
@@ -64,22 +88,44 @@ Measurement ClusterCombination::compute(std::int64_t n) const {
 
 std::vector<Measurement> ClusterCombination::measure_many(
     std::span<const std::int64_t> sizes, run::Runner& runner) {
-  // Uncached sizes, deduplicated, in first-seen order.
+  // Sizes still to simulate, deduplicated, in first-seen order. A single
+  // try_emplace probe per size replaces the old count() + std::set double
+  // lookup: insertion success *is* the dedup test, and the iterator it
+  // returns is the slot the result lands in. std::map iterators stay valid
+  // across later insertions, so collecting them is safe.
+  auto& store = MeasurementStore::global();
+  const bool use_store = store.enabled();
   std::vector<std::int64_t> missing;
-  std::set<std::int64_t> seen;
+  std::vector<std::map<std::int64_t, Measurement>::iterator> slots;
   for (const auto n : sizes) {
-    if (cache_.count(n) == 0 && seen.insert(n).second) missing.push_back(n);
+    const auto [it, inserted] = cache_.try_emplace(n);
+    if (!inserted) continue;
+    if (use_store && store.try_get(store_key(), n, it->second)) continue;
+    missing.push_back(n);
+    slots.push_back(it);
   }
 
-  if (runner.jobs() > 1 && missing.size() > 1) {
-    const auto computed = runner.map(
-        missing.size(), [&](std::size_t i) { return compute(missing[i]); });
-    // Merge on the calling thread, in request order.
-    for (std::size_t i = 0; i < missing.size(); ++i) {
-      cache_.emplace(missing[i], computed[i]);
+  try {
+    if (runner.jobs() > 1 && missing.size() > 1) {
+      const auto computed = runner.map(
+          missing.size(), [&](std::size_t i) { return compute(missing[i]); });
+      // Merge on the calling thread, in request order.
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        slots[i]->second = computed[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        slots[i]->second = compute(missing[i]);
+      }
     }
-  } else {
-    for (const auto n : missing) cache_.emplace(n, compute(n));
+  } catch (...) {
+    for (auto it : slots) cache_.erase(it);
+    throw;
+  }
+  if (use_store) {
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      store.put(store_key(), missing[i], slots[i]->second);
+    }
   }
 
   std::vector<Measurement> out;
@@ -133,6 +179,10 @@ double SortCombination::work(std::int64_t n) const {
   return algos::sort_workload(n);
 }
 
+std::string SortCombination::algo_key() const {
+  return "sort:" + std::to_string(static_cast<int>(splitters_));
+}
+
 ClusterCombination::RunOutcome SortCombination::run_once(
     vmpi::Machine& machine, std::int64_t n) const {
   algos::SortOptions options;
@@ -153,6 +203,10 @@ JacobiCombination::JacobiCombination(std::string name, Config config,
 
 double JacobiCombination::work(std::int64_t n) const {
   return algos::jacobi_workload(n, sweeps_);
+}
+
+std::string JacobiCombination::algo_key() const {
+  return "jacobi:sweeps=" + std::to_string(sweeps_);
 }
 
 ClusterCombination::RunOutcome JacobiCombination::run_once(

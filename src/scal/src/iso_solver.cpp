@@ -22,7 +22,13 @@ namespace {
 /// therefore the returned n — is identical to numeric::first_at_least on
 /// *any* E_s(n), including one with small non-monotone wiggles; the wave
 /// only trades redundant concurrent measurements for d levels of progress
-/// per sequential round trip. Same invariant: E_s(lo) < target <= E_s(hi).
+/// per sequential round trip.
+///
+/// Precondition (established by direct_search's doubling bracket): lo == hi,
+/// or E_s(lo) < target <= E_s(hi). Both endpoints were measured while
+/// bracketing, so the defensive entry probes of a general-purpose
+/// first_at_least would only repeat cache lookups — the invariant is
+/// asserted in debug builds instead of re-derived per call.
 std::int64_t speculative_first_at_least(Combination& combination,
                                         double target, std::int64_t lo,
                                         std::int64_t hi,
@@ -30,8 +36,10 @@ std::int64_t speculative_first_at_least(Combination& combination,
   const auto es_at = [&](std::int64_t n) {
     return combination.measure(n).speed_efficiency;
   };
-  if (es_at(hi) < target) return -1;
-  if (es_at(lo) >= target) return lo;
+  HETSCALE_DCHECK(es_at(hi) >= target,
+                  "speculative bisection needs E_s(hi) >= target");
+  HETSCALE_DCHECK(lo == hi || es_at(lo) < target,
+                  "speculative bisection needs E_s(lo) < target");
   int depth = 1;
   while (depth < 20 &&
          (std::int64_t{2} << depth) - 1 <= static_cast<std::int64_t>(

@@ -1,0 +1,210 @@
+#include "hetscale/scal/measure_store.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::scal {
+
+namespace {
+
+/// Format version: bump to invalidate every previously saved store.
+constexpr int kFormatVersion = 1;
+constexpr const char* kHeader = "hetscale-measure-store";
+
+/// %.17g — enough digits to round-trip any double exactly.
+std::string exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_exact(std::string& s, double v) {
+  s += exact(v);
+}
+
+/// Keys embed free-form strings (node names, models); squash the
+/// characters the line format reserves.
+void append_sanitized(std::string& s, std::string_view text) {
+  for (char c : text) {
+    s += (c == '\t' || c == '\n' || c == '\r') ? ' ' : c;
+  }
+}
+
+}  // namespace
+
+MeasurementStore& MeasurementStore::global() {
+  static MeasurementStore store;
+  return store;
+}
+
+bool MeasurementStore::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void MeasurementStore::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+bool MeasurementStore::try_get(const std::string& key, std::int64_t n,
+                               Measurement& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto by_key = entries_.find(key);
+  if (by_key != entries_.end()) {
+    const auto by_n = by_key->second.find(n);
+    if (by_n != by_key->second.end()) {
+      ++hits_;
+      out = by_n->second;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+void MeasurementStore::put(const std::string& key, std::int64_t n,
+                           const Measurement& m) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key][n] = m;
+}
+
+std::size_t MeasurementStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, by_n] : entries_) total += by_n.size();
+  return total;
+}
+
+std::uint64_t MeasurementStore::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t MeasurementStore::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void MeasurementStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void MeasurementStore::save(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << kHeader << " v" << kFormatVersion << '\n';
+  for (const auto& [key, by_n] : entries_) {
+    for (const auto& [n, m] : by_n) {
+      os << key << '\t' << n << '\t' << exact(m.work_flops) << '\t'
+         << exact(m.seconds) << '\t' << exact(m.speed_flops) << '\t'
+         << exact(m.speed_efficiency) << '\t' << exact(m.overhead_s) << '\n';
+    }
+  }
+}
+
+bool MeasurementStore::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  save(out);
+  return out.good();
+}
+
+bool MeasurementStore::load(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header)) return false;
+  if (header != std::string(kHeader) + " v" + std::to_string(kFormatVersion)) {
+    return false;
+  }
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    // key \t n \t work \t seconds \t speed \t efficiency \t overhead
+    std::size_t fields[6];
+    std::size_t at = line.size();
+    bool ok = true;
+    for (int f = 5; f >= 0; --f) {
+      at = line.rfind('\t', at == 0 ? 0 : at - 1);
+      if (at == std::string::npos) {
+        ok = false;
+        break;
+      }
+      fields[f] = at;
+    }
+    if (!ok) return false;  // truncated line: reject the file's tail
+    const std::string key = line.substr(0, fields[0]);
+    const char* cursor = line.c_str() + fields[0] + 1;
+    char* end = nullptr;
+    Measurement m;
+    m.n = static_cast<std::int64_t>(std::strtoll(cursor, &end, 10));
+    const auto number = [&](std::size_t field) {
+      return std::strtod(line.c_str() + fields[field] + 1, nullptr);
+    };
+    m.work_flops = number(1);
+    m.seconds = number(2);
+    m.speed_flops = number(3);
+    m.speed_efficiency = number(4);
+    m.overhead_s = number(5);
+    put(key, m.n, m);
+  }
+  return true;
+}
+
+bool MeasurementStore::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  return load(in);
+}
+
+std::string config_fingerprint(std::string_view algo_key,
+                               const machine::Cluster& cluster,
+                               NetworkKind network,
+                               const net::NetworkParams& params,
+                               bool with_data) {
+  std::string key;
+  key.reserve(256);
+  append_sanitized(key, algo_key);
+  key += with_data ? "|data|" : "|timing|";
+  key += network == NetworkKind::kSharedBus ? "bus" : "switch";
+  key += "|net=";
+  append_exact(key, params.remote.latency_s);
+  key += ',';
+  append_exact(key, params.remote.bandwidth_Bps);
+  key += ',';
+  append_exact(key, params.local.latency_s);
+  key += ',';
+  append_exact(key, params.local.bandwidth_Bps);
+  key += ',';
+  append_exact(key, params.per_message_overhead_s);
+  for (const auto& node : cluster.nodes()) {
+    key += "|node=";
+    append_sanitized(key, node.name);
+    key += '/';
+    append_sanitized(key, node.spec.model);
+    key += '/';
+    key += std::to_string(node.spec.cpus);
+    key += '/';
+    key += std::to_string(node.cpus_used);
+    key += '/';
+    append_exact(key, node.spec.cpu_rate_flops);
+    key += '/';
+    append_exact(key, node.spec.memory_bytes);
+    key += '/';
+    append_exact(key, node.spec.memory_bandwidth_Bps);
+    key += "/bias:";
+    for (double b : node.spec.benchmark_bias) {
+      append_exact(key, b);
+      key += ';';
+    }
+  }
+  return key;
+}
+
+}  // namespace hetscale::scal

@@ -61,3 +61,15 @@ namespace detail {
       ::hetscale::detail::throw_model(#expr, __func__, (msg));             \
     }                                                                      \
   } while (false)
+
+/// Debug-only variant of HETSCALE_CHECK for per-event hot paths: full check
+/// in debug and sanitizer builds, compiled out under NDEBUG (Release). Use
+/// only where the invariant is re-established by construction and the check
+/// merely guards against logic rot.
+#ifdef NDEBUG
+#define HETSCALE_DCHECK(expr, msg) \
+  do {                             \
+  } while (false)
+#else
+#define HETSCALE_DCHECK(expr, msg) HETSCALE_CHECK(expr, msg)
+#endif

@@ -15,7 +15,6 @@
 // conservatively late if a later-posted message would have arrived earlier.
 #pragma once
 
-#include <any>
 #include <vector>
 
 #include "hetscale/des/task.hpp"
@@ -47,7 +46,7 @@ class Comm {
   des::Task<void> compute(double flops, double efficiency = 1.0);
 
   /// Blocking send of a message of modeled size `bytes` carrying `payload`.
-  des::Task<void> send(int dst, int tag, double bytes, std::any payload);
+  des::Task<void> send(int dst, int tag, double bytes, Payload payload);
 
   /// Handle of a nonblocking send.
   struct SendRequest {
@@ -59,7 +58,7 @@ class Comm {
   /// continues immediately — computation/communication overlap. Optionally
   /// await wait_send() to synchronize with the link drain (MPI_Wait-like);
   /// fire-and-forget is also valid.
-  SendRequest isend(int dst, int tag, double bytes, std::any payload);
+  SendRequest isend(int dst, int tag, double bytes, Payload payload);
 
   /// Suspend until the nonblocking send's link time has passed.
   des::Task<void> wait_send(const SendRequest& request);
@@ -75,32 +74,32 @@ class Comm {
   /// large_bcast_threshold use the MPICH-style van de Geijn algorithm
   /// (scatter + ring allgather), whose cost is ~2·bytes/B + Θ(p) latency —
   /// essential to reproduce MM's behaviour (DESIGN.md §6).
-  des::Task<std::any> bcast(int root, double bytes, std::any payload);
+  des::Task<Payload> bcast(int root, double bytes, Payload payload);
 
   /// All ranks synchronize (gather of tokens to root, then release).
   des::Task<void> barrier();
 
   /// Every rank contributes (`bytes`, `payload`); the root returns the
   /// vector indexed by rank, other ranks return an empty vector.
-  des::Task<std::vector<std::any>> gather(int root, double bytes,
-                                          std::any payload);
+  des::Task<std::vector<Payload>> gather(int root, double bytes,
+                                          Payload payload);
 
   /// The root distributes parts[r] (modeled size parts_bytes[r]) to rank r;
   /// every rank returns its own part.
-  des::Task<std::any> scatter(int root, const std::vector<double>& parts_bytes,
-                              std::vector<std::any> parts);
+  des::Task<Payload> scatter(int root, const std::vector<double>& parts_bytes,
+                              std::vector<Payload> parts);
 
   /// Every rank contributes (`bytes`, `payload`); every rank returns the
   /// full vector indexed by rank. Ring algorithm: p-1 rounds of concurrent
   /// neighbour exchanges.
-  des::Task<std::vector<std::any>> allgather(double bytes, std::any payload);
+  des::Task<std::vector<Payload>> allgather(double bytes, Payload payload);
 
   /// Personalized all-to-all: rank r contributes parts[d] for every
   /// destination d (modeled size parts_bytes[d]) and returns the vector of
   /// parts addressed to it, indexed by source. Shifted-pairwise schedule:
   /// p-1 rounds, in round k rank r sends to r+k and receives from r-k.
-  des::Task<std::vector<std::any>> alltoall(
-      const std::vector<double>& parts_bytes, std::vector<std::any> parts);
+  des::Task<std::vector<Payload>> alltoall(
+      const std::vector<double>& parts_bytes, std::vector<Payload> parts);
 
   /// Reduction operators over doubles.
   enum class ReduceOp { kSum, kMin, kMax, kProd };
@@ -134,10 +133,10 @@ class Comm {
   /// returns the *final* attempt's result. Hook-free, it is one transfer.
   net::TransferResult transmit(int dst, double bytes, des::SimTime start);
 
-  des::Task<std::any> bcast_flat(int root, double bytes, std::any payload);
-  des::Task<std::any> bcast_binomial(int root, double bytes,
-                                     std::any payload);
-  des::Task<std::any> bcast_large(int root, double bytes, std::any payload);
+  des::Task<Payload> bcast_flat(int root, double bytes, Payload payload);
+  des::Task<Payload> bcast_binomial(int root, double bytes,
+                                     Payload payload);
+  des::Task<Payload> bcast_large(int root, double bytes, Payload payload);
   /// Modeled size of a zero-payload control token (MPI header-ish).
   static constexpr double kTokenBytes = 16.0;
 

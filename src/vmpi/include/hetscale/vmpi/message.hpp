@@ -2,15 +2,18 @@
 //
 // A Message carries both a *modeled* size in bytes (what the network model
 // times) and a *real* payload (what the algorithm computes with) — virtual
-// time and real data are deliberately decoupled (DESIGN.md §6.1).
+// time and real data are deliberately decoupled (DESIGN.md §6.1). Payloads
+// are pooled (payload.hpp), and the pending queue is a vector drained by
+// index rather than a deque, so steady-state delivery performs no heap
+// traffic at all.
 #pragma once
 
-#include <any>
 #include <coroutine>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "hetscale/des/scheduler.hpp"
+#include "hetscale/vmpi/payload.hpp"
 
 namespace hetscale::vmpi {
 
@@ -22,14 +25,16 @@ struct Message {
   int source = 0;
   int tag = 0;
   double bytes = 0.0;           ///< modeled on-the-wire size
-  std::any payload;             ///< real data (often shared_ptr to bulk data)
+  Payload payload;              ///< real data (pooled buffer / scalar / boxed)
   des::SimTime arrival = 0.0;   ///< when the message is fully available
 
-  /// Convenience accessor: any_cast the payload (throws std::bad_any_cast on
-  /// a type mismatch, which in practice means mismatched send/recv code).
+  /// Convenience accessor mirroring the old std::any convention (throws
+  /// std::bad_any_cast on a type mismatch, which in practice means
+  /// mismatched send/recv code). Buffer payloads are read via
+  /// `payload.doubles()` instead.
   template <class T>
   T value() const {
-    return std::any_cast<T>(payload);
+    return payload.as<T>();
   }
 };
 
@@ -57,7 +62,7 @@ class Mailbox {
     return WaitAwaiter{*this, source, tag};
   }
 
-  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t pending_count() const { return pending_.size() - head_; }
 
   /// The (source, tag) of a receiver currently suspended on this mailbox.
   struct WaitingRecv {
@@ -77,7 +82,11 @@ class Mailbox {
   };
 
   des::Scheduler* scheduler_;
-  std::deque<Message> pending_;
+  /// Pending messages live in [head_, pending_.size()); popping the front
+  /// advances head_, and the vector (its capacity is the slab) resets to
+  /// index 0 whenever it fully drains — the overwhelmingly common case.
+  std::vector<Message> pending_;
+  std::size_t head_ = 0;
   std::coroutine_handle<> waiter_;
   std::optional<WaitingRecv> waiting_;
 };

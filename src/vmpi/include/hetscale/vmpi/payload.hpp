@@ -1,0 +1,220 @@
+// Payload — the message-plane value type of the virtual MPI runtime.
+//
+// The previous convention (std::any holding shared_ptr<vector<double>>)
+// cost two heap allocations plus an atomic refcount per buffer hop. Payload
+// replaces it with a small tagged value:
+//
+//   * empty        — timing-only traffic (the common case in sweeps);
+//   * scalar       — one double, stored inline (reductions, rhs values);
+//   * buffer       — a pooled, refcounted block of doubles with span views;
+//   * boxed        — a std::any fallback for arbitrary user types.
+//
+// Buffer blocks come from a thread-local size-class pool (the arena): a
+// simulation runs entirely on one OS thread (the Runner gives each machine
+// its own worker), so blocks recycle without locks or atomics, copies are a
+// non-atomic refcount bump, and steady-state message traffic allocates
+// nothing. Blocks must not be shared across simulations/threads — nothing in
+// the runtime does.
+//
+// Virtual time and real data stay decoupled (DESIGN.md §6.1): the modeled
+// byte count of a message is independent of what its Payload holds.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::vmpi {
+
+namespace detail {
+
+/// Header of one pooled buffer block; the doubles follow in the same
+/// allocation. `size_class` indexes the arena freelist the block returns to.
+struct BufferBlock {
+  std::uint32_t refs = 0;
+  std::uint32_t size_class = 0;
+  std::size_t count = 0;  ///< doubles in use
+  BufferBlock* next_free = nullptr;
+  double* data() {
+    return reinterpret_cast<double*>(reinterpret_cast<char*>(this) +
+                                     sizeof(BufferBlock));
+  }
+  const double* data() const {
+    return reinterpret_cast<const double*>(
+        reinterpret_cast<const char*>(this) + sizeof(BufferBlock));
+  }
+};
+
+BufferBlock* arena_acquire(std::size_t count);
+void arena_release(BufferBlock* block) noexcept;
+
+/// Statistics for benchmarks: blocks currently parked on this thread's
+/// freelists.
+std::size_t arena_parked();
+
+}  // namespace hetscale::vmpi::detail
+
+class Payload {
+ public:
+  Payload() noexcept = default;
+
+  /// Scalars are stored inline — no allocation.
+  Payload(double scalar) noexcept  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kScalar) {
+    scalar_ = scalar;
+  }
+
+  /// Box an arbitrary value (compat fallback; allocates). The send/recv
+  /// sites of the shipped algorithms all use buffers or scalars — boxing is
+  /// for user programs and tests that move custom types.
+  template <class T>
+    requires(!std::is_same_v<std::decay_t<T>, Payload> &&
+             !std::is_same_v<std::decay_t<T>, double>)
+  Payload(T&& value)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kBoxed) {
+    boxed_ = new std::any(std::forward<T>(value));
+  }
+
+  /// An uninitialized pooled buffer of `count` doubles.
+  static Payload buffer(std::size_t count) {
+    Payload p;
+    p.kind_ = Kind::kBuffer;
+    p.block_ = detail::arena_acquire(count);
+    p.block_->refs = 1;
+    return p;
+  }
+
+  /// A pooled buffer initialized from `values`.
+  static Payload copy_of(std::span<const double> values);
+
+  Payload(const Payload& other) { copy_from(other); }
+  Payload& operator=(const Payload& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+  Payload(Payload&& other) noexcept { steal_from(other); }
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal_from(other);
+    }
+    return *this;
+  }
+  ~Payload() { reset(); }
+
+  bool empty() const noexcept { return kind_ == Kind::kEmpty; }
+  bool is_scalar() const noexcept { return kind_ == Kind::kScalar; }
+  bool is_buffer() const noexcept { return kind_ == Kind::kBuffer; }
+  bool is_boxed() const noexcept { return kind_ == Kind::kBoxed; }
+
+  /// The inline double (requires is_scalar()).
+  double scalar() const {
+    HETSCALE_REQUIRE(kind_ == Kind::kScalar, "payload holds no scalar");
+    return scalar_;
+  }
+
+  /// Mutable view of the pooled buffer. An empty payload views as a
+  /// zero-length buffer (zero-row blocks are ordinary traffic); scalars and
+  /// boxed values refuse.
+  std::span<double> doubles() {
+    if (kind_ == Kind::kEmpty) return {};
+    HETSCALE_REQUIRE(kind_ == Kind::kBuffer, "payload holds no buffer");
+    return {block_->data(), block_->count};
+  }
+
+  /// Read-only view of the pooled buffer (empty payloads view as length 0).
+  std::span<const double> doubles() const {
+    if (kind_ == Kind::kEmpty) return {};
+    HETSCALE_REQUIRE(kind_ == Kind::kBuffer, "payload holds no buffer");
+    return {block_->data(), block_->count};
+  }
+
+  /// Buffer length (0 unless is_buffer()).
+  std::size_t size() const noexcept {
+    return kind_ == Kind::kBuffer ? block_->count : 0;
+  }
+
+  /// The boxed std::any (requires is_boxed()).
+  const std::any& boxed() const {
+    HETSCALE_REQUIRE(kind_ == Kind::kBoxed, "payload holds no boxed value");
+    return *boxed_;
+  }
+
+  /// Typed accessor mirroring the old `std::any_cast` convention:
+  /// `as<double>()` reads a scalar (or a boxed double); any other T
+  /// any_casts the boxed value and throws std::bad_any_cast on mismatch —
+  /// which in practice means mismatched send/recv code.
+  template <class T>
+  T as() const {
+    if constexpr (std::is_same_v<T, double>) {
+      if (kind_ == Kind::kScalar) return scalar_;
+    }
+    if (kind_ != Kind::kBoxed) throw std::bad_any_cast();
+    return std::any_cast<T>(*boxed_);
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kEmpty, kScalar, kBuffer, kBoxed };
+
+  void copy_from(const Payload& other) {
+    kind_ = other.kind_;
+    switch (kind_) {
+      case Kind::kEmpty:
+        break;
+      case Kind::kScalar:
+        scalar_ = other.scalar_;
+        break;
+      case Kind::kBuffer:
+        block_ = other.block_;
+        ++block_->refs;  // non-atomic: blocks never cross threads
+        break;
+      case Kind::kBoxed:
+        boxed_ = new std::any(*other.boxed_);
+        break;
+    }
+  }
+
+  void steal_from(Payload& other) noexcept {
+    kind_ = other.kind_;
+    switch (kind_) {
+      case Kind::kEmpty:
+        break;
+      case Kind::kScalar:
+        scalar_ = other.scalar_;
+        break;
+      case Kind::kBuffer:
+        block_ = other.block_;
+        break;
+      case Kind::kBoxed:
+        boxed_ = other.boxed_;
+        break;
+    }
+    other.kind_ = Kind::kEmpty;
+  }
+
+  void reset() noexcept {
+    if (kind_ == Kind::kBuffer) {
+      if (--block_->refs == 0) detail::arena_release(block_);
+    } else if (kind_ == Kind::kBoxed) {
+      delete boxed_;
+    }
+    kind_ = Kind::kEmpty;
+  }
+
+  Kind kind_ = Kind::kEmpty;
+  union {
+    double scalar_;
+    detail::BufferBlock* block_;
+    std::any* boxed_;
+  };
+};
+
+}  // namespace hetscale::vmpi

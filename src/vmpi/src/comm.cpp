@@ -64,7 +64,7 @@ net::TransferResult Comm::transmit(int dst, double bytes, des::SimTime start) {
   return result;
 }
 
-des::Task<void> Comm::send(int dst, int tag, double bytes, std::any payload) {
+des::Task<void> Comm::send(int dst, int tag, double bytes, Payload payload) {
   HETSCALE_REQUIRE(dst >= 0 && dst < size_, "destination rank out of range");
   HETSCALE_REQUIRE(dst != rank_, "send-to-self is not supported");
   auto& stats = machine_->rank_stats(rank_);
@@ -86,7 +86,7 @@ des::Task<void> Comm::send(int dst, int tag, double bytes, std::any payload) {
 }
 
 Comm::SendRequest Comm::isend(int dst, int tag, double bytes,
-                              std::any payload) {
+                              Payload payload) {
   HETSCALE_REQUIRE(dst >= 0 && dst < size_, "destination rank out of range");
   HETSCALE_REQUIRE(dst != rank_, "send-to-self is not supported");
   auto& stats = machine_->rank_stats(rank_);
@@ -138,7 +138,7 @@ des::Task<Message> Comm::recv(int source, int tag) {
   }
 }
 
-des::Task<std::any> Comm::bcast(int root, double bytes, std::any payload) {
+des::Task<Payload> Comm::bcast(int root, double bytes, Payload payload) {
   HETSCALE_REQUIRE(root >= 0 && root < size_, "root rank out of range");
   if (size_ > 1 &&
       bytes >= machine_->tuning().large_bcast_threshold_bytes) {
@@ -150,8 +150,8 @@ des::Task<std::any> Comm::bcast(int root, double bytes, std::any payload) {
   return bcast_flat(root, bytes, std::move(payload));
 }
 
-des::Task<std::any> Comm::bcast_binomial(int root, double bytes,
-                                         std::any payload) {
+des::Task<Payload> Comm::bcast_binomial(int root, double bytes,
+                                         Payload payload) {
   // Classic binomial tree on virtual ranks (vrank = rank - root mod p):
   // in round k, every rank that already holds the value and whose k-th bit
   // is free sends to vrank + 2^k. Θ(log p) rounds of concurrent sends.
@@ -180,8 +180,8 @@ des::Task<std::any> Comm::bcast_binomial(int root, double bytes,
   co_return std::move(payload);
 }
 
-des::Task<std::any> Comm::bcast_flat(int root, double bytes,
-                                     std::any payload) {
+des::Task<Payload> Comm::bcast_flat(int root, double bytes,
+                                     Payload payload) {
   if (rank_ == root) {
     // Flat tree: the root pushes a copy to every other rank in rank order.
     // Root-sourced traffic serializes on the root's link, so this costs
@@ -196,15 +196,15 @@ des::Task<std::any> Comm::bcast_flat(int root, double bytes,
   co_return std::move(message.payload);
 }
 
-des::Task<std::any> Comm::bcast_large(int root, double bytes,
-                                      std::any payload) {
+des::Task<Payload> Comm::bcast_large(int root, double bytes,
+                                      Payload payload) {
   // Van de Geijn long-message broadcast: scatter 1/p-sized chunks from the
   // root, then a ring allgather. Wall time ~ 2·bytes·(p-1)/(p·B) plus Θ(p)
   // latency on a switched network. The *real* payload rides on the scatter
   // messages (each rank needs the whole value); the ring rounds move
   // timing-only chunks.
   const double chunk = bytes / static_cast<double>(size_);
-  std::any out;
+  Payload out;
   if (rank_ == root) {
     for (int dst = 0; dst < size_; ++dst) {
       if (dst == root) continue;
@@ -250,14 +250,14 @@ des::Task<void> Comm::barrier() {
   if (tracer) tracer->spans().close(span, now());
 }
 
-des::Task<std::vector<std::any>> Comm::gather(int root, double bytes,
-                                              std::any payload) {
+des::Task<std::vector<Payload>> Comm::gather(int root, double bytes,
+                                              Payload payload) {
   HETSCALE_REQUIRE(root >= 0 && root < size_, "root rank out of range");
   if (rank_ != root) {
     co_await send(root, kTagGather, bytes, std::move(payload));
-    co_return std::vector<std::any>{};
+    co_return std::vector<Payload>{};
   }
-  std::vector<std::any> parts(static_cast<std::size_t>(size_));
+  std::vector<Payload> parts(static_cast<std::size_t>(size_));
   parts[static_cast<std::size_t>(root)] = std::move(payload);
   for (int src = 0; src < size_; ++src) {
     if (src == root) continue;
@@ -267,9 +267,9 @@ des::Task<std::vector<std::any>> Comm::gather(int root, double bytes,
   co_return parts;
 }
 
-des::Task<std::any> Comm::scatter(int root,
+des::Task<Payload> Comm::scatter(int root,
                                   const std::vector<double>& parts_bytes,
-                                  std::vector<std::any> parts) {
+                                  std::vector<Payload> parts) {
   HETSCALE_REQUIRE(root >= 0 && root < size_, "root rank out of range");
   if (rank_ == root) {
     HETSCALE_REQUIRE(parts.size() == static_cast<std::size_t>(size_) &&
@@ -286,9 +286,9 @@ des::Task<std::any> Comm::scatter(int root,
   co_return std::move(message.payload);
 }
 
-des::Task<std::vector<std::any>> Comm::allgather(double bytes,
-                                                 std::any payload) {
-  std::vector<std::any> parts(static_cast<std::size_t>(size_));
+des::Task<std::vector<Payload>> Comm::allgather(double bytes,
+                                                 Payload payload) {
+  std::vector<Payload> parts(static_cast<std::size_t>(size_));
   parts[static_cast<std::size_t>(rank_)] = std::move(payload);
   if (size_ == 1) co_return parts;
   const int next = (rank_ + 1) % size_;
@@ -305,12 +305,12 @@ des::Task<std::vector<std::any>> Comm::allgather(double bytes,
   co_return parts;
 }
 
-des::Task<std::vector<std::any>> Comm::alltoall(
-    const std::vector<double>& parts_bytes, std::vector<std::any> parts) {
+des::Task<std::vector<Payload>> Comm::alltoall(
+    const std::vector<double>& parts_bytes, std::vector<Payload> parts) {
   HETSCALE_REQUIRE(parts.size() == static_cast<std::size_t>(size_) &&
                        parts_bytes.size() == parts.size(),
                    "alltoall needs one part per destination on every rank");
-  std::vector<std::any> received(static_cast<std::size_t>(size_));
+  std::vector<Payload> received(static_cast<std::size_t>(size_));
   received[static_cast<std::size_t>(rank_)] =
       std::move(parts[static_cast<std::size_t>(rank_)]);
   // Sends are buffered, so post them all first (shifted order spreads the
@@ -346,9 +346,9 @@ double apply_reduce(Comm::ReduceOp op, double a, double b) {
 des::Task<double> Comm::reduce(int root, double value, ReduceOp op) {
   auto parts = co_await gather(root, /*bytes=*/8.0, value);
   if (rank_ != root) co_return 0.0;
-  double accumulated = std::any_cast<double>(parts.front());
+  double accumulated = parts.front().scalar();
   for (std::size_t i = 1; i < parts.size(); ++i) {
-    accumulated = apply_reduce(op, accumulated, std::any_cast<double>(parts[i]));
+    accumulated = apply_reduce(op, accumulated, parts[i].scalar());
   }
   co_return accumulated;
 }
@@ -360,10 +360,10 @@ des::Task<double> Comm::reduce_sum(int root, double value) {
 des::Task<double> Comm::allreduce(double value, ReduceOp op) {
   constexpr int kRoot = 0;
   const double total = co_await reduce(kRoot, value, op);
-  std::any payload;  // named local: see ge.cpp on coroutine temporaries
+  Payload payload;  // named local: see ge.cpp on coroutine temporaries
   if (rank_ == kRoot) payload = total;
-  const std::any out = co_await bcast(kRoot, /*bytes=*/8.0, std::move(payload));
-  co_return std::any_cast<double>(out);
+  const Payload out = co_await bcast(kRoot, /*bytes=*/8.0, std::move(payload));
+  co_return out.scalar();
 }
 
 des::Task<double> Comm::allreduce_sum(double value) {

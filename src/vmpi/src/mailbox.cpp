@@ -19,14 +19,22 @@ void Mailbox::post(Message message) {
 }
 
 std::optional<Message> Mailbox::take_match(int source, int tag) {
-  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-    const bool source_ok = source == kAnySource || it->source == source;
-    const bool tag_ok = tag == kAnyTag || it->tag == tag;
-    if (source_ok && tag_ok) {
-      Message found = std::move(*it);
-      pending_.erase(it);
-      return found;
+  for (std::size_t i = head_; i < pending_.size(); ++i) {
+    Message& candidate = pending_[i];
+    const bool source_ok = source == kAnySource || candidate.source == source;
+    const bool tag_ok = tag == kAnyTag || candidate.tag == tag;
+    if (!source_ok || !tag_ok) continue;
+    Message found = std::move(candidate);
+    if (i == head_) {
+      ++head_;  // front pop: just advance the drain index
+    } else {
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
     }
+    if (head_ == pending_.size()) {
+      pending_.clear();  // keeps capacity — the slab is reused
+      head_ = 0;
+    }
+    return found;
   }
   return std::nullopt;
 }

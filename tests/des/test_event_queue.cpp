@@ -1,0 +1,179 @@
+// Property tests: LadderEventQueue against the reference ordering.
+//
+// The ladder replaced a std::priority_queue<Event>; its contract is to pop
+// in EXACTLY ascending (time, sequence) order under the scheduler's usage
+// pattern — pushes never go behind the last popped time. These tests drive
+// both implementations side by side through randomized interleavings of
+// pushes and pops (including heavy equal-time ties) and require identical
+// pop sequences.
+#include "hetscale/des/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "hetscale/support/rng.hpp"
+
+namespace hetscale::des {
+namespace {
+
+struct ReferenceOrder {
+  // priority_queue pops the *largest* element: invert event_before.
+  bool operator()(const Event& a, const Event& b) const {
+    return event_before(b, a);
+  }
+};
+
+using ReferenceQueue =
+    std::priority_queue<Event, std::vector<Event>, ReferenceOrder>;
+
+/// Pop everything from both queues; expect identical (time, sequence).
+void expect_same_drain(LadderEventQueue& ladder, ReferenceQueue& reference) {
+  while (!reference.empty()) {
+    ASSERT_FALSE(ladder.empty());
+    const Event expected = reference.top();
+    reference.pop();
+    const Event got = ladder.pop_min();
+    ASSERT_DOUBLE_EQ(got.time, expected.time);
+    ASSERT_EQ(got.sequence, expected.sequence);
+  }
+  EXPECT_TRUE(ladder.empty());
+  EXPECT_EQ(ladder.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  LadderEventQueue ladder;
+  ReferenceQueue reference;
+  std::uint64_t seq = 0;
+  for (double t : {5.0, 1.0, 3.0, 2.0, 4.0, 0.5, 2.5}) {
+    const Event e{t, seq++, {}};
+    ladder.push(e);
+    reference.push(e);
+  }
+  EXPECT_EQ(ladder.size(), 7u);
+  expect_same_drain(ladder, reference);
+}
+
+TEST(EventQueue, EqualTimesBreakTiesBySequence) {
+  LadderEventQueue ladder;
+  ReferenceQueue reference;
+  // All events at the same instant: pop order must be insertion order.
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    const Event e{1.0, 99 - s, {}};
+    ladder.push(e);
+    reference.push(e);
+  }
+  std::uint64_t expected_seq = 0;
+  while (!ladder.empty()) {
+    const Event got = ladder.pop_min();
+    EXPECT_DOUBLE_EQ(got.time, 1.0);
+    EXPECT_EQ(got.sequence, expected_seq++);
+    reference.pop();
+  }
+  EXPECT_EQ(expected_seq, 100u);
+}
+
+TEST(EventQueue, RandomInterleavingMatchesReference) {
+  // The scheduler's usage pattern: pushes land at or after the current
+  // drain time (events are scheduled at now + dt, dt >= 0).
+  for (std::uint64_t seed : {1u, 7u, 23u, 99u, 12345u}) {
+    LadderEventQueue ladder;
+    ReferenceQueue reference;
+    Rng rng(seed);
+    std::uint64_t seq = 0;
+    double now = 0.0;
+    for (int step = 0; step < 20000; ++step) {
+      const bool push = reference.empty() || rng.uniform(0.0, 1.0) < 0.55;
+      if (push) {
+        // Mostly short hops; occasional far-future events exercise the far
+        // list and epoch rebuilds. ~20% exact ties with the current time.
+        double dt = rng.uniform(0.0, 1.0) < 0.2
+                        ? 0.0
+                        : rng.uniform(0.0, rng.uniform(0.0, 1.0) < 0.1
+                                               ? 1e3
+                                               : 1.0);
+        const Event e{now + dt, seq++, {}};
+        ladder.push(e);
+        reference.push(e);
+      } else {
+        const Event expected = reference.top();
+        reference.pop();
+        const Event got = ladder.pop_min();
+        ASSERT_DOUBLE_EQ(got.time, expected.time);
+        ASSERT_EQ(got.sequence, expected.sequence);
+        now = got.time;
+      }
+      ASSERT_EQ(ladder.size(), reference.size());
+    }
+    expect_same_drain(ladder, reference);
+  }
+}
+
+TEST(EventQueue, BurstsOfTiesAtIrregularTimes) {
+  // Collective-heavy simulations resume whole waves of coroutines at one
+  // instant; the draining-bucket insert path must keep ties FIFO.
+  for (std::uint64_t seed : {3u, 17u}) {
+    LadderEventQueue ladder;
+    ReferenceQueue reference;
+    Rng rng(seed);
+    std::uint64_t seq = 0;
+    double now = 0.0;
+    for (int wave = 0; wave < 500; ++wave) {
+      now += rng.uniform(0.0, 0.01);
+      const int burst = 1 + static_cast<int>(rng.uniform(0.0, 16.0));
+      for (int i = 0; i < burst; ++i) {
+        const Event e{now, seq++, {}};
+        ladder.push(e);
+        reference.push(e);
+      }
+      // Drain roughly half the backlog between waves.
+      for (std::size_t pops = reference.size() / 2; pops > 0; --pops) {
+        const Event expected = reference.top();
+        reference.pop();
+        const Event got = ladder.pop_min();
+        ASSERT_DOUBLE_EQ(got.time, expected.time);
+        ASSERT_EQ(got.sequence, expected.sequence);
+        now = got.time;
+      }
+    }
+    expect_same_drain(ladder, reference);
+  }
+}
+
+TEST(EventQueue, SparseTimesForceEpochRebuilds) {
+  // Times spread over ten orders of magnitude: every drain hits the far
+  // list and rebuilds the epoch with a new adaptive width.
+  LadderEventQueue ladder;
+  ReferenceQueue reference;
+  std::uint64_t seq = 0;
+  for (int exponent = 9; exponent >= 0; --exponent) {
+    for (int k = 0; k < 8; ++k) {
+      const Event e{std::pow(10.0, exponent) + k, seq++, {}};
+      ladder.push(e);
+      reference.push(e);
+    }
+  }
+  expect_same_drain(ladder, reference);
+}
+
+TEST(EventQueue, ReusableAcrossFullDrains) {
+  // The slabs survive a full drain; a reused queue behaves like a fresh one.
+  LadderEventQueue ladder;
+  for (int round = 0; round < 3; ++round) {
+    ReferenceQueue reference;
+    std::uint64_t seq = 0;
+    Rng rng(static_cast<std::uint64_t>(round) + 1);
+    for (int i = 0; i < 1000; ++i) {
+      const Event e{rng.uniform(0.0, 100.0), seq++, {}};
+      ladder.push(e);
+      reference.push(e);
+    }
+    expect_same_drain(ladder, reference);
+  }
+}
+
+}  // namespace
+}  // namespace hetscale::des

@@ -15,11 +15,29 @@
 #include "hetscale/predict/models.hpp"
 #include "hetscale/predict/probe.hpp"
 #include "hetscale/run/runner.hpp"
+#include "hetscale/scal/measure_store.hpp"
 #include "hetscale/scal/profile.hpp"
 #include "hetscale/scenarios/paper.hpp"
 
 namespace hetscale {
 namespace {
+
+// Keeps the cross-scenario measurement store out of the picture: these tests
+// compare instrumentation captured from *actual* simulation runs, and a store
+// hit would legitimately skip the run (and its profile) the second time.
+class StoreDisabledScope {
+ public:
+  StoreDisabledScope()
+      : was_enabled_(scal::MeasurementStore::global().enabled()) {
+    scal::MeasurementStore::global().set_enabled(false);
+  }
+  ~StoreDisabledScope() {
+    scal::MeasurementStore::global().set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_;
+};
 
 TEST(ProfileBudget, GePartitionSumsToElapsed) {
   auto combo = scenarios::make_ge(2);
@@ -75,6 +93,7 @@ TEST(ProfileBudget, ProfilingDoesNotPerturbMeasurement) {
 }
 
 TEST(ProfileBudget, ReportJsonIsByteStableAcrossJobs) {
+  StoreDisabledScope no_store;
   const std::vector<std::int64_t> sizes{50, 100, 150, 200, 250};
   auto render = [&](int jobs) {
     obs::Profiler profiler;

@@ -78,7 +78,7 @@ Task<void> stress_rank(Comm& comm, const StressPlan& plan,
           plan.amounts[static_cast<std::size_t>(rank)]
                       [static_cast<std::size_t>(round)];
       credit -= sent;
-      co_await comm.send(dst, kTag + round, 64.0, std::any(sent));
+      co_await comm.send(dst, kTag + round, 64.0, Payload(sent));
       const auto message = co_await comm.recv(src, kTag + round);
       credit += message.value<double>();
     }

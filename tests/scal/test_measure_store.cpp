@@ -1,0 +1,175 @@
+// MeasurementStore: fingerprint sharing across display names, disk
+// round-trip with exact doubles, and version gating.
+#include "hetscale/scal/measure_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "hetscale/machine/sunwulf.hpp"
+#include "hetscale/run/runner.hpp"
+
+namespace hetscale::scal {
+namespace {
+
+/// The store under test is process-global; snapshot and restore it around
+/// each test so the suite can run in any order within one process.
+class MeasureStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = MeasurementStore::global().enabled();
+    MeasurementStore::global().clear();
+    MeasurementStore::global().set_enabled(true);
+  }
+  void TearDown() override {
+    MeasurementStore::global().clear();
+    MeasurementStore::global().set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = true;
+};
+
+ClusterCombination::Config ge2_config() {
+  ClusterCombination::Config config;
+  config.cluster = machine::sunwulf::ge_ensemble(2);
+  config.with_data = false;
+  return config;
+}
+
+Measurement sample(std::int64_t n) {
+  Measurement m;
+  m.n = n;
+  m.work_flops = 1.0e9 + static_cast<double>(n);
+  m.seconds = 0.125 * static_cast<double>(n);
+  m.speed_flops = m.work_flops / m.seconds;
+  m.speed_efficiency = 0.1234567890123456789;  // exercise %.17g round-trip
+  m.overhead_s = 1e-17;
+  return m;
+}
+
+TEST_F(MeasureStoreTest, PutThenGet) {
+  auto& store = MeasurementStore::global();
+  store.put("key", 64, sample(64));
+  Measurement out;
+  ASSERT_TRUE(store.try_get("key", 64, out));
+  EXPECT_EQ(out.n, 64);
+  EXPECT_DOUBLE_EQ(out.seconds, sample(64).seconds);
+  EXPECT_FALSE(store.try_get("key", 65, out));
+  EXPECT_FALSE(store.try_get("other", 64, out));
+  EXPECT_EQ(store.hits(), 1u);
+  EXPECT_EQ(store.misses(), 2u);
+}
+
+TEST_F(MeasureStoreTest, SaveLoadRoundTripsBitExactly) {
+  auto& store = MeasurementStore::global();
+  store.put("ge|timing|switch", 64, sample(64));
+  store.put("ge|timing|switch", 128, sample(128));
+  store.put("a key with spaces / punctuation|x", 7, sample(7));
+  std::ostringstream saved;
+  store.save(saved);
+
+  store.clear();
+  std::istringstream loaded(saved.str());
+  ASSERT_TRUE(store.load(loaded));
+  ASSERT_EQ(store.size(), 3u);
+  Measurement out;
+  ASSERT_TRUE(store.try_get("ge|timing|switch", 128, out));
+  const Measurement expected = sample(128);
+  // Bit-exact: %.17g round-trips every double.
+  EXPECT_EQ(out.work_flops, expected.work_flops);
+  EXPECT_EQ(out.seconds, expected.seconds);
+  EXPECT_EQ(out.speed_flops, expected.speed_flops);
+  EXPECT_EQ(out.speed_efficiency, expected.speed_efficiency);
+  EXPECT_EQ(out.overhead_s, expected.overhead_s);
+}
+
+TEST_F(MeasureStoreTest, LoadRejectsVersionMismatch) {
+  auto& store = MeasurementStore::global();
+  std::istringstream wrong_version("hetscale-measure-store v999\nkey\t1\t1\t1\t1\t1\t1\n");
+  EXPECT_FALSE(store.load(wrong_version));
+  EXPECT_EQ(store.size(), 0u);
+  std::istringstream garbage("not a store at all\n");
+  EXPECT_FALSE(store.load(garbage));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(MeasureStoreTest, FingerprintSharesAcrossDisplayNames) {
+  // table3 / table4 / table7 all simulate GE on the same ensembles under
+  // different scenario names: the fingerprint must make them share.
+  GeCombination first("GE required-rank", ge2_config());
+  GeCombination second("GE scalability", ge2_config());
+  auto& store = MeasurementStore::global();
+
+  const Measurement& a = first.measure(64);
+  const std::uint64_t misses_after_first = store.misses();
+  const Measurement& b = second.measure(64);
+  EXPECT_EQ(store.misses(), misses_after_first)
+      << "the second combination must hit the shared store, not recompute";
+  EXPECT_GE(store.hits(), 1u);
+  // Shared measurements are the same bits, so artifacts cannot change.
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.speed_efficiency, b.speed_efficiency);
+}
+
+TEST_F(MeasureStoreTest, FingerprintSeparatesDifferentConfigs) {
+  const auto base = ge2_config();
+  auto bus = base;
+  bus.network = NetworkKind::kSharedBus;
+  auto with_data = base;
+  with_data.with_data = true;
+  const std::string k1 = config_fingerprint("ge", base.cluster, base.network,
+                                            base.net_params, base.with_data);
+  const std::string k2 = config_fingerprint("ge", bus.cluster, bus.network,
+                                            bus.net_params, bus.with_data);
+  const std::string k3 =
+      config_fingerprint("ge", with_data.cluster, with_data.network,
+                         with_data.net_params, with_data.with_data);
+  const std::string k4 = config_fingerprint("mm", base.cluster, base.network,
+                                            base.net_params, base.with_data);
+  auto tweaked = base.net_params;
+  tweaked.remote.bandwidth_Bps = std::nextafter(
+      tweaked.remote.bandwidth_Bps, 2.0 * tweaked.remote.bandwidth_Bps);
+  const std::string k5 = config_fingerprint("ge", base.cluster, base.network,
+                                            tweaked, base.with_data);
+  EXPECT_NE(k1, k2) << "network kind must split the key";
+  EXPECT_NE(k1, k3) << "data mode must split the key";
+  EXPECT_NE(k1, k4) << "algorithm must split the key";
+  EXPECT_NE(k1, k5) << "a 1-ulp parameter change must split the key";
+}
+
+TEST_F(MeasureStoreTest, DisabledStoreDoesNotShare) {
+  auto& store = MeasurementStore::global();
+  store.set_enabled(false);
+  GeCombination first("GE-a", ge2_config());
+  GeCombination second("GE-b", ge2_config());
+  (void)first.measure(48);
+  (void)second.measure(48);
+  EXPECT_EQ(store.size(), 0u) << "disabled store must stay empty";
+}
+
+TEST_F(MeasureStoreTest, MeasureManyDeduplicatesAndUsesStore) {
+  GeCombination first("GE-a", ge2_config());
+  GeCombination second("GE-b", ge2_config());
+  run::Runner runner(1);
+  const std::int64_t sizes[] = {32, 64, 32, 64, 96};
+  const auto batch = first.measure_many(sizes, runner);
+  ASSERT_EQ(batch.size(), 5u);
+  EXPECT_EQ(batch[0].seconds, batch[2].seconds);
+  EXPECT_EQ(batch[1].seconds, batch[3].seconds);
+
+  auto& store = MeasurementStore::global();
+  const std::uint64_t misses_before = store.misses();
+  const auto again = second.measure_many(sizes, runner);
+  EXPECT_EQ(store.misses(), misses_before)
+      << "every size was stored by the first batch";
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].seconds, again[i].seconds);
+    EXPECT_EQ(batch[i].speed_efficiency, again[i].speed_efficiency);
+  }
+}
+
+}  // namespace
+}  // namespace hetscale::scal

@@ -31,10 +31,10 @@ double run_bcast(int p, int root, double bytes,
   auto latest = std::make_shared<double>(0.0);
   auto sum = std::make_shared<int>(0);
   machine.run([root, bytes, latest, sum](Comm& comm) -> Task<void> {
-    std::any payload;
-    if (comm.rank() == root) payload = 777;
-    const std::any out = co_await comm.bcast(root, bytes, std::move(payload));
-    *sum += std::any_cast<int>(out);
+    Payload payload;
+    if (comm.rank() == root) payload = Payload(777);
+    const Payload out = co_await comm.bcast(root, bytes, std::move(payload));
+    *sum += out.as<int>();
     *latest = std::max(*latest, comm.now());
   });
   EXPECT_EQ(*sum, 777 * p);

@@ -38,11 +38,10 @@ TEST_P(CollectiveSizes, BcastDeliversRootPayloadEverywhere) {
   auto machine = Machine::shared_bus(test_cluster(p), fast_params());
   auto received = std::make_shared<std::vector<int>>(p, -1);
   machine.run([received](Comm& comm) -> Task<void> {
-    std::any payload;
-    if (comm.rank() == 0) payload = 1234;
-    const std::any out = co_await comm.bcast(0, 8.0, std::move(payload));
-    (*received)[static_cast<std::size_t>(comm.rank())] =
-        std::any_cast<int>(out);
+    Payload payload;
+    if (comm.rank() == 0) payload = Payload(1234);
+    const Payload out = co_await comm.bcast(0, 8.0, std::move(payload));
+    (*received)[static_cast<std::size_t>(comm.rank())] = out.as<int>();
   });
   for (int v : *received) EXPECT_EQ(v, 1234);
 }
@@ -70,9 +69,9 @@ TEST_P(CollectiveSizes, GatherCollectsEveryRanksContribution) {
   auto sum = std::make_shared<int>(0);
   machine.run([sum](Comm& comm) -> Task<void> {
     auto parts =
-        co_await comm.gather(0, 8.0, std::any(comm.rank() * comm.rank()));
+        co_await comm.gather(0, 8.0, Payload(comm.rank() * comm.rank()));
     if (comm.rank() == 0) {
-      for (const auto& part : parts) *sum += std::any_cast<int>(part);
+      for (const auto& part : parts) *sum += part.as<int>();
     } else {
       EXPECT_TRUE(parts.empty());
     }
@@ -87,7 +86,7 @@ TEST_P(CollectiveSizes, ScatterDeliversPerRankParts) {
   auto machine = Machine::shared_bus(test_cluster(p), fast_params());
   auto got = std::make_shared<std::vector<int>>(p, -1);
   machine.run([got, p](Comm& comm) -> Task<void> {
-    std::vector<std::any> parts;
+    std::vector<Payload> parts;
     std::vector<double> bytes;
     if (comm.rank() == 0) {
       for (int r = 0; r < p; ++r) {
@@ -95,8 +94,8 @@ TEST_P(CollectiveSizes, ScatterDeliversPerRankParts) {
         bytes.push_back(8.0);
       }
     }
-    const std::any mine = co_await comm.scatter(0, bytes, std::move(parts));
-    (*got)[static_cast<std::size_t>(comm.rank())] = std::any_cast<int>(mine);
+    const Payload mine = co_await comm.scatter(0, bytes, std::move(parts));
+    (*got)[static_cast<std::size_t>(comm.rank())] = mine.as<int>();
   });
   for (int r = 0; r < p; ++r) EXPECT_EQ((*got)[static_cast<std::size_t>(r)], 10 * r);
 }
@@ -129,10 +128,10 @@ TEST(Collectives, ConsecutiveBcastsDoNotInterleave) {
   auto sums = std::make_shared<std::vector<int>>();
   machine.run([sums](Comm& comm) -> Task<void> {
     for (int round = 0; round < 3; ++round) {
-      std::any payload;
-      if (comm.rank() == 0) payload = round * 7;
-      const std::any out = co_await comm.bcast(0, 8.0, std::move(payload));
-      if (comm.rank() == 3) sums->push_back(std::any_cast<int>(out));
+      Payload payload;
+      if (comm.rank() == 0) payload = Payload(round * 7);
+      const Payload out = co_await comm.bcast(0, 8.0, std::move(payload));
+      if (comm.rank() == 3) sums->push_back(out.as<int>());
     }
   });
   EXPECT_EQ(*sums, (std::vector<int>{0, 7, 14}));
@@ -144,8 +143,8 @@ TEST(Collectives, BcastCostGrowsLinearlyOnSharedBus) {
     auto machine = Machine::shared_bus(test_cluster(p), fast_params());
     auto latest = std::make_shared<double>(0.0);
     machine.run([latest](Comm& comm) -> Task<void> {
-      std::any payload;
-      if (comm.rank() == 0) payload = 1;
+      Payload payload;
+      if (comm.rank() == 0) payload = Payload(1);
       co_await comm.bcast(0, 1e4, std::move(payload));
       *latest = std::max(*latest, comm.now());
     });

@@ -33,11 +33,10 @@ TEST_P(ExtendedCollectives, AllgatherDeliversEveryPartEverywhere) {
   auto ok = std::make_shared<int>(0);
   machine.run([ok](Comm& comm) -> Task<void> {
     auto parts =
-        co_await comm.allgather(8.0, std::any(100 + comm.rank()));
+        co_await comm.allgather(8.0, Payload(100 + comm.rank()));
     EXPECT_EQ(parts.size(), static_cast<std::size_t>(comm.size()));
     for (int r = 0; r < comm.size(); ++r) {
-      EXPECT_EQ(std::any_cast<int>(parts[static_cast<std::size_t>(r)]),
-                100 + r)
+      EXPECT_EQ(parts[static_cast<std::size_t>(r)].as<int>(), 100 + r)
           << "at rank " << comm.rank();
     }
     ++*ok;
@@ -50,7 +49,7 @@ TEST_P(ExtendedCollectives, AlltoallRoutesPersonalizedParts) {
   auto machine = Machine::switched(test_cluster(p));
   machine.run([](Comm& comm) -> Task<void> {
     // Rank r sends 1000*r + d to destination d.
-    std::vector<std::any> parts;
+    std::vector<Payload> parts;
     std::vector<double> bytes;
     for (int d = 0; d < comm.size(); ++d) {
       parts.emplace_back(1000 * comm.rank() + d);
@@ -58,7 +57,7 @@ TEST_P(ExtendedCollectives, AlltoallRoutesPersonalizedParts) {
     }
     auto received = co_await comm.alltoall(bytes, std::move(parts));
     for (int s = 0; s < comm.size(); ++s) {
-      EXPECT_EQ(std::any_cast<int>(received[static_cast<std::size_t>(s)]),
+      EXPECT_EQ(received[static_cast<std::size_t>(s)].as<int>(),
                 1000 * s + comm.rank());
     }
   });
@@ -107,7 +106,7 @@ TEST(ExtendedCollectives, AllgatherBandwidthScalesWithRing) {
     auto machine = Machine::switched(test_cluster(p));
     auto latest = std::make_shared<double>(0.0);
     machine.run([latest](Comm& comm) -> Task<void> {
-      co_await comm.allgather(1e4, std::any(comm.rank()));
+      co_await comm.allgather(1e4, Payload(comm.rank()));
       *latest = std::max(*latest, comm.now());
     });
     return *latest;
@@ -121,7 +120,7 @@ TEST(ExtendedCollectives, AlltoallValidatesShapes) {
   auto machine = Machine::switched(test_cluster(3));
   EXPECT_THROW(
       machine.run([](Comm& comm) -> Task<void> {
-        std::vector<std::any> parts(1);  // wrong: need one per rank
+        std::vector<Payload> parts(1);  // wrong: need one per rank
         std::vector<double> bytes(1, 8.0);
         co_await comm.alltoall(bytes, std::move(parts));
       }),

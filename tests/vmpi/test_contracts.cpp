@@ -53,7 +53,7 @@ TEST(Contracts, GatherRootOutOfRange) {
 
 TEST(Contracts, ScatterNeedsPartPerRank) {
   expect_rejected([](Comm& comm) {
-    std::vector<std::any> parts(1);
+    std::vector<Payload> parts(1);
     std::vector<double> bytes(1, 8.0);
     return comm.scatter(0, bytes, std::move(parts));
   });

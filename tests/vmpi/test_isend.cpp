@@ -48,7 +48,7 @@ TEST(Isend, PayloadStillDelivered) {
   auto got = std::make_shared<int>(0);
   machine.run([got](Comm& comm) -> Task<void> {
     if (comm.rank() == 0) {
-      comm.isend(1, 3, 100.0, std::any(1234));
+      comm.isend(1, 3, 100.0, Payload(1234));
       co_await comm.compute(1e6);
     } else {
       const auto message = co_await comm.recv(0, 3);

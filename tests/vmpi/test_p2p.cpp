@@ -35,14 +35,14 @@ TEST(P2P, PayloadArrivesIntact) {
   auto out = std::make_shared<std::vector<double>>();
   machine.run([out](Comm& comm) -> Task<void> {
     if (comm.rank() == 0) {
-      auto data = std::make_shared<std::vector<double>>(
-          std::vector<double>{1.0, 2.0, 3.0});
-      co_await comm.send(1, 7, 24.0, data);
+      const std::vector<double> data{1.0, 2.0, 3.0};
+      co_await comm.send(1, 7, 24.0, Payload::copy_of(data));
     } else {
       auto msg = co_await comm.recv(0, 7);
       EXPECT_EQ(msg.source, 0);
       EXPECT_EQ(msg.tag, 7);
-      *out = *msg.value<std::shared_ptr<std::vector<double>>>();
+      const auto view = msg.payload.doubles();
+      out->assign(view.begin(), view.end());
     }
   });
   EXPECT_EQ(*out, (std::vector<double>{1.0, 2.0, 3.0}));
@@ -86,8 +86,8 @@ TEST(P2P, TagsAreMatchedNotJustOrder) {
   auto order = std::make_shared<std::vector<int>>();
   machine.run([order](Comm& comm) -> Task<void> {
     if (comm.rank() == 0) {
-      co_await comm.send(1, /*tag=*/10, 8.0, std::any(1));
-      co_await comm.send(1, /*tag=*/20, 8.0, std::any(2));
+      co_await comm.send(1, /*tag=*/10, 8.0, Payload(1));
+      co_await comm.send(1, /*tag=*/20, 8.0, Payload(2));
     } else {
       // Receive in reverse tag order.
       auto second = co_await comm.recv(0, 20);
@@ -104,7 +104,7 @@ TEST(P2P, NonOvertakingSameTag) {
   auto values = std::make_shared<std::vector<int>>();
   machine.run([values](Comm& comm) -> Task<void> {
     if (comm.rank() == 0) {
-      for (int i = 0; i < 5; ++i) co_await comm.send(1, 3, 8.0, std::any(i));
+      for (int i = 0; i < 5; ++i) co_await comm.send(1, 3, 8.0, Payload(i));
     } else {
       for (int i = 0; i < 5; ++i) {
         auto msg = co_await comm.recv(0, 3);
@@ -120,7 +120,7 @@ TEST(P2P, AnySourceAndAnyTagMatch) {
   auto total = std::make_shared<int>(0);
   machine.run([total](Comm& comm) -> Task<void> {
     if (comm.rank() != 0) {
-      co_await comm.send(0, comm.rank() * 100, 8.0, std::any(comm.rank()));
+      co_await comm.send(0, comm.rank() * 100, 8.0, Payload(comm.rank()));
     } else {
       for (int i = 0; i < 2; ++i) {
         auto msg = co_await comm.recv(kAnySource, kAnyTag);

@@ -1,0 +1,134 @@
+// Payload and arena unit tests: tagged-union semantics, refcounted buffer
+// sharing, block recycling through the thread-local pool, and the as<T>()
+// compatibility contract.
+#include "hetscale/vmpi/payload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <any>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hetscale::vmpi {
+namespace {
+
+TEST(Payload, DefaultIsEmpty) {
+  Payload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  // Empty payloads view as zero-length buffers: zero-row blocks are
+  // ordinary traffic for ranks that own no rows.
+  EXPECT_TRUE(p.doubles().empty());
+}
+
+TEST(Payload, ScalarStoredInline) {
+  Payload p(2.5);
+  EXPECT_TRUE(p.is_scalar());
+  EXPECT_DOUBLE_EQ(p.scalar(), 2.5);
+  EXPECT_DOUBLE_EQ(p.as<double>(), 2.5);
+  Payload copy = p;
+  EXPECT_DOUBLE_EQ(copy.scalar(), 2.5);
+}
+
+TEST(Payload, BufferRoundTripsValues) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  Payload p = Payload::copy_of(values);
+  ASSERT_TRUE(p.is_buffer());
+  ASSERT_EQ(p.size(), values.size());
+  const auto view = std::as_const(p).doubles();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(view[i], values[i]);
+  }
+}
+
+TEST(Payload, BufferCopiesShareTheBlock) {
+  Payload a = Payload::buffer(8);
+  a.doubles()[0] = 1.0;
+  Payload b = a;  // refcount bump, same block
+  b.doubles()[0] = 42.0;
+  EXPECT_DOUBLE_EQ(a.doubles()[0], 42.0)
+      << "copies must alias the same pooled block";
+  EXPECT_EQ(a.doubles().data(), b.doubles().data());
+}
+
+TEST(Payload, MoveTransfersOwnership) {
+  Payload a = Payload::copy_of(std::vector<double>{7.0});
+  const double* data = a.doubles().data();
+  Payload b = std::move(a);
+  EXPECT_TRUE(a.empty());
+  ASSERT_TRUE(b.is_buffer());
+  EXPECT_EQ(b.doubles().data(), data) << "move must not copy the block";
+  EXPECT_DOUBLE_EQ(b.doubles()[0], 7.0);
+}
+
+TEST(Payload, MoveAssignReleasesPreviousValue) {
+  Payload a = Payload::copy_of(std::vector<double>{1.0, 2.0});
+  Payload b = Payload::copy_of(std::vector<double>{3.0});
+  b = std::move(a);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.doubles()[1], 2.0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Payload, BoxedValuesUseAnySemantics) {
+  Payload p(std::string("hello"));
+  ASSERT_TRUE(p.is_boxed());
+  EXPECT_EQ(p.as<std::string>(), "hello");
+  EXPECT_THROW(p.as<int>(), std::bad_any_cast);
+  Payload copy = p;  // deep copy of the boxed any
+  EXPECT_EQ(copy.as<std::string>(), "hello");
+}
+
+TEST(Payload, IntBoxesLikeTheOldAnyConvention) {
+  Payload p(1234);
+  ASSERT_TRUE(p.is_boxed());
+  EXPECT_EQ(p.as<int>(), 1234);
+}
+
+TEST(Payload, AsDoubleOnNonScalarThrows) {
+  Payload p;
+  EXPECT_THROW(p.as<double>(), std::bad_any_cast);
+}
+
+TEST(Arena, BlocksRecycleThroughTheFreelist) {
+  // Warm the size class, note the block's address, release, reacquire:
+  // steady-state traffic must reuse the parked slab.
+  const double* first;
+  {
+    Payload p = Payload::buffer(64);
+    first = p.doubles().data();
+  }
+  const std::size_t parked = detail::arena_parked();
+  EXPECT_GE(parked, 1u);
+  {
+    Payload p = Payload::buffer(64);
+    EXPECT_EQ(p.doubles().data(), first)
+        << "same-size reacquire must reuse the freed block";
+    EXPECT_EQ(detail::arena_parked(), parked - 1);
+  }
+  EXPECT_EQ(detail::arena_parked(), parked);
+}
+
+TEST(Arena, SharedBlockFreesOnlyOnLastRelease) {
+  const std::size_t baseline = detail::arena_parked();
+  Payload a = Payload::buffer(16);
+  {
+    Payload b = a;
+    Payload c = b;
+    EXPECT_EQ(detail::arena_parked(), baseline);
+  }  // b and c die: block still owned by a
+  EXPECT_EQ(detail::arena_parked(), baseline);
+  a = Payload();  // last owner: block returns to the pool
+  EXPECT_EQ(detail::arena_parked(), baseline + 1);
+}
+
+TEST(Arena, CopyOfCountZeroIsAValidBuffer) {
+  Payload p = Payload::copy_of({});
+  EXPECT_TRUE(p.is_buffer());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_TRUE(p.doubles().empty());
+}
+
+}  // namespace
+}  // namespace hetscale::vmpi

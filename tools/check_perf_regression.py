@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against the committed baseline.
+
+Usage:
+  check_perf_regression.py --baseline BENCH_PR4.json \
+      --current perf-smoke.json [--max-ratio 2.0]
+
+The baseline is the repo's BENCH_PR4.json (schema hetscale.bench.pr4/v1):
+its `benchmarks` map records `after_ns` — the post-optimization wall-clock
+this tree is expected to sustain. The current file is raw google-benchmark
+`--benchmark_format=json` output. A tracked benchmark regresses when
+current / after_ns exceeds --max-ratio; benchmarks present on only one
+side are reported but never fail the check (new benchmarks and renames
+should not break CI).
+
+Exit status: 0 when no tracked benchmark exceeds the ratio, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_current(path):
+    """Map benchmark name -> real_time in nanoseconds."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        scale = _UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+        out[bench["name"]] = bench["real_time"] * scale
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--max-ratio", type=float, default=2.0)
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    if baseline.get("schema") != "hetscale.bench.pr4/v1":
+        print(f"unrecognized baseline schema in {args.baseline}",
+              file=sys.stderr)
+        return 1
+    current = load_current(args.current)
+
+    failures = []
+    for name, entry in sorted(baseline["benchmarks"].items()):
+        expected_ns = entry["after_ns"]
+        actual_ns = current.get(name)
+        if actual_ns is None:
+            print(f"SKIP  {name}: not in current run")
+            continue
+        ratio = actual_ns / expected_ns
+        verdict = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"{verdict:<5} {name}: baseline {expected_ns:.0f} ns, "
+              f"current {actual_ns:.0f} ns ({ratio:.2f}x)")
+        if ratio > args.max_ratio:
+            failures.append(name)
+
+    for name in sorted(set(current) - set(baseline["benchmarks"])):
+        print(f"NEW   {name}: no baseline entry")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.max_ratio}x: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nall tracked benchmarks within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,7 @@
 #include "hetscale/run/scenario.hpp"
 #include "hetscale/scal/fault_study.hpp"
 #include "hetscale/scal/iso_solver.hpp"
+#include "hetscale/scal/measure_store.hpp"
 #include "hetscale/scal/profile.hpp"
 #include "hetscale/scal/series.hpp"
 #include "hetscale/scenarios/fault.hpp"
@@ -403,6 +404,23 @@ int cmd_profile(const ArgParser& args) {
   return profile_adhoc(args, /*trace_alias=*/false);
 }
 
+int dispatch(const std::string& command, const ArgParser& args) {
+  if (command == "run") return cmd_run(args);
+  if (command == "marked") return cmd_marked(args);
+  if (command == "solve") return cmd_solve(args);
+  if (command == "curve") return cmd_curve(args);
+  if (command == "series") return cmd_series(args);
+  if (command == "predict") return cmd_predict(args);
+  if (command == "profile") return cmd_profile(args);
+  if (command == "trace") return profile_adhoc(args, /*trace_alias=*/true);
+  if (command == "inject") return cmd_inject(args);
+  std::cout << "hetscale_cli — isospeed-efficiency scalability analyses\n"
+            << "commands: run | marked | solve | curve | series | predict "
+               "| profile | trace | inject\n\n"
+            << args.help("hetscale_cli <command>");
+  return command.empty() ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -425,27 +443,33 @@ int main(int argc, char** argv) {
       .add_flag("loss", "inject: per-transmission drop probability", "0.0")
       .add_flag("crash-rate", "inject: crashes per second per rank", "0.0")
       .add_flag("checkpoint-interval", "inject: checkpoint period (s)",
-                "0.0");
+                "0.0")
+      .add_bool("no-measure-cache",
+                "disable the cross-scenario measurement store")
+      .add_flag("measure-cache",
+                "measurement-store file: loaded before the command, "
+                "saved after");
   add_jobs_flag(args);
   add_seed_flag(args);
   try {
     args.parse(argc - 1, argv + 1);
+    auto& store = scal::MeasurementStore::global();
+    if (args.has("no-measure-cache")) store.set_enabled(false);
+    const std::string cache_path = args.get_or("measure-cache", "");
+    if (store.enabled() && !cache_path.empty()) {
+      // A missing file is the first run; a version mismatch starts fresh.
+      (void)store.load_file(cache_path);
+    }
     const auto& positional = args.positional();
     const std::string command = positional.empty() ? "" : positional.front();
-    if (command == "run") return cmd_run(args);
-    if (command == "marked") return cmd_marked(args);
-    if (command == "solve") return cmd_solve(args);
-    if (command == "curve") return cmd_curve(args);
-    if (command == "series") return cmd_series(args);
-    if (command == "predict") return cmd_predict(args);
-    if (command == "profile") return cmd_profile(args);
-    if (command == "trace") return profile_adhoc(args, /*trace_alias=*/true);
-    if (command == "inject") return cmd_inject(args);
-    std::cout << "hetscale_cli — isospeed-efficiency scalability analyses\n"
-              << "commands: run | marked | solve | curve | series | predict "
-                 "| profile | trace | inject\n\n"
-              << args.help("hetscale_cli <command>");
-    return command.empty() ? 0 : 2;
+    const int code = dispatch(command, args);
+    if (store.enabled() && !cache_path.empty()) {
+      if (!store.save_file(cache_path)) {
+        std::cerr << "warning: could not write measurement cache to '"
+                  << cache_path << "'\n";
+      }
+    }
+    return code;
   } catch (const hetscale::Error& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
