@@ -1,6 +1,8 @@
 // Micro-benchmarks of the numeric substrate.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hetscale/kernels/blas1.hpp"
@@ -52,6 +54,52 @@ void BM_EliminateRow(benchmark::State& state) {
                           static_cast<std::int64_t>(n) * 8);
 }
 BENCHMARK(BM_EliminateRow)->Arg(256)->Arg(2048);
+
+// The span-level blocked product the parallel MM actually calls — this is
+// the PR 5 headline kernel (packed B panels + dispatched SIMD tile). Sized
+// through the cache-blocking thresholds: 128 fits one panel, 512/1024 force
+// multi-panel packing.
+void BM_MultiplyRowsInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  std::vector<double> out(n * n);
+  for (auto _ : state) {
+    numeric::multiply_rows_into(a.data(), n, 0, n, b.data(), n, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MultiplyRowsInto)->Arg(128)->Arg(512)->Arg(1024);
+
+// GE's hot elimination kernel: a blocked rank-1 update of 16 rows against
+// a shared pivot, as eliminate_rows batches it.
+void BM_Rank1Update(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRows = 16;
+  Rng rng(6);
+  const Matrix block = Matrix::random(kRows, n, rng);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> factors(kRows);
+  for (auto& f : factors) f = rng.uniform(-1.0, 1.0);
+  Matrix work = block;
+  std::vector<double*> rows(kRows);
+  for (std::size_t r = 0; r < kRows; ++r) rows[r] = work.row(r).data();
+  // No per-iteration reset: repeated y -= f*x only drifts the values
+  // linearly (no subnormals, no overflow at benchmark scales), and the
+  // timed region stays pure kernel.
+  for (auto _ : state) {
+    kernels::rank1_update(x, std::span<double* const>(rows.data(), kRows),
+                          factors);
+    benchmark::DoNotOptimize(work.data().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRows * n) * 8);
+}
+BENCHMARK(BM_Rank1Update)->Arg(256)->Arg(2048);
 
 void BM_Polyfit(benchmark::State& state) {
   std::vector<double> xs;

@@ -206,8 +206,10 @@ Payload normalize_pivot(GeShared& sh, RankData& mine, std::int64_t i,
 
 /// Eliminate owned local rows [first, end) at step i against the pivot
 /// (trailing columns + folded rhs). Batches target rows through the blocked
-/// rank-1 kernel; rows whose factor is already zero are skipped, exactly as
-/// kernels::eliminate_row does.
+/// rank-1 kernel — which routes to the runtime-dispatched SIMD path
+/// (kernels/dispatch.hpp) with bit-identical results — and rows whose
+/// factor is already zero are skipped, exactly as kernels::eliminate_row
+/// does.
 void eliminate_rows(GeShared& sh, RankData& mine, std::int64_t i,
                     std::size_t first, const Payload& pivot) {
   if (!sh.with_data) return;

@@ -87,6 +87,9 @@ Task<void> mm_rank(Comm& comm, MmShared& sh) {
   }
 
   // ---- Step 3: local computation, no communication ----
+  // multiply_rows_into is the blocked, panel-packed product over the
+  // dispatched SIMD tile kernel; it multiplies straight out of the pooled
+  // payload buffers and its output is bit-identical across kernel paths.
   sh.charged += kernels::mm_rows_flops(n, my_count);
   co_await comm.compute(kernels::mm_rows_flops(n, my_count));
   Payload my_c;

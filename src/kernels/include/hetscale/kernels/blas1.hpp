@@ -3,6 +3,13 @@
 // These do the *real* arithmetic; the corresponding flop counts that get
 // charged to virtual time live in flops.hpp — keeping the two adjacent makes
 // the accounting auditable.
+//
+// axpy and rank1_update route through the runtime-dispatched kernel table
+// (dispatch.hpp): an AVX2 path when the CPU has one, the scalar reference
+// otherwise, overridable via HETSCALE_KERNEL. Every path produces
+// bit-identical results — see dispatch.hpp for the contract. dot and scale
+// stay scalar: a vectorized dot reassociates its reduction, and scale is
+// never hot enough to matter.
 #pragma once
 
 #include <cstddef>
@@ -10,8 +17,9 @@
 
 namespace hetscale::kernels {
 
-/// y += a * x. Requires equal lengths. Four-way unrolled — the compiler
-/// cannot reassociate FP on its own, but independent lanes still pipeline.
+/// y += a * x. Requires equal lengths. Dispatched (scalar or AVX2); every
+/// path computes y[i] += a * x[i] element-wise, so results are bit-identical
+/// across ISAs.
 void axpy(double a, std::span<const double> x, std::span<double> y);
 
 /// Blocked rank-1 update: rows[k] -= factors[k] * x for every k, processing

@@ -1,51 +1,34 @@
 #include "hetscale/kernels/blas1.hpp"
 
+#include "hetscale/kernels/dispatch.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::kernels {
 
 void axpy(double a, std::span<const double> x, std::span<double> y) {
   HETSCALE_REQUIRE(x.size() == y.size(), "axpy length mismatch");
-  const std::size_t m = x.size();
-  std::size_t i = 0;
-  for (; i + 4 <= m; i += 4) {
-    y[i] += a * x[i];
-    y[i + 1] += a * x[i + 1];
-    y[i + 2] += a * x[i + 2];
-    y[i + 3] += a * x[i + 3];
-  }
-  for (; i < m; ++i) y[i] += a * x[i];
+  ops().axpy(a, x.data(), y.data(), x.size());
 }
 
 void rank1_update(std::span<const double> x, std::span<double* const> rows,
                   std::span<const double> factors) {
   HETSCALE_REQUIRE(rows.size() == factors.size(),
                    "rank1_update needs one factor per row");
+  const KernelOps& k = ops();
   const std::size_t m = x.size();
   std::size_t r = 0;
   for (; r + 4 <= rows.size(); r += 4) {
-    double* y0 = rows[r];
-    double* y1 = rows[r + 1];
-    double* y2 = rows[r + 2];
-    double* y3 = rows[r + 3];
-    const double f0 = factors[r];
-    const double f1 = factors[r + 1];
-    const double f2 = factors[r + 2];
-    const double f3 = factors[r + 3];
-    for (std::size_t c = 0; c < m; ++c) {
-      const double xc = x[c];
-      y0[c] -= f0 * xc;
-      y1[c] -= f1 * xc;
-      y2[c] -= f2 * xc;
-      y3[c] -= f3 * xc;
-    }
+    k.rank1_update4(x.data(), rows.data() + r, factors.data() + r, m);
   }
-  for (; r < rows.size(); ++r) {
-    axpy(-factors[r], x, std::span<double>(rows[r], m));
-  }
+  // Leftover rows: y += (-f) * x is the same per-element arithmetic as
+  // y -= f * x (sign flip and subtraction are both exact).
+  for (; r < rows.size(); ++r) k.axpy(-factors[r], x.data(), rows[r], m);
 }
 
 double dot(std::span<const double> x, std::span<const double> y) {
+  // Deliberately scalar under every dispatch table: a vectorized dot sums
+  // partial lanes, which reassociates the reduction and breaks the
+  // bit-identity contract (dispatch.hpp).
   HETSCALE_REQUIRE(x.size() == y.size(), "dot length mismatch");
   double acc = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];

@@ -1,0 +1,68 @@
+#include "hetscale/kernels/dispatch.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "hetscale/support/error.hpp"
+#include "kernels_internal.hpp"
+
+namespace hetscale::kernels {
+
+namespace {
+
+const KernelOps kScalarOps{Isa::kScalar, detail::axpy_scalar,
+                           detail::rank1_update4_scalar,
+                           detail::mm_tile4_scalar};
+
+/// Pick the process table: env override first, then the best the CPU runs.
+/// An explicit HETSCALE_KERNEL=avx2 on a CPU without AVX2 fails loudly —
+/// a test matrix that silently fell back would compare scalar to scalar.
+const KernelOps& select_ops() {
+  const char* env = std::getenv("HETSCALE_KERNEL");
+  if (env != nullptr && *env != '\0') {
+    const std::string spec(env);
+    if (spec == "scalar") return kScalarOps;
+    if (spec == "avx2") {
+      const KernelOps* table = avx2_ops();
+      HETSCALE_REQUIRE(table != nullptr,
+                       "HETSCALE_KERNEL=avx2 but this CPU (or build) has no "
+                       "AVX2 support");
+      return *table;
+    }
+    throw PreconditionError("HETSCALE_KERNEL must be 'scalar' or 'avx2', "
+                            "got: " +
+                            spec);
+  }
+  const KernelOps* table = avx2_ops();
+  return table != nullptr ? *table : kScalarOps;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return detail::avx2_table() != nullptr &&
+         __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const KernelOps& scalar_ops() { return kScalarOps; }
+
+const KernelOps* avx2_ops() {
+  return cpu_supports_avx2() ? detail::avx2_table() : nullptr;
+}
+
+const KernelOps& ops() {
+  static const KernelOps& chosen = select_ops();
+  return chosen;
+}
+
+Isa active_isa() { return ops().isa; }
+
+}  // namespace hetscale::kernels

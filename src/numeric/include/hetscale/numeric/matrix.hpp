@@ -3,12 +3,20 @@
 // The parallel algorithms in `algos/` operate on real data (a rank owns real
 // rows of A); this type is the shared container. It is deliberately simple —
 // contiguous storage, span-based row access, no expression templates.
+//
+// Storage is 64-byte aligned (one cache line, and the full width of an
+// AVX-512 register). This is a throughput contract, not a correctness one:
+// the SIMD kernels use unaligned loads everywhere — they must, since row
+// pointers at arbitrary column offsets cannot stay aligned — but aligned
+// base storage keeps whole cache lines of a row on one line and lets
+// aligned-load codegen kick in where the compiler can prove it.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "hetscale/support/aligned.hpp"
 #include "hetscale/support/rng.hpp"
 
 namespace hetscale::numeric {
@@ -22,6 +30,7 @@ class Matrix {
   Matrix(std::size_t rows, std::size_t cols);
 
   /// Matrix filled from `data` (row-major); data.size() must equal rows*cols.
+  /// Copies into aligned storage — callers hand over plain vectors.
   Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
 
   std::size_t rows() const { return rows_; }
@@ -54,7 +63,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  aligned_vector<double> data_;
 };
 
 /// Max-norm of (a - b); requires equal shapes.

@@ -1,10 +1,24 @@
 #include "hetscale/numeric/matmul.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
+#include "hetscale/kernels/dispatch.hpp"
+#include "hetscale/support/aligned.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::numeric {
+
+namespace {
+
+// Cache-block sizes for the packed-panel product. A B-panel is kKc x kNc
+// doubles (256 KiB at the defaults) — sized to sit in L2 while it is swept
+// once per four A rows. Both are multiples of the kernel's 8-column tile so
+// only the matrix edge, not every panel, pays the tail path.
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kNc = 128;
+
+}  // namespace
 
 Matrix multiply(const Matrix& a, const Matrix& b) {
   return multiply_rows(a, b, 0, a.rows());
@@ -21,6 +35,15 @@ Matrix multiply_rows(const Matrix& a, const Matrix& b, std::size_t row_begin,
   return c;
 }
 
+// Blocked, B-panel-packed product. For every output element C[i][j] the k
+// sum still runs in globally ascending order — panels are visited k0
+// ascending and each panel accumulates kk ascending — and intermediate
+// stores to C between panels are exact, so the result is bit-identical to
+// the classic i-k-j loop this replaced. The old loop also skipped k when
+// A[i][k] == 0.0; the skip is gone: adding (+-0.0) * B[k][j] to a partial
+// sum is an exact no-op for finite B (C starts at +0.0 and +0.0 + -0.0
+// rounds to +0.0), and the branch cost plus its vectorization block were
+// pure loss on the dense matrices this code feeds on.
 void multiply_rows_into(std::span<const double> a, std::size_t a_cols,
                         std::size_t row_begin, std::size_t row_end,
                         std::span<const double> b, std::size_t b_cols,
@@ -31,15 +54,44 @@ void multiply_rows_into(std::span<const double> a, std::size_t a_cols,
   HETSCALE_REQUIRE(out.size() == (row_end - row_begin) * b_cols,
                    "output block size mismatch");
   std::fill(out.begin(), out.end(), 0.0);
-  const std::size_t n = b_cols;
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    const double* arow = a.data() + i * a_cols;
-    double* crow = out.data() + (i - row_begin) * n;
-    for (std::size_t k = 0; k < a_cols; ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.data() + k * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  const std::size_t m = row_end - row_begin;
+  if (m == 0 || a_cols == 0 || b_cols == 0) return;
+
+  const kernels::KernelOps& k = kernels::ops();
+  // One pack buffer per thread: parallel MM runs one slice per worker and
+  // the buffer is hot again on the next batch.
+  thread_local aligned_vector<double> panel;
+  panel.resize(kKc * kNc);
+
+  const double* arows = a.data() + row_begin * a_cols;
+  for (std::size_t j0 = 0; j0 < b_cols; j0 += kNc) {
+    const std::size_t nc = std::min(kNc, b_cols - j0);
+    for (std::size_t k0 = 0; k0 < a_cols; k0 += kKc) {
+      const std::size_t kc = std::min(kKc, a_cols - k0);
+      // Pack B[k0:k0+kc, j0:j0+nc] contiguously: the kernel then streams
+      // the panel with unit stride instead of striding b_cols through B.
+      for (std::size_t kk = 0; kk < kc; ++kk) {
+        const double* src = b.data() + (k0 + kk) * b_cols + j0;
+        std::copy(src, src + nc, panel.data() + kk * nc);
+      }
+      std::size_t i = 0;
+      for (; i + 4 <= m; i += 4) {
+        const double* apack[4] = {
+            arows + i * a_cols + k0, arows + (i + 1) * a_cols + k0,
+            arows + (i + 2) * a_cols + k0, arows + (i + 3) * a_cols + k0};
+        double* cpack[4] = {out.data() + i * b_cols + j0,
+                            out.data() + (i + 1) * b_cols + j0,
+                            out.data() + (i + 2) * b_cols + j0,
+                            out.data() + (i + 3) * b_cols + j0};
+        k.mm_tile4(apack, panel.data(), kc, nc, cpack);
+      }
+      for (; i < m; ++i) {
+        const double* arow = arows + i * a_cols + k0;
+        double* crow = out.data() + i * b_cols + j0;
+        for (std::size_t kk = 0; kk < kc; ++kk) {
+          k.axpy(arow[kk], panel.data() + kk * nc, crow, nc);
+        }
+      }
     }
   }
 }

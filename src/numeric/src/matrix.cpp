@@ -11,7 +11,7 @@ Matrix::Matrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
+    : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
   HETSCALE_REQUIRE(data_.size() == rows_ * cols_,
                    "data size must equal rows * cols");
 }

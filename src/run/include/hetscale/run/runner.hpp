@@ -7,6 +7,15 @@
 // output derived from a batch is bit-identical to the sequential run,
 // whatever the worker count or scheduling.
 //
+// Scheduling is work-stealing: each lane (the caller plus every pool
+// thread) owns a fixed-capacity deque of task indices, dealt round-robin at
+// submission. A lane pops its own deque LIFO and, only once that runs dry,
+// steals FIFO from other lanes with a lock-free CAS. The hot path (own-lane
+// pop) touches no shared cache line of any other lane; the cold path keeps
+// every lane busy when task costs are skewed — exactly the shape of an
+// iso-efficiency ladder, where one probe dominates the level. Stealing
+// reorders *execution*, never *results*: slot i still holds task i.
+//
 // Determinism contract: task i must depend only on its own inputs (no
 // shared mutable state between tasks); the Runner guarantees result slot i
 // holds task i's value and that the caller observes all writes after the
@@ -42,7 +51,8 @@ class Runner {
   /// Tasks may execute concurrently and in any order when jobs() > 1; they
   /// must be safe to call from different threads at once. If tasks throw,
   /// the batch drains (remaining unstarted tasks are skipped) and the
-  /// failure with the smallest task index is rethrown on the caller.
+  /// failure with the smallest task index is rethrown on the caller —
+  /// including failures in stolen tasks.
   ///
   /// A batch submitted from inside a task runs inline on that worker —
   /// nested batches cannot deadlock the pool, at the price of no extra
@@ -64,11 +74,17 @@ class Runner {
   /// True on a thread currently executing a Runner task (any Runner).
   static bool on_worker_thread();
 
+  /// How many tasks of the most recent pooled batch ran on a lane other
+  /// than the one they were dealt to. Inline batches (jobs() == 1, single
+  /// task, or nested) report 0. Observability for tests and tuning only —
+  /// stealing never affects results.
+  std::size_t last_batch_steals() const { return last_batch_steals_; }
+
  private:
   struct Batch;
 
-  void worker_loop();
-  void drain(Batch& batch);
+  void worker_loop(std::size_t lane);
+  void drain(Batch& batch, std::size_t lane);
   void run_batch(std::size_t count,
                  const std::function<void(std::size_t)>& task);
 
@@ -79,6 +95,7 @@ class Runner {
   std::condition_variable done_cv_;  ///< wakes the caller when drained
   Batch* batch_ = nullptr;           ///< in-flight batch; guarded by mutex_
   std::uint64_t next_batch_id_ = 0;
+  std::size_t last_batch_steals_ = 0;
   bool stop_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 #include <limits>
+#include <memory>
 
 #include "hetscale/obs/profiler.hpp"
 #include "hetscale/support/args.hpp"
@@ -12,16 +13,36 @@
 namespace hetscale::run {
 
 namespace {
+
 thread_local bool t_on_worker = false;
+
+// One lane's deque of task indices — a Chase-Lev deque specialized to this
+// Runner's lifecycle: the buffer is filled once *before* the batch is
+// published (the mutex handshake in run_batch gives every worker a
+// happens-before edge to those writes) and nothing pushes mid-batch. With
+// the buffer immutable, the classic hazards (growth, a steal reading a slot
+// the owner is overwriting) vanish, and what remains is the owner/thief
+// race on the *indices*: the owner pops at `bottom` with only a seq_cst
+// fence on its fast path, thieves CAS `top` forward. They contend only on
+// the deque's last element.
+struct alignas(64) Lane {
+  std::atomic<std::ptrdiff_t> top{0};
+  std::atomic<std::ptrdiff_t> bottom{0};
+  const std::size_t* buf = nullptr;  ///< slice of Batch::items; read-only
+};
+
 }  // namespace
 
-// One submitted batch. Workers claim task indices from `next`; the counters
-// and the error slot are guarded by the owning Runner's mutex.
+// One submitted batch. The deques hand out task indices; the finish/attach
+// counters and the error slot are guarded by the owning Runner's mutex.
 struct Runner::Batch {
   std::uint64_t id = 0;
   std::size_t count = 0;
   const std::function<void(std::size_t)>* task = nullptr;
-  std::atomic<std::size_t> next{0};
+  std::vector<std::size_t> items;    ///< indices grouped by owning lane
+  std::unique_ptr<Lane[]> lanes;     ///< one deque per lane
+  std::size_t lane_count = 0;
+  std::atomic<std::size_t> steals{0};
   std::atomic<bool> failed{false};
   std::size_t finished = 0;  ///< claimed indices fully processed
   int attached = 0;          ///< workers currently draining this batch
@@ -29,12 +50,79 @@ struct Runner::Batch {
   std::exception_ptr error;
 };
 
+namespace {
+
+enum class StealResult { kEmpty, kContended, kSuccess };
+
+/// Owner-side LIFO pop. Only the lane's owner calls this. The provisional
+/// bottom decrement plus seq_cst fence orders it against a concurrent
+/// thief's top read; when one element remains, owner and thief race for it
+/// through the CAS on top.
+bool pop_bottom(Lane& lane, std::size_t& out) {
+  const std::ptrdiff_t b = lane.bottom.load(std::memory_order_relaxed) - 1;
+  lane.bottom.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::ptrdiff_t t = lane.top.load(std::memory_order_relaxed);
+  if (t > b) {
+    lane.bottom.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+  out = lane.buf[b];
+  if (t == b) {
+    const bool won = lane.top.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    lane.bottom.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+  return true;
+}
+
+/// Thief-side FIFO steal. Reading buf[t] before the CAS is safe because the
+/// buffer never changes during a batch; the CAS then decides whether this
+/// thief actually owns index t. A failed CAS is *not* "empty" — another
+/// claimant moved top — so the caller must re-scan.
+StealResult steal_top(Lane& lane, std::size_t& out) {
+  std::ptrdiff_t t = lane.top.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::ptrdiff_t b = lane.bottom.load(std::memory_order_acquire);
+  if (t >= b) return StealResult::kEmpty;
+  out = lane.buf[t];
+  if (!lane.top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+    return StealResult::kContended;
+  }
+  return StealResult::kSuccess;
+}
+
+/// Scan the other lanes for work, restarting while any scan was contended:
+/// a lost CAS means indices were still in flight, and reporting "no work"
+/// then would retire a lane while tasks remain unclaimed.
+bool steal_any(Lane* lanes, std::size_t lane_count, std::size_t self,
+               std::atomic<std::size_t>& steals, std::size_t& out) {
+  for (;;) {
+    bool contended = false;
+    for (std::size_t d = 1; d < lane_count; ++d) {
+      Lane& victim = lanes[(self + d) % lane_count];
+      const StealResult r = steal_top(victim, out);
+      if (r == StealResult::kSuccess) {
+        steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (r == StealResult::kContended) contended = true;
+    }
+    if (!contended) return false;
+  }
+}
+
+}  // namespace
+
 Runner::Runner(int jobs) : jobs_(jobs > 0 ? jobs : default_jobs()) {
-  // The caller participates in draining, so jobs_ - 1 pool threads give
-  // jobs_ concurrent lanes.
+  // The caller participates in draining (lane 0), so jobs_ - 1 pool threads
+  // give jobs_ concurrent lanes.
   workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
   for (int i = 0; i + 1 < jobs_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    const std::size_t lane = static_cast<std::size_t>(i) + 1;
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
   }
 }
 
@@ -49,10 +137,14 @@ Runner::~Runner() {
 
 bool Runner::on_worker_thread() { return t_on_worker; }
 
-void Runner::drain(Batch& batch) {
+void Runner::drain(Batch& batch, std::size_t lane) {
   for (;;) {
-    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= batch.count) break;
+    std::size_t i;
+    if (!pop_bottom(batch.lanes[lane], i) &&
+        !steal_any(batch.lanes.get(), batch.lane_count, lane, batch.steals,
+                   i)) {
+      break;
+    }
     std::exception_ptr error;
     if (!batch.failed.load(std::memory_order_relaxed)) {
       try {
@@ -71,7 +163,7 @@ void Runner::drain(Batch& batch) {
   }
 }
 
-void Runner::worker_loop() {
+void Runner::worker_loop(std::size_t lane) {
   t_on_worker = true;
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mutex_);
@@ -83,7 +175,7 @@ void Runner::worker_loop() {
     seen = batch.id;
     ++batch.attached;
     lock.unlock();
-    drain(batch);
+    drain(batch, lane);
     lock.lock();
     // The caller frees the batch only once finished == count and no worker
     // is still attached; always notify so it can re-check both.
@@ -132,6 +224,27 @@ void Runner::run_batch(std::size_t count,
   Batch batch;
   batch.count = count;
   batch.task = &task;
+  batch.lane_count = static_cast<std::size_t>(jobs_);
+  batch.lanes = std::make_unique<Lane[]>(batch.lane_count);
+  batch.items.resize(count);
+  // Deal indices round-robin: lane l owns l, l + L, l + 2L, ... ascending
+  // in its buffer. The owner pops LIFO, so each lane starts on its
+  // highest-index task; callers that order batches ascending by cost (see
+  // scal's measure_many) thus get LPT-style scheduling for free, and
+  // thieves pick up each lane's cheap leftovers FIFO.
+  std::size_t pos = 0;
+  for (std::size_t l = 0; l < batch.lane_count; ++l) {
+    Lane& lane = batch.lanes[l];
+    lane.buf = batch.items.data() + pos;
+    std::size_t size = 0;
+    for (std::size_t i = l; i < count; i += batch.lane_count) {
+      batch.items[pos + size] = i;
+      ++size;
+    }
+    lane.bottom.store(static_cast<std::ptrdiff_t>(size),
+                      std::memory_order_relaxed);
+    pos += size;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     batch.id = ++next_batch_id_;
@@ -139,10 +252,10 @@ void Runner::run_batch(std::size_t count,
   }
   work_cv_.notify_all();
 
-  // Participate as the jobs_-th lane. Mark this thread as a worker so a
-  // nested batch submitted by a task runs inline instead of deadlocking.
+  // Participate as lane 0. Mark this thread as a worker so a nested batch
+  // submitted by a task runs inline instead of deadlocking.
   t_on_worker = true;
-  drain(batch);
+  drain(batch, 0);
   t_on_worker = false;
 
   std::unique_lock<std::mutex> lock(mutex_);
@@ -151,6 +264,7 @@ void Runner::run_batch(std::size_t count,
   });
   batch_ = nullptr;
   lock.unlock();
+  last_batch_steals_ = batch.steals.load(std::memory_order_relaxed);
   if (batch.error) std::rethrow_exception(batch.error);
 }
 

@@ -1,5 +1,6 @@
 #include "hetscale/scal/combination.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "hetscale/algos/ge.hpp"
@@ -88,43 +89,49 @@ Measurement ClusterCombination::compute(std::int64_t n) const {
 
 std::vector<Measurement> ClusterCombination::measure_many(
     std::span<const std::int64_t> sizes, run::Runner& runner) {
-  // Sizes still to simulate, deduplicated, in first-seen order. A single
-  // try_emplace probe per size replaces the old count() + std::set double
-  // lookup: insertion success *is* the dedup test, and the iterator it
-  // returns is the slot the result lands in. std::map iterators stay valid
-  // across later insertions, so collecting them is safe.
+  // Sizes still to simulate, deduplicated. A single try_emplace probe per
+  // size answers membership and reserves the slot the result lands in.
+  // std::map iterators stay valid across later insertions, so collecting
+  // them is safe.
   auto& store = MeasurementStore::global();
   const bool use_store = store.enabled();
-  std::vector<std::int64_t> missing;
-  std::vector<std::map<std::int64_t, Measurement>::iterator> slots;
+  using Slot = std::map<std::int64_t, Measurement>::iterator;
+  std::vector<std::pair<std::int64_t, Slot>> batch;
   for (const auto n : sizes) {
     const auto [it, inserted] = cache_.try_emplace(n);
     if (!inserted) continue;
     if (use_store && store.try_get(store_key(), n, it->second)) continue;
-    missing.push_back(n);
-    slots.push_back(it);
+    batch.emplace_back(n, it);
   }
+  // Shape the batch for the work-stealing Runner: ascending by problem
+  // size. Simulation cost grows with n, and the Runner deals indices
+  // round-robin with each lane popping its own deque LIFO — so after this
+  // sort every lane *starts* on its most expensive probe (LPT-style) and
+  // lanes that run dry steal the cheap leftovers. Execution order never
+  // shows in the output: results land through the collected map iterators
+  // and the returned vector is rebuilt in request order below.
+  std::stable_sort(
+      batch.begin(), batch.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
 
   try {
-    if (runner.jobs() > 1 && missing.size() > 1) {
+    if (runner.jobs() > 1 && batch.size() > 1) {
       const auto computed = runner.map(
-          missing.size(), [&](std::size_t i) { return compute(missing[i]); });
-      // Merge on the calling thread, in request order.
-      for (std::size_t i = 0; i < missing.size(); ++i) {
-        slots[i]->second = computed[i];
+          batch.size(), [&](std::size_t i) { return compute(batch[i].first); });
+      // Merge on the calling thread.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].second->second = computed[i];
       }
     } else {
-      for (std::size_t i = 0; i < missing.size(); ++i) {
-        slots[i]->second = compute(missing[i]);
-      }
+      for (auto& [n, slot] : batch) slot->second = compute(n);
     }
   } catch (...) {
-    for (auto it : slots) cache_.erase(it);
+    for (auto& [n, slot] : batch) cache_.erase(slot);
     throw;
   }
   if (use_store) {
-    for (std::size_t i = 0; i < missing.size(); ++i) {
-      store.put(store_key(), missing[i], slots[i]->second);
+    for (const auto& [n, slot] : batch) {
+      store.put(store_key(), n, slot->second);
     }
   }
 

@@ -1,0 +1,57 @@
+// Cache-line-aligned storage for the numeric hot paths.
+//
+// The kernel engine (kernels/dispatch.hpp) promises bit-identical results on
+// unaligned data — alignment is a throughput contract, not a correctness
+// one — but 64-byte-aligned bases keep vector loads within one cache line
+// and let panels start on line boundaries. Matrix storage and the matmul
+// pack buffers allocate through this allocator.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace hetscale {
+
+/// One x86 cache line; also the alignment of every AVX-512-era vector type,
+/// so storage aligned this way is aligned for any lane width we dispatch to.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal std-compatible allocator handing out `Alignment`-byte-aligned
+/// blocks via the aligned operator new (C++17).
+template <class T, std::size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not be weaker than the type's");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;  // stateless: any instance frees any other's blocks
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace hetscale

@@ -59,16 +59,23 @@ class ArgParser {
 /// Split "a,b,c" into trimmed pieces (empty pieces dropped).
 std::vector<std::string> split(const std::string& text, char sep);
 
+/// Map a requested worker count to an effective one: 0 means "use the
+/// hardware concurrency" (at least 1), positive values pass through, and
+/// negative values throw. This is the single definition of what `0` means —
+/// --jobs, HETSCALE_JOBS, and Runner(0) all funnel through it, so the three
+/// spellings can never drift apart.
+int normalize_jobs(std::int64_t jobs);
+
 /// The process-wide default worker count: the HETSCALE_JOBS environment
-/// variable when set to a positive integer, otherwise the hardware
-/// concurrency (at least 1).
+/// variable when set to a non-negative integer (0 = hardware concurrency),
+/// otherwise the hardware concurrency (at least 1).
 int default_jobs();
 
 /// Declare the conventional `--jobs N` flag with its `-j` alias.
 ArgParser& add_jobs_flag(ArgParser& args);
 
-/// The parsed --jobs/-j value (must be >= 1), or default_jobs() when the
-/// flag was not given.
+/// The parsed --jobs/-j value (must be >= 0; 0 picks the hardware
+/// concurrency), or default_jobs() when the flag was not given.
 int resolve_jobs(const ArgParser& args);
 
 /// The process-wide default fault/experiment seed: the HETSCALE_SEED

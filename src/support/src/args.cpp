@@ -146,22 +146,29 @@ std::string ArgParser::help(const std::string& program) const {
   return os.str();
 }
 
-int default_jobs() {
-  if (const char* env = std::getenv("HETSCALE_JOBS")) {
-    char* end = nullptr;
-    const long value = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && value >= 1) {
-      return static_cast<int>(value);
-    }
-  }
+int normalize_jobs(std::int64_t jobs) {
+  HETSCALE_REQUIRE(jobs >= 0,
+                   "jobs must be >= 0 (0 means hardware concurrency)");
+  if (jobs > 0) return static_cast<int>(jobs);
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware >= 1 ? static_cast<int>(hardware) : 1;
 }
 
+int default_jobs() {
+  if (const char* env = std::getenv("HETSCALE_JOBS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 0) {
+      return normalize_jobs(value);
+    }
+  }
+  return normalize_jobs(0);
+}
+
 ArgParser& add_jobs_flag(ArgParser& args) {
   args.add_flag("jobs",
-                "worker threads for batch runs (default: HETSCALE_JOBS "
-                "or hardware concurrency)");
+                "worker threads for batch runs; 0 = hardware concurrency "
+                "(default: HETSCALE_JOBS or hardware concurrency)");
   args.add_short('j', "jobs");
   return args;
 }
@@ -169,8 +176,9 @@ ArgParser& add_jobs_flag(ArgParser& args) {
 int resolve_jobs(const ArgParser& args) {
   if (!args.has("jobs")) return default_jobs();
   const auto jobs = args.get_int("jobs", 0);
-  HETSCALE_REQUIRE(jobs >= 1, "--jobs must be >= 1");
-  return static_cast<int>(jobs);
+  HETSCALE_REQUIRE(jobs >= 0,
+                   "--jobs must be >= 0 (0 means hardware concurrency)");
+  return normalize_jobs(jobs);
 }
 
 std::uint64_t default_seed() {

@@ -2,12 +2,36 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <vector>
+
 #include "hetscale/numeric/matrix.hpp"
 #include "hetscale/support/error.hpp"
 #include "hetscale/support/rng.hpp"
 
 namespace hetscale::numeric {
 namespace {
+
+/// The classic i-k-j product the blocked multiply_rows_into replaced. Kept
+/// here as the normative reference: per output element it accumulates over
+/// k ascending, and the blocked kernel must reproduce it bit for bit.
+std::vector<double> naive_rows(std::span<const double> a, std::size_t a_cols,
+                               std::size_t row_begin, std::size_t row_end,
+                               std::span<const double> b,
+                               std::size_t b_cols) {
+  std::vector<double> out((row_end - row_begin) * b_cols, 0.0);
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* arow = a.data() + i * a_cols;
+    double* crow = out.data() + (i - row_begin) * b_cols;
+    for (std::size_t k = 0; k < a_cols; ++k) {
+      const double aik = arow[k];
+      const double* brow = b.data() + k * b_cols;
+      for (std::size_t j = 0; j < b_cols; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
 
 TEST(Matmul, KnownProduct) {
   Matrix a(2, 2, {1, 2, 3, 4});
@@ -66,6 +90,81 @@ TEST(Matmul, RowSliceOutOfRangeThrows) {
   Matrix b(3, 3);
   EXPECT_THROW(multiply_rows(a, b, 2, 4), PreconditionError);
   EXPECT_THROW(multiply_rows(a, b, 2, 1), PreconditionError);
+}
+
+// The blocked/panel-packed product must match the naive loop *bitwise* —
+// this is what lets the golden artifacts survive the kernel swap. Shapes
+// straddle the block sizes (128/256) and every tail class of the 8/4/1-wide
+// column loops; rows hit both the 4-row tile and the per-row leftover path.
+TEST(Matmul, BlockedProductIsBitIdenticalToNaive) {
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  const Shape shapes[] = {{1, 1, 1},    {3, 5, 7},     {4, 8, 8},
+                          {5, 129, 9},  {7, 130, 131}, {8, 256, 128},
+                          {9, 257, 130}, {2, 300, 140}};
+  for (const auto& s : shapes) {
+    Rng rng(static_cast<std::uint64_t>(s.m * 1000 + s.k * 10 + s.n));
+    const Matrix a = Matrix::random(s.m, s.k, rng);
+    const Matrix b = Matrix::random(s.k, s.n, rng);
+    std::vector<double> got(s.m * s.n);
+    multiply_rows_into(a.data(), s.k, 0, s.m, b.data(), s.n, got);
+    const auto want = naive_rows(a.data(), s.k, 0, s.m, b.data(), s.n);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+                std::bit_cast<std::uint64_t>(want[i]))
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " i=" << i;
+    }
+  }
+}
+
+// Zero entries in A must not perturb the result: the old implementation
+// skipped them, the blocked one multiplies through, and for finite B both
+// produce the same bits (x + (+-0.0 * b) == x, and +0.0 stays +0.0).
+TEST(Matmul, ZeroEntriesInAMatchNaiveBitwise) {
+  Rng rng(99);
+  Matrix a = Matrix::random(6, 140, rng);
+  const Matrix b = Matrix::random(140, 133, rng);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); k += 3) a(i, k) = 0.0;
+    for (std::size_t k = 1; k < a.cols(); k += 7) a(i, k) = -0.0;
+  }
+  std::vector<double> got(a.rows() * b.cols());
+  multiply_rows_into(a.data(), a.cols(), 0, a.rows(), b.data(), b.cols(),
+                     got);
+  const auto want =
+      naive_rows(a.data(), a.cols(), 0, a.rows(), b.data(), b.cols());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+              std::bit_cast<std::uint64_t>(want[i]))
+        << "i=" << i;
+  }
+}
+
+// A row slice through the blocked path must equal the same slice of the
+// naive full product bitwise — the parallel MM hands out exactly these.
+TEST(Matmul, BlockedRowSliceIsBitIdenticalToNaiveSlice) {
+  Rng rng(123);
+  const Matrix a = Matrix::random(11, 150, rng);
+  const Matrix b = Matrix::random(150, 129, rng);
+  std::vector<double> got(5 * b.cols());
+  multiply_rows_into(a.data(), a.cols(), 3, 8, b.data(), b.cols(), got);
+  const auto want = naive_rows(a.data(), a.cols(), 3, 8, b.data(), b.cols());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+              std::bit_cast<std::uint64_t>(want[i]))
+        << "i=" << i;
+  }
+}
+
+// 64-byte alignment contract of Matrix storage (matrix.hpp).
+TEST(Matmul, MatrixStorageIsCacheLineAligned) {
+  for (std::size_t n : {1u, 3u, 17u, 64u}) {
+    Matrix m(n, n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data().data()) % 64, 0u)
+        << "n=" << n;
+  }
 }
 
 }  // namespace

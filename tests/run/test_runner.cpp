@@ -113,6 +113,61 @@ TEST(Runner, ManyBatchesBackToBack) {
   EXPECT_EQ(total, 200 * 136);
 }
 
+// Forced-steal scenario, deterministic in every interleaving: with jobs=2
+// and count=8 the worker's lane holds {1, 3, 5, 7} and pops 7 first (LIFO).
+// Task 7 refuses to finish until 1, 3, and 5 have run — and the only lane
+// that can still reach them while the worker is pinned is the caller,
+// stealing FIFO from the worker's deque. So the batch cannot complete with
+// fewer than three steals, whichever thread gets scheduled when.
+TEST(Runner, ForcedStealsPreserveOrderedMerge) {
+  Runner runner(2);
+  std::atomic<int> odd_done{0};
+  const auto out = runner.map(8, [&](std::size_t i) {
+    if (i == 1 || i == 3 || i == 5) odd_done.fetch_add(1);
+    if (i == 7) {
+      while (odd_done.load() < 3) std::this_thread::yield();
+    }
+    return static_cast<std::int64_t>(i * i);
+  });
+  EXPECT_GE(runner.last_batch_steals(), 3u);
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<std::int64_t>(i * i));
+  }
+}
+
+// Same construction, but the guaranteed-stolen task (3 — the worker is
+// pinned on 7 while 3 is pending, so only a caller-side steal can run it)
+// throws: the failure must cross lanes and rethrow on the caller.
+TEST(Runner, ExceptionFromStolenTaskPropagates) {
+  Runner runner(2);
+  std::atomic<int> odd_done{0};
+  std::atomic<bool> threw{false};
+  try {
+    runner.run_indexed(8, [&](std::size_t i) {
+      if (i == 1 || i == 5) odd_done.fetch_add(1);
+      if (i == 3) {
+        threw.store(true);
+        throw std::runtime_error("stolen task 3");
+      }
+      if (i == 7) {
+        // Also unblock on failure: once the batch has failed, the
+        // remaining odd tasks are skipped and would never arrive.
+        while (odd_done.load() < 2 && !threw.load()) {
+          std::this_thread::yield();
+        }
+      }
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "stolen task 3");
+  }
+  // The pool survives the failed batch.
+  const auto out =
+      runner.map(8, [](std::size_t i) { return static_cast<int>(i) + 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 36);
+}
+
 // The engine's core guarantee: a parallel sweep of real simulations equals
 // the sequential sweep exactly, field by field.
 TEST(Runner, ParallelSimulationSweepMatchesSequentialExactly) {

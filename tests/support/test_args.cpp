@@ -134,10 +134,29 @@ TEST(Args, JobsFlagResolution) {
   args.parse({"-j", "3"});
   EXPECT_EQ(resolve_jobs(args), 3);
 
+  // 0 means "hardware concurrency", the same value normalize_jobs picks.
   ArgParser zero;
   add_jobs_flag(zero);
   zero.parse({"--jobs=0"});
-  EXPECT_THROW(resolve_jobs(zero), PreconditionError);
+  EXPECT_EQ(resolve_jobs(zero), normalize_jobs(0));
+  EXPECT_GE(resolve_jobs(zero), 1);
+
+  ArgParser negative;
+  add_jobs_flag(negative);
+  negative.parse({"--jobs=-3"});
+  EXPECT_THROW(resolve_jobs(negative), PreconditionError);
+}
+
+TEST(Args, NormalizeJobsIsTheSingleZeroDefinition) {
+  EXPECT_EQ(normalize_jobs(4), 4);
+  EXPECT_EQ(normalize_jobs(1), 1);
+  EXPECT_GE(normalize_jobs(0), 1);
+  EXPECT_THROW(normalize_jobs(-1), PreconditionError);
+
+  // HETSCALE_JOBS=0 routes through the same normalization as --jobs 0.
+  ::setenv("HETSCALE_JOBS", "0", 1);
+  EXPECT_EQ(default_jobs(), normalize_jobs(0));
+  ::unsetenv("HETSCALE_JOBS");
 }
 
 TEST(Args, JobsEnvFallback) {

@@ -5,8 +5,9 @@ Usage:
   check_perf_regression.py --baseline BENCH_PR4.json \
       --current perf-smoke.json [--max-ratio 2.0]
 
-The baseline is the repo's BENCH_PR4.json (schema hetscale.bench.pr4/v1):
-its `benchmarks` map records `after_ns` — the post-optimization wall-clock
+The baseline is one of the repo's committed BENCH_PR*.json files (schemas
+hetscale.bench.pr4/v1 and hetscale.bench.pr5/v1 share the layout): its
+`benchmarks` map records `after_ns` — the post-optimization wall-clock
 this tree is expected to sustain. The current file is raw google-benchmark
 `--benchmark_format=json` output. A tracked benchmark regresses when
 current / after_ns exceeds --max-ratio; benchmarks present on only one
@@ -21,6 +22,8 @@ import json
 import sys
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+_KNOWN_SCHEMAS = ("hetscale.bench.pr4/v1", "hetscale.bench.pr5/v1")
 
 
 def load_current(path):
@@ -45,7 +48,7 @@ def main():
 
     with open(args.baseline) as f:
         baseline = json.load(f)
-    if baseline.get("schema") != "hetscale.bench.pr4/v1":
+    if baseline.get("schema") not in _KNOWN_SCHEMAS:
         print(f"unrecognized baseline schema in {args.baseline}",
               file=sys.stderr)
         return 1
