@@ -1,0 +1,11 @@
+// Panel-blocked pivoted GE vs the pivot-free baseline.
+//
+// Thin launcher for the ge_pivot_scalability scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/dist2d.hpp"
+
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_dist2d_scenarios();
+  return hetscale::run::scenario_main("ge_pivot_scalability", argc, argv);
+}

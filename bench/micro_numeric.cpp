@@ -5,6 +5,8 @@
 #include <span>
 #include <vector>
 
+#include "hetscale/algos/spmv.hpp"
+#include "hetscale/algos/summa.hpp"
 #include "hetscale/kernels/blas1.hpp"
 #include "hetscale/numeric/linsolve.hpp"
 #include "hetscale/numeric/matmul.hpp"
@@ -100,6 +102,45 @@ void BM_Rank1Update(benchmark::State& state) {
                           static_cast<std::int64_t>(kRows * n) * 8);
 }
 BENCHMARK(BM_Rank1Update)->Arg(256)->Arg(2048);
+
+// The CSR row kernel the SpMV workload charges for — irregular gathers
+// through the column index, so it stresses a different path than the dense
+// kernels above.
+void BM_SpmvRows(benchmark::State& state) {
+  const auto n = state.range(0);
+  const algos::CsrMatrix csr = algos::make_synthetic_csr(n, /*seed=*/45);
+  Rng rng(7);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    algos::spmv_rows(csr, 0, n, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * csr.nnz()));
+}
+BENCHMARK(BM_SpmvRows)->Arg(256)->Arg(1024)->Arg(4096);
+
+// SUMMA's local C += A_tile * B_tile update. The B tile is consumed as the
+// packed panel directly, so this isolates the mm_tile4 dispatch without the
+// packing cost measured in BM_MultiplyRowsInto.
+void BM_SummaTileProduct(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  const Matrix a = Matrix::random(t, t, rng);
+  const Matrix b = Matrix::random(t, t, rng);
+  std::vector<double> c(t * t);
+  const auto tile = static_cast<std::int64_t>(t);
+  for (auto _ : state) {
+    algos::summa_tile_product(a.data().data(), tile, tile, b.data().data(),
+                              tile, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * t * t * t));
+}
+BENCHMARK(BM_SummaTileProduct)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Polyfit(benchmark::State& state) {
   std::vector<double> xs;

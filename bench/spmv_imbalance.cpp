@@ -1,0 +1,11 @@
+// Sparse GEMV: heterogeneous vs homogeneous row split.
+//
+// Thin launcher for the spmv_imbalance scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/dist2d.hpp"
+
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_dist2d_scenarios();
+  return hetscale::run::scenario_main("spmv_imbalance", argc, argv);
+}

@@ -1,0 +1,11 @@
+// SUMMA on the speed-balanced 2D grid vs the 1D row algorithm.
+//
+// Thin launcher for the summa_mm_scalability scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/dist2d.hpp"
+
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_dist2d_scenarios();
+  return hetscale::run::scenario_main("summa_mm_scalability", argc, argv);
+}

@@ -1,0 +1,91 @@
+// Iterated sparse matrix-vector product (CSR GEMV) — the repo's first
+// memory-bound, load-imbalanced workload.
+//
+// The paper's GE and MM are dense and compute-bound; their flop counts per
+// row are uniform, so a proportional row split balances them almost
+// perfectly. Sparse GEMV is different on both axes:
+//   * it is memory-bound — a node sustains only a fraction of its dense
+//     marked speed streaming CSR indices (modeled as a fixed efficiency
+//     factor on Comm::compute), and
+//   * the per-row cost varies with the row's nonzero count, so a split that
+//     is proportional in *rows* is not proportional in *work*.
+// That makes it a sharper stress of heterogeneity-aware distribution: the
+// scenario compares the heterogeneous row split against the homogeneous
+// block split via dist::imbalance and measured speed-efficiency.
+//
+// Algorithm (one rank per processor, root = process 0):
+//   1. Root distributes CSR row blocks (het-block or homogeneous split of
+//      the n rows) and broadcasts x.
+//   2. Per sweep: every rank computes its y block (2 nnz_i flops charged at
+//      the stream efficiency); the blocks trade around a ring allgather and
+//      every rank assembles the next x locally.
+// The matrix is synthetic and fully deterministic from (n, seed); results
+// are bit-identical to the sequential CSR reference (tested).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hetscale/vmpi/machine.hpp"
+
+namespace hetscale::algos {
+
+/// Deterministic synthetic CSR matrix: row i holds 4..16 nonzeros (hashed
+/// from the seed) at distinct sorted columns, always including the
+/// diagonal.
+struct CsrMatrix {
+  std::int64_t n = 0;
+  std::vector<std::int64_t> row_ptr;  ///< size n + 1
+  std::vector<std::int64_t> cols;  ///< column per nonzero, sorted per row
+  std::vector<double> vals;
+
+  std::int64_t nnz() const { return static_cast<std::int64_t>(cols.size()); }
+};
+
+CsrMatrix make_synthetic_csr(std::int64_t n, std::uint64_t seed);
+
+/// y[i - row_begin] = sum_k vals[k] * x[cols[k]] over row i's nonzeros in
+/// ascending column order — the per-element contract the parallel run and
+/// the sequential reference share. Exposed for tests and bench.
+void spmv_rows(const CsrMatrix& a, std::int64_t row_begin,
+               std::int64_t row_end, std::span<const double> x,
+               std::span<double> y);
+
+/// Which row split step 1 uses.
+enum class SpmvDistribution {
+  kHeterogeneousBlock,  ///< rows ∝ marked speed
+  kHomogeneousBlock,    ///< equal rows per rank (baseline)
+};
+
+struct SpmvOptions {
+  std::int64_t n = 0;      ///< rows / vector length (required, >= 1)
+  std::int64_t sweeps = 4; ///< GEMV iterations (x <- y between sweeps)
+  bool with_data = true;   ///< perform real arithmetic alongside timing
+  std::uint64_t seed = 45;
+  SpmvDistribution distribution = SpmvDistribution::kHeterogeneousBlock;
+  std::vector<double> speeds;  ///< per-rank marked speeds; empty = measure
+};
+
+/// Fraction of the dense marked rate a rank sustains in CSR streaming
+/// (memory-bound; applied as Comm::compute's efficiency).
+inline constexpr double kSpmvStreamEfficiency = 0.35;
+
+struct SpmvResult {
+  vmpi::RunResult run;
+  std::int64_t n = 0;
+  std::int64_t nnz = 0;
+  double work_flops = 0.0;     ///< sweeps * 2 * nnz
+  double charged_flops = 0.0;  ///< flops actually charged (== work, tested)
+  /// dist::imbalance of the row split actually used, weighted by per-row
+  /// nonzeros (1.0 = perfectly proportional *work* split).
+  double work_imbalance = 0.0;
+  /// Only populated when with_data: y after the final sweep.
+  std::vector<double> y;
+};
+
+/// Run iterated SpMV on (and consuming) the given single-shot machine.
+SpmvResult run_parallel_spmv(vmpi::Machine& machine,
+                             const SpmvOptions& options);
+
+}  // namespace hetscale::algos

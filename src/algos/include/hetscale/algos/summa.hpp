@@ -1,0 +1,60 @@
+// SUMMA matrix multiplication over a 2D block-cyclic tile distribution.
+//
+// The scalable universal MM algorithm (van de Geijn & Watts), recast on the
+// heterogeneity-aware 2D layer:
+//   * The p ranks form a speed-balanced r x c ProcessGrid; A, B and C share
+//     one block-cyclic TileMap of square tiles.
+//   * For each tile-panel step k: the owners of column panel k of A
+//     broadcast their tiles along their grid *row* sub-group, the owners of
+//     row panel k of B broadcast along their grid *column* sub-group
+//     (vmpi::Group), and every rank accumulates C[ti,tj] += A[ti,k]·B[k,tj]
+//     for its owned C tiles with the packed mm_tile4 kernel.
+//   * Process 0 distributes tiles up front and collects C at the end, so
+//     the workload and measurement protocol match the paper's row MM.
+//
+// Per output element the k-sum runs in globally ascending order (panels
+// ascending, in-tile k ascending), so the product is bit-identical to both
+// numeric::multiply and the row-MM result (tested).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hetscale/numeric/matrix.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace hetscale::algos {
+
+struct SummaOptions {
+  std::int64_t n = 0;     ///< matrix order N (required, >= 1)
+  std::int64_t tile = 64; ///< square tile edge (>= 1)
+  bool with_data = true;  ///< perform real arithmetic alongside timing
+  std::uint64_t seed = 43;  ///< same default as row MM: same A and B
+  std::vector<double> speeds;  ///< per-rank marked speeds; empty = measure
+};
+
+struct SummaResult {
+  vmpi::RunResult run;
+  std::int64_t n = 0;
+  int grid_rows = 0;  ///< the factorization SUMMA ran on
+  int grid_cols = 0;
+  double work_flops = 0.0;     ///< W(N) = 2 N^3
+  double charged_flops = 0.0;  ///< flops actually charged (== work, tested)
+  /// Only populated when with_data:
+  numeric::Matrix a;
+  numeric::Matrix b;
+  numeric::Matrix c;  ///< the parallel product
+};
+
+/// Run SUMMA on (and consuming) the given single-shot machine.
+SummaResult run_parallel_summa(vmpi::Machine& machine,
+                               const SummaOptions& options);
+
+/// One local SUMMA update: C += A · B over dense row-major tiles
+/// (A rows x inner, B inner x cols, C rows x cols), accumulated with the
+/// dispatched mm_tile4/axpy kernels, k ascending. Exposed for the kernel
+/// tests and bench/micro_numeric.
+void summa_tile_product(const double* a, std::int64_t rows, std::int64_t inner,
+                        const double* b, std::int64_t cols, double* c);
+
+}  // namespace hetscale::algos

@@ -1,0 +1,535 @@
+#include "hetscale/algos/ge_pivot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "hetscale/dist/distribution.hpp"
+#include "hetscale/kernels/blas1.hpp"
+#include "hetscale/kernels/flops.hpp"
+#include "hetscale/marked/suite.hpp"
+#include "hetscale/numeric/linsolve.hpp"
+#include "hetscale/support/error.hpp"
+#include "hetscale/support/rng.hpp"
+#include "hetscale/vmpi/payload.hpp"
+
+namespace hetscale::algos {
+
+namespace {
+
+using des::Task;
+using vmpi::Comm;
+using vmpi::Payload;
+
+constexpr int kRoot = 0;
+constexpr int kTagRows = 120;
+constexpr int kTagCollect = 121;
+/// Row-swap exchange of step i travels with tag kTagSwapBase + i.
+constexpr int kTagSwapBase = 1 << 22;
+constexpr double kMetadataBytes = 16.0;
+/// Pivot-search contribution: (|candidate|, row index) as two doubles.
+constexpr double kSearchBytes = 16.0;
+
+struct RankData {
+  std::vector<std::int64_t> rows;  ///< owned global slot indices, ascending
+  /// with_data: one contiguous slab of rows.size() x (n + 1) doubles (row
+  /// coefficients + in-row rhs), same layout as ge.cpp.
+  std::vector<double> slab;
+  /// Per owned slot, the elimination factors recorded during the current
+  /// panel (factors[k][jj - p0] for panel step jj). Swaps move a row's
+  /// factor history along with its contents.
+  std::vector<std::vector<double>> factors;
+};
+
+struct Shared {
+  std::int64_t n = 0;
+  std::int64_t panel = 0;
+  bool with_data = true;
+  std::uint64_t seed = 0;
+  std::vector<int> owners;
+  std::vector<RankData> ranks;
+  /// pivot_inv[i]: 1 / diag recorded by slot i's owner when it normalized
+  /// step i (owner-private bookkeeping; slot i never changes after step i).
+  std::vector<double> pivot_inv;
+  numeric::Matrix a0;  ///< original system (kept for the residual)
+  std::vector<double> b0;
+  double charged = 0.0;
+  std::int64_t row_swaps = 0;
+  std::vector<double> solution;
+  double residual = 0.0;
+};
+
+std::size_t row_stride(const Shared& sh) {
+  return static_cast<std::size_t>(sh.n + 1);
+}
+
+double* local_row(Shared& sh, RankData& data, std::size_t local) {
+  return data.slab.data() + local * row_stride(sh);
+}
+
+/// First local index whose global slot is >= g.
+std::size_t local_lower_bound(const RankData& data, std::int64_t g) {
+  return static_cast<std::size_t>(
+      std::lower_bound(data.rows.begin(), data.rows.end(), g) -
+      data.rows.begin());
+}
+
+/// Timing-only pivot choice for step i: a seeded hash over [i, n). All ranks
+/// derive the same value locally; see the header for why data-free runs
+/// model rather than replay the data-driven schedule.
+std::int64_t surrogate_pivot(std::uint64_t seed, std::int64_t i,
+                             std::int64_t n) {
+  SplitMix64 mix(seed ^
+                 (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1)));
+  return i + static_cast<std::int64_t>(
+                 mix.next() % static_cast<std::uint64_t>(n - i));
+}
+
+Task<void> distribute(Comm& comm, Shared& sh, RankData& mine) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const std::int64_t n = sh.n;
+  const double bytes_per_row = static_cast<double>(n + 1) * 8.0;
+  const std::size_t stride = row_stride(sh);
+
+  co_await comm.bcast(kRoot, kMetadataBytes, {});
+
+  if (rank == kRoot) {
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == kRoot) continue;
+      auto& theirs = sh.ranks[static_cast<std::size_t>(dst)];
+      Payload payload;
+      if (sh.with_data) {
+        payload = Payload::buffer(theirs.rows.size() * stride);
+        auto out = payload.doubles();
+        std::size_t at = 0;
+        for (auto g : theirs.rows) {
+          auto row = sh.a0.row(static_cast<std::size_t>(g));
+          std::copy(row.begin(), row.end(),
+                    out.begin() + static_cast<std::ptrdiff_t>(at));
+          out[at + static_cast<std::size_t>(n)] =
+              sh.b0[static_cast<std::size_t>(g)];
+          at += stride;
+        }
+      }
+      co_await comm.send(
+          dst, kTagRows,
+          bytes_per_row * static_cast<double>(theirs.rows.size()),
+          std::move(payload));
+    }
+    if (sh.with_data) {
+      mine.slab.resize(mine.rows.size() * stride);
+      for (std::size_t k = 0; k < mine.rows.size(); ++k) {
+        const auto g = static_cast<std::size_t>(mine.rows[k]);
+        auto row = sh.a0.row(g);
+        double* dst_row = local_row(sh, mine, k);
+        std::copy(row.begin(), row.end(), dst_row);
+        dst_row[static_cast<std::size_t>(n)] = sh.b0[g];
+      }
+    }
+  } else {
+    auto message = co_await comm.recv(kRoot, kTagRows);
+    if (sh.with_data) {
+      const auto doubles = message.payload.doubles();
+      HETSCALE_CHECK(doubles.size() == mine.rows.size() * stride,
+                     "row pack size mismatch");
+      mine.slab.assign(doubles.begin(), doubles.end());
+    }
+  }
+  mine.factors.assign(mine.rows.size(), {});
+}
+
+Task<void> collect(Comm& comm, Shared& sh, RankData& mine) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const std::int64_t n = sh.n;
+  const double bytes_per_row = static_cast<double>(n + 1) * 8.0;
+  const std::size_t stride = row_stride(sh);
+
+  if (rank != kRoot) {
+    Payload payload;
+    if (sh.with_data) {
+      payload = Payload::copy_of(std::span<const double>(mine.slab));
+    }
+    co_await comm.send(kRoot, kTagCollect,
+                       bytes_per_row * static_cast<double>(mine.rows.size()),
+                       std::move(payload));
+    co_return;
+  }
+
+  numeric::Matrix u;
+  std::vector<double> y;
+  if (sh.with_data) {
+    u = numeric::Matrix(static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n));
+    y.resize(static_cast<std::size_t>(n));
+    for (std::size_t k = 0; k < mine.rows.size(); ++k) {
+      const auto g = static_cast<std::size_t>(mine.rows[k]);
+      const double* base = local_row(sh, mine, k);
+      auto dst = u.row(g);
+      std::copy(base, base + n, dst.begin());
+      y[g] = base[static_cast<std::size_t>(n)];
+    }
+  }
+  for (int src = 0; src < p; ++src) {
+    if (src == kRoot) continue;
+    auto message = co_await comm.recv(src, kTagCollect);
+    if (sh.with_data) {
+      auto& theirs = sh.ranks[static_cast<std::size_t>(src)];
+      const auto pack = message.payload.doubles();
+      HETSCALE_CHECK(pack.size() == theirs.rows.size() * stride,
+                     "collected pack size mismatch");
+      for (std::size_t k = 0; k < theirs.rows.size(); ++k) {
+        const auto g = static_cast<std::size_t>(theirs.rows[k]);
+        const double* base = pack.data() + k * stride;
+        auto dst = u.row(g);
+        std::copy(base, base + n, dst.begin());
+        y[g] = base[static_cast<std::size_t>(n)];
+      }
+    }
+  }
+
+  sh.charged += kernels::ge_backsub_flops(n);
+  co_await comm.compute(kernels::ge_backsub_flops(n));
+  if (sh.with_data) {
+    sh.solution = numeric::back_substitute(u, y);
+    sh.residual = numeric::residual_inf_norm(sh.a0, sh.solution, sh.b0);
+  }
+}
+
+/// Batched `row -= factor * pivot` over a list of (pointer, factor) pairs,
+/// skipping exact-zero factors like the unblocked reference does.
+class Rank1Batch {
+ public:
+  explicit Rank1Batch(std::span<const double> pivot) : pivot_(pivot) {}
+
+  void add(double* row, double factor) {
+    if (factor == 0.0) return;
+    ptrs_[pending_] = row;
+    factors_[pending_] = factor;
+    if (++pending_ == kBatch) flush();
+  }
+
+  void flush() {
+    if (pending_ == 0) return;
+    kernels::rank1_update(
+        pivot_, std::span<double* const>(ptrs_.data(), pending_),
+        std::span<const double>(factors_.data(), pending_));
+    pending_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kBatch = 16;
+  std::span<const double> pivot_;
+  std::array<double*, kBatch> ptrs_;
+  std::array<double, kBatch> factors_;
+  std::size_t pending_ = 0;
+};
+
+Task<void> eliminate(Comm& comm, Shared& sh, RankData& mine) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const std::int64_t n = sh.n;
+  const std::size_t stride = row_stride(sh);
+
+  auto charge = [&](double flops) {
+    sh.charged += flops;
+    return comm.compute(flops);
+  };
+
+  for (std::int64_t p0 = 0; p0 < n; p0 += sh.panel) {
+    const std::int64_t p1 = std::min(p0 + sh.panel, n);
+    const std::int64_t t_len = n - p1 + 1;  // trailing columns + in-row rhs
+
+    for (std::int64_t i = p0; i < p1; ++i) {
+      const int owner = sh.owners[static_cast<std::size_t>(i)];
+
+      // ---- (1) pivot search: local argmax of |column i| over slots >= i,
+      // gathered to slot i's owner, winner broadcast back ----
+      const std::size_t cand_first = local_lower_bound(mine, i);
+      const auto candidates = mine.rows.size() - cand_first;
+      co_await charge(static_cast<double>(candidates));
+      double best_abs = -1.0;
+      double best_row = -1.0;
+      if (sh.with_data) {
+        for (std::size_t k = cand_first; k < mine.rows.size(); ++k) {
+          const double v =
+              std::abs(local_row(sh, mine, k)[static_cast<std::size_t>(i)]);
+          if (v > best_abs) {  // strict: the lowest row among equals wins
+            best_abs = v;
+            best_row = static_cast<double>(mine.rows[k]);
+          }
+        }
+      }
+      Payload search_payload;
+      if (sh.with_data) {
+        search_payload = Payload::buffer(2);
+        search_payload.doubles()[0] = best_abs;
+        search_payload.doubles()[1] = best_row;
+      }
+      std::vector<Payload> votes =
+          co_await comm.gather(owner, kSearchBytes, std::move(search_payload));
+
+      std::int64_t r = sh.with_data ? -1 : surrogate_pivot(sh.seed, i, n);
+      if (rank == owner && sh.with_data) {
+        double win_abs = -1.0;
+        for (int src = 0; src < p; ++src) {
+          const auto vote = votes[static_cast<std::size_t>(src)].doubles();
+          if (vote[0] < 0.0) continue;  // rank owns no candidate slots
+          if (vote[0] > win_abs ||
+              (vote[0] == win_abs && vote[1] < static_cast<double>(r))) {
+            win_abs = vote[0];
+            r = static_cast<std::int64_t>(vote[1]);
+          }
+        }
+        HETSCALE_CHECK(win_abs > 0.0, "pivoted GE: matrix is singular");
+      }
+      Payload chosen_payload;
+      if (rank == owner && sh.with_data) {
+        chosen_payload = Payload(static_cast<double>(r));
+      }
+      Payload chosen =
+          co_await comm.bcast(owner, 8.0, std::move(chosen_payload));
+      if (sh.with_data && rank != owner) {
+        r = static_cast<std::int64_t>(chosen.as<double>());
+      }
+      if (rank == owner && r != i) ++sh.row_swaps;
+
+      // ---- (2) row swap: slots i and r exchange contents (full row plus
+      // the row's panel factor history) ----
+      if (r != i) {
+        const int owner_r = sh.owners[static_cast<std::size_t>(r)];
+        const std::size_t flen = static_cast<std::size_t>(i - p0);
+        if (owner == owner_r) {
+          if (rank == owner && sh.with_data) {
+            const std::size_t ki = local_lower_bound(mine, i);
+            const std::size_t kr = local_lower_bound(mine, r);
+            double* row_i = local_row(sh, mine, ki);
+            double* row_r = local_row(sh, mine, kr);
+            std::swap_ranges(row_i, row_i + stride, row_r);
+            std::swap(mine.factors[ki], mine.factors[kr]);
+          }
+        } else if (rank == owner || rank == owner_r) {
+          const int peer = rank == owner ? owner_r : owner;
+          const std::int64_t own_slot = rank == owner ? i : r;
+          const double bytes =
+              8.0 * static_cast<double>(stride + flen);
+          const std::size_t local = local_lower_bound(mine, own_slot);
+          Payload out;
+          if (sh.with_data) {
+            out = Payload::buffer(stride + flen);
+            auto buf = out.doubles();
+            const double* row = local_row(sh, mine, local);
+            std::copy(row, row + stride, buf.begin());
+            std::copy(mine.factors[local].begin(), mine.factors[local].end(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(stride));
+          }
+          const int tag = kTagSwapBase + static_cast<int>(i);
+          co_await comm.send(peer, tag, bytes, std::move(out));
+          auto message = co_await comm.recv(peer, tag);
+          if (sh.with_data) {
+            const auto buf = message.payload.doubles();
+            HETSCALE_CHECK(buf.size() == stride + flen, "swap pack mismatch");
+            std::copy(buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(stride),
+                      local_row(sh, mine, local));
+            mine.factors[local].assign(
+                buf.begin() + static_cast<std::ptrdiff_t>(stride), buf.end());
+          }
+        }
+      }
+
+      // ---- (3) normalize the panel segment of the pivot row, broadcast ----
+      const std::int64_t seg_len = p1 - i;
+      Payload seg_payload;
+      if (rank == owner) {
+        co_await charge(static_cast<double>(seg_len));
+        if (sh.with_data) {
+          const std::size_t ki = local_lower_bound(mine, i);
+          double* row = local_row(sh, mine, ki);
+          const double diag = row[static_cast<std::size_t>(i)];
+          HETSCALE_CHECK(diag != 0.0, "pivoted GE: zero pivot after search");
+          const double inv = 1.0 / diag;
+          for (std::int64_t c = i; c < p1; ++c) {
+            row[static_cast<std::size_t>(c)] *= inv;
+          }
+          sh.pivot_inv[static_cast<std::size_t>(i)] = inv;
+          seg_payload = Payload::copy_of(std::span<const double>(
+              row + i, static_cast<std::size_t>(seg_len)));
+        }
+      }
+      Payload seg = co_await comm.bcast(
+          owner, 8.0 * static_cast<double>(seg_len), std::move(seg_payload));
+
+      // ---- (4) eager panel elimination of owned slots > i; the factor is
+      // recorded for the deferred trailing update ----
+      const std::size_t target_first = local_lower_bound(mine, i + 1);
+      const auto targets = mine.rows.size() - target_first;
+      if (targets > 0) {
+        co_await charge(static_cast<double>(targets) * 2.0 *
+                        static_cast<double>(seg_len));
+        if (sh.with_data) {
+          Rank1Batch batch(seg.doubles());
+          for (std::size_t k = target_first; k < mine.rows.size(); ++k) {
+            double* row = local_row(sh, mine, k) + i;
+            const double factor = row[0];
+            mine.factors[k].push_back(factor);
+            batch.add(row, factor);
+          }
+          batch.flush();
+        }
+      }
+    }
+
+    // ---- (5) panel end: every pivot row's raw trailing part + factor
+    // history is broadcast; every rank redundantly reconstructs the
+    // normalized trailing rows, then applies the deferred updates ----
+    const std::int64_t nb = p1 - p0;
+    std::vector<std::vector<double>> t_norm(static_cast<std::size_t>(nb));
+    double recon_flops = 0.0;
+    for (std::int64_t ii = p0; ii < p1; ++ii) {
+      const int owner = sh.owners[static_cast<std::size_t>(ii)];
+      const std::size_t flen = static_cast<std::size_t>(ii - p0);
+      Payload trail_payload;
+      if (rank == owner && sh.with_data) {
+        const std::size_t ki = local_lower_bound(mine, ii);
+        trail_payload =
+            Payload::buffer(flen + 1 + static_cast<std::size_t>(t_len));
+        auto buf = trail_payload.doubles();
+        std::copy(mine.factors[ki].begin(), mine.factors[ki].end(),
+                  buf.begin());
+        buf[flen] = sh.pivot_inv[static_cast<std::size_t>(ii)];
+        const double* row = local_row(sh, mine, ki);
+        std::copy(row + p1, row + n + 1,
+                  buf.begin() + static_cast<std::ptrdiff_t>(flen + 1));
+      }
+      Payload trail = co_await comm.bcast(
+          owner,
+          8.0 * static_cast<double>(flen + 1 + static_cast<std::size_t>(t_len)),
+          std::move(trail_payload));
+      recon_flops += 2.0 * static_cast<double>(flen) *
+                         static_cast<double>(t_len) +
+                     static_cast<double>(t_len);
+      if (sh.with_data) {
+        const auto buf = trail.doubles();
+        const double inv = buf[flen];
+        auto& t = t_norm[static_cast<std::size_t>(ii - p0)];
+        t.assign(buf.begin() + static_cast<std::ptrdiff_t>(flen + 1),
+                 buf.end());
+        // Apply the pivot row's own deferred updates (ascending, exactly the
+        // unblocked order), then normalize with the recorded 1/diag.
+        for (std::size_t jj = 0; jj < flen; ++jj) {
+          const double f = buf[jj];
+          if (f == 0.0) continue;
+          const auto& prev = t_norm[jj];
+          for (std::int64_t c = 0; c < t_len; ++c) {
+            t[static_cast<std::size_t>(c)] -=
+                f * prev[static_cast<std::size_t>(c)];
+          }
+        }
+        for (std::int64_t c = 0; c < t_len; ++c) {
+          t[static_cast<std::size_t>(c)] *= inv;
+        }
+        if (rank == owner) {
+          const std::size_t ki = local_lower_bound(mine, ii);
+          std::copy(t.begin(), t.end(), local_row(sh, mine, ki) + p1);
+        }
+      }
+    }
+    // The reconstruction runs on every rank (redundant by design — it is
+    // cheaper than round-tripping nb more broadcasts), then each rank
+    // updates its own trailing rows.
+    const std::size_t own_first = local_lower_bound(mine, p1);
+    const auto own_rows = mine.rows.size() - own_first;
+    const double update_flops = static_cast<double>(own_rows) *
+                                static_cast<double>(nb) * 2.0 *
+                                static_cast<double>(t_len);
+    co_await charge(recon_flops + update_flops);
+    if (sh.with_data) {
+      for (std::int64_t jj = 0; jj < nb; ++jj) {
+        Rank1Batch batch(t_norm[static_cast<std::size_t>(jj)]);
+        for (std::size_t k = own_first; k < mine.rows.size(); ++k) {
+          batch.add(local_row(sh, mine, k) + p1,
+                    mine.factors[k][static_cast<std::size_t>(jj)]);
+        }
+        batch.flush();
+      }
+      for (auto& f : mine.factors) f.clear();
+    }
+  }
+}
+
+Task<void> pivot_rank(Comm& comm, Shared& sh) {
+  RankData& mine = sh.ranks[static_cast<std::size_t>(comm.rank())];
+  co_await distribute(comm, sh, mine);
+  co_await eliminate(comm, sh, mine);
+  co_await collect(comm, sh, mine);
+}
+
+}  // namespace
+
+GePivotResult run_parallel_ge_pivot(vmpi::Machine& machine,
+                                    const GePivotOptions& options) {
+  HETSCALE_REQUIRE(options.n >= 1, "pivoted GE needs n >= 1");
+  HETSCALE_REQUIRE(options.panel >= 1, "pivoted GE needs panel >= 1");
+  const int p = machine.world_size();
+
+  auto shared = std::make_shared<Shared>();
+  shared->n = options.n;
+  shared->panel = options.panel;
+  shared->with_data = options.with_data;
+  shared->seed = options.seed;
+  shared->ranks.resize(static_cast<std::size_t>(p));
+  shared->pivot_inv.assign(static_cast<std::size_t>(options.n), 0.0);
+
+  std::vector<double> speeds = options.speeds;
+  if (speeds.empty()) speeds = marked::rank_marked_speeds(machine.cluster());
+  HETSCALE_REQUIRE(static_cast<int>(speeds.size()) == p,
+                   "need one marked speed per rank");
+
+  shared->owners =
+      options.distribution == GeDistribution::kHeterogeneousCyclic
+          ? dist::het_cyclic_owners(speeds, options.n)
+          : dist::cyclic_owners(p, options.n);
+  for (std::int64_t g = 0; g < options.n; ++g) {
+    shared->ranks[static_cast<std::size_t>(
+                      shared->owners[static_cast<std::size_t>(g)])]
+        .rows.push_back(g);
+  }
+
+  if (options.with_data) {
+    if (options.system_a.rows() > 0) {
+      HETSCALE_REQUIRE(
+          options.system_a.rows() == static_cast<std::size_t>(options.n) &&
+              options.system_a.cols() == static_cast<std::size_t>(options.n) &&
+              options.system_b.size() == static_cast<std::size_t>(options.n),
+          "explicit system must be n x n with an n-vector rhs");
+      shared->a0 = options.system_a;
+      shared->b0 = options.system_b;
+    } else {
+      Rng rng(options.seed);
+      shared->a0 = numeric::Matrix::random_diagonally_dominant(
+          static_cast<std::size_t>(options.n), rng);
+      shared->b0.resize(static_cast<std::size_t>(options.n));
+      for (auto& v : shared->b0) v = rng.uniform(-1.0, 1.0);
+    }
+  }
+
+  auto run = machine.run([shared](Comm& comm) -> Task<void> {
+    return pivot_rank(comm, *shared);
+  });
+
+  GePivotResult result;
+  result.run = std::move(run);
+  result.n = options.n;
+  result.work_flops = numeric::ge_workload(static_cast<double>(options.n));
+  result.charged_flops = shared->charged;
+  result.row_swaps = shared->row_swaps;
+  result.solution = std::move(shared->solution);
+  result.residual = shared->residual;
+  return result;
+}
+
+}  // namespace hetscale::algos

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "hetscale/dist/grid.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::dist {
@@ -90,7 +91,8 @@ std::vector<int> het_block_cyclic_owners(std::span<const double> speeds,
                                          std::int64_t round_size) {
   HETSCALE_REQUIRE(round_size >= 1, "round size must be >= 1");
   const auto pattern = het_cyclic_owners(speeds, round_size);
-  std::vector<int> owners(static_cast<std::size_t>(std::max<std::int64_t>(n, 0)));
+  std::vector<int> owners(
+      static_cast<std::size_t>(std::max<std::int64_t>(n, 0)));
   for (std::int64_t j = 0; j < n; ++j) {
     owners[static_cast<std::size_t>(j)] =
         pattern[static_cast<std::size_t>(j % round_size)];
@@ -108,10 +110,13 @@ std::vector<int> cyclic_owners(int p, std::int64_t n,
                                std::int64_t block_size) {
   HETSCALE_REQUIRE(p >= 1, "need at least one processor");
   HETSCALE_REQUIRE(block_size >= 1, "block size must be >= 1");
-  std::vector<int> owners(static_cast<std::size_t>(std::max<std::int64_t>(n, 0)));
-  for (std::int64_t j = 0; j < n; ++j) {
-    owners[static_cast<std::size_t>(j)] =
-        static_cast<int>((j / block_size) % p);
+  // Thin wrapper over the 2D layer: a p x 1 grid tiled in blocks of
+  // block_size rows reproduces owner[j] = (j / block_size) mod p exactly.
+  const std::int64_t count = std::max<std::int64_t>(n, 0);
+  const TileMap map(ProcessGrid::rows_only(p), count, 1, block_size, 1);
+  std::vector<int> owners(static_cast<std::size_t>(count));
+  for (std::int64_t j = 0; j < count; ++j) {
+    owners[static_cast<std::size_t>(j)] = map.owner_of_index(j, 0);
   }
   return owners;
 }

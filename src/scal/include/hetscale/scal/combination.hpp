@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "hetscale/algos/sort.hpp"
+#include "hetscale/algos/spmv.hpp"
 #include "hetscale/machine/cluster.hpp"
 #include "hetscale/net/network.hpp"
 #include "hetscale/numeric/polynomial.hpp"
@@ -195,6 +196,56 @@ class JacobiCombination final : public ClusterCombination {
   RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
   std::string algo_key() const override;
   std::int64_t sweeps_;
+};
+
+/// SUMMA MM on a 2D speed-balanced process grid (see algos/summa.hpp).
+/// Same workload polynomial as MmCombination — the comparison between the
+/// two is purely about the communication pattern.
+class SummaCombination final : public ClusterCombination {
+ public:
+  SummaCombination(std::string name, Config config, std::int64_t tile = 64);
+  double work(std::int64_t n) const override;
+
+ private:
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
+  std::string algo_key() const override;
+  std::int64_t tile_;
+};
+
+/// Panel-blocked GE with partial pivoting (see algos/ge_pivot.hpp). The
+/// measurement's work is the useful GE workload; the pivot search and the
+/// redundant panel reconstruction are charged overhead, so its E_s sits
+/// below pivot-free GE by construction.
+class GePivotCombination final : public ClusterCombination {
+ public:
+  GePivotCombination(std::string name, Config config, std::int64_t panel = 32);
+  double work(std::int64_t n) const override;
+
+ private:
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
+  std::string algo_key() const override;
+  std::int64_t panel_;
+};
+
+/// Iterated CSR SpMV (see algos/spmv.hpp) — memory-bound and
+/// load-imbalanced; the distribution choice (heterogeneous vs homogeneous
+/// row blocks) is the ablation axis.
+class SpmvCombination final : public ClusterCombination {
+ public:
+  SpmvCombination(std::string name, Config config, std::int64_t sweeps = 50,
+                  algos::SpmvDistribution distribution =
+                      algos::SpmvDistribution::kHeterogeneousBlock);
+  double work(std::int64_t n) const override;  ///< sweeps * 2 * nnz(n)
+
+  /// nnz-weighted dist::imbalance of the row split this combination uses at
+  /// size n — a pure function of the split, no simulation.
+  double work_imbalance(std::int64_t n) const;
+
+ private:
+  RunOutcome run_once(vmpi::Machine& machine, std::int64_t n) const override;
+  std::string algo_key() const override;
+  std::int64_t sweeps_;
+  algos::SpmvDistribution distribution_;
 };
 
 /// A sampled speed-efficiency curve (the data behind Figs. 1–2).

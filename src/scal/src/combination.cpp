@@ -4,9 +4,12 @@
 #include <utility>
 
 #include "hetscale/algos/ge.hpp"
+#include "hetscale/algos/ge_pivot.hpp"
 #include "hetscale/algos/jacobi.hpp"
 #include "hetscale/algos/mm.hpp"
 #include "hetscale/algos/sort.hpp"
+#include "hetscale/algos/summa.hpp"
+#include "hetscale/dist/distribution.hpp"
 #include "hetscale/marked/suite.hpp"
 #include "hetscale/numeric/linsolve.hpp"
 #include "hetscale/run/runner.hpp"
@@ -224,6 +227,111 @@ ClusterCombination::RunOutcome JacobiCombination::run_once(
   options.with_data = config().with_data;
   options.speeds = rank_speeds();
   const auto result = algos::run_parallel_jacobi(machine, options);
+  return RunOutcome{result.work_flops, result.run.elapsed,
+                    result.run.overhead_s()};
+}
+
+SummaCombination::SummaCombination(std::string name, Config config,
+                                   std::int64_t tile)
+    : ClusterCombination(std::move(name), std::move(config)), tile_(tile) {
+  HETSCALE_REQUIRE(tile_ >= 1, "SUMMA needs tile >= 1");
+}
+
+double SummaCombination::work(std::int64_t n) const {
+  return numeric::mm_workload(static_cast<double>(n));
+}
+
+std::string SummaCombination::algo_key() const {
+  return "summa:tile=" + std::to_string(tile_);
+}
+
+ClusterCombination::RunOutcome SummaCombination::run_once(
+    vmpi::Machine& machine, std::int64_t n) const {
+  algos::SummaOptions options;
+  options.n = n;
+  options.tile = tile_;
+  options.with_data = config().with_data;
+  options.speeds = rank_speeds();
+  const auto result = algos::run_parallel_summa(machine, options);
+  return RunOutcome{result.work_flops, result.run.elapsed,
+                    result.run.overhead_s()};
+}
+
+GePivotCombination::GePivotCombination(std::string name, Config config,
+                                       std::int64_t panel)
+    : ClusterCombination(std::move(name), std::move(config)), panel_(panel) {
+  HETSCALE_REQUIRE(panel_ >= 1, "pivoted GE needs panel >= 1");
+}
+
+double GePivotCombination::work(std::int64_t n) const {
+  return numeric::ge_workload(static_cast<double>(n));
+}
+
+std::string GePivotCombination::algo_key() const {
+  return "ge_pivot:panel=" + std::to_string(panel_);
+}
+
+ClusterCombination::RunOutcome GePivotCombination::run_once(
+    vmpi::Machine& machine, std::int64_t n) const {
+  algos::GePivotOptions options;
+  options.n = n;
+  options.panel = panel_;
+  options.with_data = config().with_data;
+  options.speeds = rank_speeds();
+  const auto result = algos::run_parallel_ge_pivot(machine, options);
+  return RunOutcome{result.work_flops, result.run.elapsed,
+                    result.run.overhead_s()};
+}
+
+SpmvCombination::SpmvCombination(std::string name, Config config,
+                                 std::int64_t sweeps,
+                                 algos::SpmvDistribution distribution)
+    : ClusterCombination(std::move(name), std::move(config)),
+      sweeps_(sweeps),
+      distribution_(distribution) {
+  HETSCALE_REQUIRE(sweeps_ >= 1, "SpMV needs sweeps >= 1");
+}
+
+double SpmvCombination::work(std::int64_t n) const {
+  const auto nnz =
+      algos::make_synthetic_csr(n, algos::SpmvOptions{}.seed).nnz();
+  return static_cast<double>(sweeps_) * 2.0 * static_cast<double>(nnz);
+}
+
+double SpmvCombination::work_imbalance(std::int64_t n) const {
+  const auto& speeds = rank_speeds();
+  const int p = static_cast<int>(speeds.size());
+  const auto counts =
+      distribution_ == algos::SpmvDistribution::kHeterogeneousBlock
+          ? dist::het_block_counts(speeds, n)
+          : dist::block_counts(p, n);
+  const auto offsets = dist::block_offsets(counts);
+  const auto csr = algos::make_synthetic_csr(n, algos::SpmvOptions{}.seed);
+  std::vector<std::int64_t> nnz_counts(static_cast<std::size_t>(p));
+  for (std::size_t i = 0; i < nnz_counts.size(); ++i) {
+    nnz_counts[i] =
+        csr.row_ptr[static_cast<std::size_t>(offsets[i + 1])] -
+        csr.row_ptr[static_cast<std::size_t>(offsets[i])];
+  }
+  return dist::imbalance(speeds, nnz_counts);
+}
+
+std::string SpmvCombination::algo_key() const {
+  return "spmv:sweeps=" + std::to_string(sweeps_) + ",dist=" +
+         (distribution_ == algos::SpmvDistribution::kHeterogeneousBlock
+              ? "het"
+              : "hom");
+}
+
+ClusterCombination::RunOutcome SpmvCombination::run_once(
+    vmpi::Machine& machine, std::int64_t n) const {
+  algos::SpmvOptions options;
+  options.n = n;
+  options.sweeps = sweeps_;
+  options.distribution = distribution_;
+  options.with_data = config().with_data;
+  options.speeds = rank_speeds();
+  const auto result = algos::run_parallel_spmv(machine, options);
   return RunOutcome{result.work_flops, result.run.elapsed,
                     result.run.overhead_s()};
 }

@@ -1,0 +1,30 @@
+// Scenarios for the 2D-distribution layer and its new workloads:
+//   * summa_mm_scalability  — SUMMA on a speed-balanced 2D grid vs row MM
+//   * ge_pivot_scalability  — panel-blocked pivoted GE vs pivot-free GE
+//   * spmv_imbalance        — het vs homogeneous row split on sparse GEMV
+// Registered alongside the paper scenarios; every artifact is timing-only,
+// jobs-invariant, and golden-pinned (tests/golden/).
+#pragma once
+
+#include <memory>
+
+#include "hetscale/scal/combination.hpp"
+
+namespace hetscale::scenarios {
+
+/// SUMMA over the MM ensembles (speed-balanced 2D grid, switched network).
+std::unique_ptr<scal::SummaCombination> make_summa(int nodes);
+
+/// Panel-blocked pivoted GE over the GE ensembles.
+std::unique_ptr<scal::GePivotCombination> make_ge_pivot(int nodes);
+
+/// Iterated SpMV over the MM ensembles with either row split.
+std::unique_ptr<scal::SpmvCombination> make_spmv(
+    int nodes, algos::SpmvDistribution distribution =
+                   algos::SpmvDistribution::kHeterogeneousBlock);
+
+/// Register the 2D-distribution scenarios with the global registry.
+/// Idempotent.
+void register_dist2d_scenarios();
+
+}  // namespace hetscale::scenarios

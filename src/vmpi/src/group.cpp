@@ -1,0 +1,68 @@
+#include "hetscale/vmpi/group.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::vmpi {
+
+Group::Group(Comm& comm, std::vector<int> members)
+    : comm_(&comm), members_(std::move(members)), index_(-1) {
+  HETSCALE_REQUIRE(!members_.empty(), "group needs at least one member");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const int world = members_[i];
+    HETSCALE_REQUIRE(world >= 0 && world < comm.size(),
+                     "group member outside the world communicator");
+    if (world == comm.rank()) index_ = static_cast<int>(i);
+    for (std::size_t j = i + 1; j < members_.size(); ++j) {
+      HETSCALE_REQUIRE(members_[j] != world, "duplicate group member");
+    }
+  }
+  HETSCALE_REQUIRE(index_ >= 0, "calling rank is not a group member");
+}
+
+int Group::world_rank(int index) const {
+  HETSCALE_REQUIRE(index >= 0 && index < size(), "group index out of range");
+  return members_[static_cast<std::size_t>(index)];
+}
+
+des::Task<Payload> Group::bcast(int root_index, int tag, double bytes,
+                                Payload payload) {
+  HETSCALE_REQUIRE(root_index >= 0 && root_index < size(),
+                   "group root out of range");
+  if (size() == 1) co_return payload;
+  if (index_ == root_index) {
+    // Flat tree in group-index order, skipping self — mirrors Comm's small
+    // bcast (linear in the group size, the paper's measured shape).
+    for (int i = 0; i < size(); ++i) {
+      if (i == root_index) continue;
+      Payload copy = payload;
+      co_await comm_->send(world_rank(i), tag, bytes, std::move(copy));
+    }
+    co_return payload;
+  }
+  Message message = co_await comm_->recv(world_rank(root_index), tag);
+  co_return message.payload;
+}
+
+des::Task<std::vector<Payload>> Group::gather(int root_index, int tag,
+                                              double bytes, Payload payload) {
+  HETSCALE_REQUIRE(root_index >= 0 && root_index < size(),
+                   "group root out of range");
+  std::vector<Payload> parts;
+  if (index_ == root_index) {
+    parts.resize(members_.size());
+    parts[static_cast<std::size_t>(root_index)] = std::move(payload);
+    for (int i = 0; i < size(); ++i) {
+      if (i == root_index) continue;
+      Message message = co_await comm_->recv(world_rank(i), tag);
+      parts[static_cast<std::size_t>(i)] = std::move(message.payload);
+    }
+    co_return parts;
+  }
+  co_await comm_->send(world_rank(root_index), tag, bytes, std::move(payload));
+  co_return parts;
+}
+
+}  // namespace hetscale::vmpi

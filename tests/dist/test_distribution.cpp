@@ -123,6 +123,58 @@ TEST(Imbalance, EmptyAssignmentIsNeutral) {
   EXPECT_DOUBLE_EQ(imbalance(speeds, counts), 1.0);
 }
 
+TEST(HetBlock, SingleProcessorTakesEverything) {
+  const std::vector<double> one{26.0};
+  for (std::int64_t n : {0, 1, 97}) {
+    EXPECT_EQ(het_block_counts(one, n), (std::vector<std::int64_t>{n}));
+    EXPECT_NEAR(imbalance(one, het_block_counts(one, n)), 1.0, 1e-12)
+        << "n=" << n;
+  }
+  EXPECT_TRUE(het_cyclic_owners(one, 5) == (std::vector<int>{0, 0, 0, 0, 0}));
+}
+
+TEST(HetBlock, ZeroItemsGiveAllZeroCounts) {
+  const std::vector<double> speeds{26.0, 27.5, 55.0};
+  EXPECT_EQ(het_block_counts(speeds, 0),
+            (std::vector<std::int64_t>{0, 0, 0}));
+  EXPECT_TRUE(het_cyclic_owners(speeds, 0).empty());
+  EXPECT_TRUE(het_block_cyclic_owners(speeds, 0, 4).empty());
+  EXPECT_EQ(block_offsets(het_block_counts(speeds, 0)),
+            (std::vector<std::int64_t>{0, 0, 0, 0}));
+}
+
+TEST(HetBlock, ZeroSpeedProcessorRejected) {
+  // A zero speed is a modelling error, not "give it no work": the marked
+  // suite can never produce one, so it must fail loudly rather than divide.
+  const std::vector<double> with_zero{26.0, 0.0, 55.0};
+  EXPECT_THROW(het_block_counts(with_zero, 10), PreconditionError);
+  EXPECT_THROW(het_cyclic_owners(with_zero, 10), PreconditionError);
+  EXPECT_THROW(imbalance(with_zero, std::vector<std::int64_t>{1, 1, 1}),
+               PreconditionError);
+}
+
+TEST(HetBlock, CountsSumToNAcrossSpeedVectors) {
+  // Property sweep: every helper conserves items for awkward speed ratios
+  // (irrational-ish shares, near-ties, one dominant rank) and sizes around
+  // the rounding boundaries.
+  const std::vector<std::vector<double>> vectors{
+      {1.0},
+      {1.0, 1.0 + 1e-9},
+      {0.1, 0.2, 0.7},
+      {26.0, 26.0, 27.5, 55.0},
+      {3.14159, 2.71828, 1.41421, 1.61803, 0.57721}};
+  for (const auto& speeds : vectors) {
+    for (std::int64_t n : {0, 1, 2, 3, 7, 31, 32, 33, 1000}) {
+      const auto counts = het_block_counts(speeds, n);
+      EXPECT_EQ(sum(counts), n) << "p=" << speeds.size() << " n=" << n;
+      const auto owners = het_cyclic_owners(speeds, n);
+      EXPECT_EQ(sum(counts_from_owners(owners, speeds.size())), n);
+      const auto offsets = block_offsets(counts);
+      EXPECT_EQ(offsets.back(), n);
+    }
+  }
+}
+
 TEST(Distribution, InvalidInputsRejected) {
   const std::vector<double> empty;
   EXPECT_THROW(het_block_counts(empty, 10), PreconditionError);

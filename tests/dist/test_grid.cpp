@@ -1,0 +1,183 @@
+#include "hetscale/dist/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "hetscale/dist/distribution.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::dist {
+namespace {
+
+TEST(ProcessGrid, SquarestPicksLargestDivisorBelowSqrt) {
+  const std::vector<std::pair<int, std::pair<int, int>>> expect{
+      {1, {1, 1}}, {2, {1, 2}},  {4, {2, 2}},  {6, {2, 3}},
+      {7, {1, 7}}, {8, {2, 4}},  {12, {3, 4}}, {16, {4, 4}}};
+  for (const auto& [p, shape] : expect) {
+    const ProcessGrid grid = ProcessGrid::squarest(p);
+    EXPECT_EQ(grid.rows(), shape.first) << "p=" << p;
+    EXPECT_EQ(grid.cols(), shape.second) << "p=" << p;
+    EXPECT_EQ(grid.size(), p);
+  }
+}
+
+TEST(ProcessGrid, SlotAndRankLookupsAreInverse) {
+  const ProcessGrid grid = ProcessGrid::squarest(12);
+  std::vector<int> seen(12, 0);
+  for (int gr = 0; gr < grid.rows(); ++gr) {
+    for (int gc = 0; gc < grid.cols(); ++gc) {
+      const int rank = grid.rank_at(gr, gc);
+      EXPECT_EQ(grid.row_of(rank), gr);
+      EXPECT_EQ(grid.col_of(rank), gc);
+      ++seen[static_cast<std::size_t>(rank)];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);  // a permutation of the ranks
+}
+
+TEST(ProcessGrid, RowsOnlyIsTheDegenerate1dShape) {
+  const ProcessGrid grid = ProcessGrid::rows_only(5);
+  EXPECT_EQ(grid.rows(), 5);
+  EXPECT_EQ(grid.cols(), 1);
+  for (int r = 0; r < 5; ++r) EXPECT_EQ(grid.rank_at(r, 0), r);
+  EXPECT_EQ(grid.col_members(0), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ProcessGrid, MembersFollowGridOrder) {
+  const ProcessGrid grid = ProcessGrid::squarest(6);  // 2 x 3, row-major
+  EXPECT_EQ(grid.row_members(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(grid.row_members(1), (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(grid.col_members(1), (std::vector<int>{1, 4}));
+}
+
+TEST(ProcessGrid, SpeedBalancedEvensOutRowAggregates) {
+  // Two fast and two slow ranks: rank-order placement would put both fast
+  // ones in the same grid row; the balanced factory must split them.
+  const std::vector<double> speeds{55.0, 55.0, 26.0, 26.0};
+  const ProcessGrid grid = ProcessGrid::speed_balanced(speeds);
+  ASSERT_EQ(grid.rows(), 2);
+  ASSERT_EQ(grid.cols(), 2);
+  for (int gr = 0; gr < 2; ++gr) {
+    double row_speed = 0.0;
+    for (int rank : grid.row_members(gr)) {
+      row_speed += speeds[static_cast<std::size_t>(rank)];
+    }
+    EXPECT_DOUBLE_EQ(row_speed, 81.0) << "grid row " << gr;
+  }
+}
+
+TEST(ProcessGrid, InvalidInputsRejected) {
+  EXPECT_THROW(ProcessGrid::squarest(0), PreconditionError);
+  EXPECT_THROW(ProcessGrid::rows_only(-1), PreconditionError);
+  EXPECT_THROW(ProcessGrid::speed_balanced(std::vector<double>{1.0, 0.0}),
+               PreconditionError);
+  const ProcessGrid grid = ProcessGrid::squarest(4);
+  EXPECT_THROW(grid.rank_at(2, 0), PreconditionError);
+  EXPECT_THROW(grid.row_of(4), PreconditionError);
+}
+
+TEST(TileMap, OwnerFollowsBlockCyclicFormula) {
+  const TileMap map(ProcessGrid::squarest(4), 100, 100, 16, 16);
+  const int r = map.grid().rows();
+  const int c = map.grid().cols();
+  for (std::int64_t ti = 0; ti < map.tile_row_count(); ++ti) {
+    for (std::int64_t tj = 0; tj < map.tile_col_count(); ++tj) {
+      EXPECT_EQ(map.owner(ti, tj),
+                map.grid().rank_at(static_cast<int>(ti % r),
+                                   static_cast<int>(tj % c)));
+    }
+  }
+}
+
+TEST(TileMap, EdgeTilesAreTruncated) {
+  const TileMap map(ProcessGrid::squarest(4), 100, 70, 32, 32);
+  EXPECT_EQ(map.tile_row_count(), 4);  // ceil(100 / 32)
+  EXPECT_EQ(map.tile_col_count(), 3);  // ceil(70 / 32)
+  const Tile corner = map.tile(3, 2);
+  EXPECT_EQ(corner.row0, 96);
+  EXPECT_EQ(corner.col0, 64);
+  EXPECT_EQ(corner.rows, 4);
+  EXPECT_EQ(corner.cols, 6);
+  EXPECT_EQ(corner.elements(), 24);
+}
+
+TEST(TileMap, LocalGlobalRoundTripCoversEveryElement) {
+  const TileMap map(ProcessGrid::squarest(6), 37, 23, 8, 5);
+  for (std::int64_t gi = 0; gi < map.rows(); ++gi) {
+    for (std::int64_t gj = 0; gj < map.cols(); ++gj) {
+      const TileMap::Local local = map.to_local(gi, gj);
+      const auto [back_i, back_j] = map.to_global(local);
+      EXPECT_EQ(back_i, gi);
+      EXPECT_EQ(back_j, gj);
+      EXPECT_EQ(map.owner_of_index(gi, gj),
+                map.owner(local.tile_row, local.tile_col));
+    }
+  }
+}
+
+TEST(TileMap, TilesOfPartitionTheTileSpace) {
+  const TileMap map(ProcessGrid::squarest(4), 100, 100, 16, 16);
+  std::int64_t tiles_seen = 0;
+  std::int64_t elements_seen = 0;
+  for (int rank = 0; rank < map.grid().size(); ++rank) {
+    for (const Tile& t : map.tiles_of(rank)) {
+      EXPECT_EQ(t.owner, rank);
+      EXPECT_EQ(map.owner(t.tile_row, t.tile_col), rank);
+      ++tiles_seen;
+      elements_seen += t.elements();
+    }
+  }
+  EXPECT_EQ(tiles_seen, map.tile_row_count() * map.tile_col_count());
+  EXPECT_EQ(elements_seen, map.rows() * map.cols());
+  const auto counts = map.element_counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}),
+            map.rows() * map.cols());
+}
+
+TEST(TileMap, PanelsWalkOneTileRowOrColumn) {
+  const TileMap map(ProcessGrid::squarest(4), 64, 48, 16, 16);
+  const auto row = row_panel(map, 1);
+  ASSERT_EQ(row.size(), static_cast<std::size_t>(map.tile_col_count()));
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    EXPECT_EQ(row[j].tile_row, 1);
+    EXPECT_EQ(row[j].tile_col, static_cast<std::int64_t>(j));
+  }
+  const auto col = col_panel(map, 2);
+  ASSERT_EQ(col.size(), static_cast<std::size_t>(map.tile_row_count()));
+  // 8 bytes per element, truncation included.
+  double expect_bytes = 0.0;
+  for (const Tile& t : col) {
+    expect_bytes += 8.0 * static_cast<double>(t.elements());
+  }
+  EXPECT_DOUBLE_EQ(panel_bytes(col), expect_bytes);
+}
+
+TEST(TileMap, RowsOnlyReproducesCyclicOwners) {
+  // The 1D wrapper contract: a p x 1 map in blocks of `b` rows must agree
+  // with the classic owner[j] = (j / b) mod p distribution.
+  const int p = 3;
+  const std::int64_t n = 17;
+  const std::int64_t b = 4;
+  const TileMap map(ProcessGrid::rows_only(p), n, 1, b, 1);
+  const auto owners = cyclic_owners(p, n, b);
+  for (std::int64_t j = 0; j < n; ++j) {
+    EXPECT_EQ(map.owner_of_index(j, 0), owners[static_cast<std::size_t>(j)]);
+    EXPECT_EQ(owners[static_cast<std::size_t>(j)],
+              static_cast<int>((j / b) % p));
+  }
+}
+
+TEST(TileMap, InvalidInputsRejected) {
+  EXPECT_THROW(TileMap(ProcessGrid::squarest(4), -1, 8, 4, 4),
+               PreconditionError);
+  EXPECT_THROW(TileMap(ProcessGrid::squarest(4), 8, 8, 0, 4),
+               PreconditionError);
+  const TileMap map(ProcessGrid::squarest(4), 8, 8, 4, 4);
+  EXPECT_THROW(map.tile(2, 0), PreconditionError);
+  EXPECT_THROW(map.owner_of_index(8, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetscale::dist

@@ -23,6 +23,7 @@
 #include "hetscale/run/scenario.hpp"
 #include "hetscale/scal/combination.hpp"
 #include "hetscale/scal/measure_store.hpp"
+#include "hetscale/scenarios/dist2d.hpp"
 #include "hetscale/scenarios/paper.hpp"
 
 namespace hetscale {
@@ -45,6 +46,7 @@ class StoreDisabledScope {
 
 std::string render_csv(const std::string& scenario_name, int jobs) {
   scenarios::register_paper_scenarios();
+  scenarios::register_dist2d_scenarios();
   const run::Scenario* scenario = run::find_scenario(scenario_name);
   if (scenario == nullptr) ADD_FAILURE() << "unknown scenario " << scenario_name;
   run::Runner runner(jobs);
@@ -87,7 +89,10 @@ INSTANTIATE_TEST_SUITE_P(PaperArtifacts, ScenarioDeterminism,
                                            "table6_ge_predicted_rank",
                                            "table7_ge_predicted_scalability",
                                            "fig1_ge_speed_efficiency",
-                                           "fig2_mm_speed_efficiency"));
+                                           "fig2_mm_speed_efficiency",
+                                           "summa_mm_scalability",
+                                           "ge_pivot_scalability",
+                                           "spmv_imbalance"));
 
 TEST(SchedulerDeterminism, ReplayRepeatsEventCountAndFinalTime) {
   // One GE simulation, replayed on a fresh machine: the event count and the

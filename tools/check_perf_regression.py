@@ -5,8 +5,9 @@ Usage:
   check_perf_regression.py --baseline BENCH_PR4.json \
       --current perf-smoke.json [--max-ratio 2.0]
 
-The baseline is one of the repo's committed BENCH_PR*.json files (schemas
-hetscale.bench.pr4/v1 and hetscale.bench.pr5/v1 share the layout): its
+The baseline is one of the repo's committed BENCH_PR*.json files (the
+hetscale.bench.pr*/v1 schemas share the layout; before_ns/speedup columns
+are optional and ignored here): its
 `benchmarks` map records `after_ns` — the post-optimization wall-clock
 this tree is expected to sustain. The current file is raw google-benchmark
 `--benchmark_format=json` output. A tracked benchmark regresses when
@@ -23,7 +24,11 @@ import sys
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
-_KNOWN_SCHEMAS = ("hetscale.bench.pr4/v1", "hetscale.bench.pr5/v1")
+_KNOWN_SCHEMAS = (
+    "hetscale.bench.pr4/v1",
+    "hetscale.bench.pr5/v1",
+    "hetscale.bench.pr6/v1",
+)
 
 
 def load_current(path):

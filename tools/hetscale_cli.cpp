@@ -2,6 +2,7 @@
 //
 //   hetscale_cli run     table3_ge_required_rank --format=json --jobs 8
 //   hetscale_cli run     list
+//   hetscale_cli scenarios spmv
 //   hetscale_cli marked  --cluster "server:2,sunbladex3"
 //   hetscale_cli solve   --algo ge --cluster "server:2,sunbladex3" --target 0.3
 //   hetscale_cli curve   --algo mm --cluster "server:1,v210x3:1" --from 32 --to 512 --step 32
@@ -47,6 +48,7 @@
 #include "hetscale/scal/measure_store.hpp"
 #include "hetscale/scal/profile.hpp"
 #include "hetscale/scal/series.hpp"
+#include "hetscale/scenarios/dist2d.hpp"
 #include "hetscale/scenarios/fault.hpp"
 #include "hetscale/scenarios/paper.hpp"
 #include "hetscale/scenarios/profile.hpp"
@@ -77,14 +79,65 @@ std::unique_ptr<scal::ClusterCombination> make_combination(
     return std::make_unique<scal::JacobiCombination>(name, std::move(config),
                                                      /*sweeps=*/50);
   }
-  throw PreconditionError("unknown --algo '" + algo +
-                          "' (expected ge, mm, sort, or jacobi)");
+  if (algo == "summa") {
+    return std::make_unique<scal::SummaCombination>(name, std::move(config));
+  }
+  if (algo == "ge_pivot") {
+    return std::make_unique<scal::GePivotCombination>(name,
+                                                      std::move(config));
+  }
+  if (algo == "spmv" || algo == "spmv-hom") {
+    return std::make_unique<scal::SpmvCombination>(
+        name, std::move(config), /*sweeps=*/50,
+        algo == "spmv" ? algos::SpmvDistribution::kHeterogeneousBlock
+                       : algos::SpmvDistribution::kHomogeneousBlock);
+  }
+  throw PreconditionError(
+      "unknown --algo '" + algo +
+      "' (expected ge, mm, sort, jacobi, summa, ge_pivot, spmv, or "
+      "spmv-hom)");
 }
 
-int cmd_run(const ArgParser& args) {
+/// All scenario registrations, shared by run / scenarios / profile.
+void register_all_scenarios() {
   scenarios::register_paper_scenarios();
   scenarios::register_fault_scenarios();
   scenarios::register_profile_scenarios();
+  scenarios::register_dist2d_scenarios();
+}
+
+/// `hetscale_cli scenarios [substring]` — the registry as a listing, with
+/// an optional case-sensitive name/summary filter.
+int cmd_scenarios(const ArgParser& args) {
+  register_all_scenarios();
+  const auto& positional = args.positional();
+  const std::string filter = positional.size() > 1 ? positional[1] : "";
+  Table table(filter.empty()
+                  ? std::string("Registered scenarios")
+                  : "Registered scenarios matching '" + filter + "'");
+  table.set_header({"name", "summary"});
+  int shown = 0;
+  for (const run::Scenario* scenario : run::all_scenarios()) {
+    if (!filter.empty() &&
+        scenario->name.find(filter) == std::string::npos &&
+        scenario->summary.find(filter) == std::string::npos) {
+      continue;
+    }
+    table.add_row({scenario->name, scenario->summary});
+    ++shown;
+  }
+  std::cout << table;
+  if (shown == 0) {
+    std::cout << "no scenario matches '" << filter << "'\n";
+    return 2;
+  }
+  std::cout << shown << " scenario" << (shown == 1 ? "" : "s")
+            << "; run one with: hetscale_cli run <name>\n";
+  return 0;
+}
+
+int cmd_run(const ArgParser& args) {
+  register_all_scenarios();
   const auto& positional = args.positional();
   const std::string name = positional.size() > 1 ? positional[1] : "list";
   if (name == "list") {
@@ -373,9 +426,7 @@ int profile_adhoc(const ArgParser& args, bool trace_alias) {
 int cmd_profile(const ArgParser& args) {
   const auto& positional = args.positional();
   if (positional.size() > 1) {
-    scenarios::register_paper_scenarios();
-    scenarios::register_fault_scenarios();
-    scenarios::register_profile_scenarios();
+    register_all_scenarios();
     const std::string& name = positional[1];
     const run::Scenario* scenario = run::find_scenario(name);
     if (scenario == nullptr) {
@@ -406,6 +457,7 @@ int cmd_profile(const ArgParser& args) {
 
 int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "run") return cmd_run(args);
+  if (command == "scenarios") return cmd_scenarios(args);
   if (command == "marked") return cmd_marked(args);
   if (command == "solve") return cmd_solve(args);
   if (command == "curve") return cmd_curve(args);
@@ -415,8 +467,8 @@ int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "trace") return profile_adhoc(args, /*trace_alias=*/true);
   if (command == "inject") return cmd_inject(args);
   std::cout << "hetscale_cli — isospeed-efficiency scalability analyses\n"
-            << "commands: run | marked | solve | curve | series | predict "
-               "| profile | trace | inject\n\n"
+            << "commands: run | scenarios | marked | solve | curve | series "
+               "| predict | profile | trace | inject\n\n"
             << args.help("hetscale_cli <command>");
   return command.empty() ? 0 : 2;
 }
@@ -426,7 +478,10 @@ int dispatch(const std::string& command, const ArgParser& args) {
 int main(int argc, char** argv) {
   ArgParser args;
   args.add_flag("cluster", "cluster description, e.g. \"server:2,sunbladex3\"")
-      .add_flag("algo", "algorithm: ge, mm, sort, jacobi", "ge")
+      .add_flag("algo",
+                "algorithm: ge, mm, sort, jacobi, summa, ge_pivot, spmv, "
+                "spmv-hom",
+                "ge")
       .add_flag("target", "target speed-efficiency", "0.3")
       .add_flag("ladder", "comma-separated ensemble node counts", "2,4,8")
       .add_flag("from", "curve: first N", "32")
