@@ -1,0 +1,71 @@
+// Micro-benchmarks of the prediction layer's model-zoo fitter.
+//
+// Both benchmarks run on synthetic datasets built straight from the USL
+// law — no simulation, no MeasurementStore — so they time exactly the
+// code the `fit` subcommand spends its non-measurement budget in: the
+// deterministic Levenberg-Marquardt fit and the full fit + leave-one-out
+// ranking across the zoo.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "hetscale/predict/fit_report.hpp"
+#include "hetscale/predict/zoo.hpp"
+#include "hetscale/scal/fit_study.hpp"
+
+namespace {
+
+using namespace hetscale;
+
+/// A ladder x sizes dataset synthesized from the USL law with the same
+/// shape as the zoo scenario's measured datasets (3 rungs x 5 sizes).
+scal::FitDataset synthetic_dataset(int rungs, int sizes) {
+  scal::FitDataset data;
+  data.algo = "synthetic";
+  for (int r = 0; r < rungs; ++r) {
+    const int p = 2 << r;  // 2, 4, 8, ...
+    const double pd = static_cast<double>(p);
+    const double es =
+        0.9 / (1.0 + 0.05 * (pd - 1.0) + 0.002 * pd * (pd - 1.0));
+    for (int s = 0; s < sizes; ++s) {
+      scal::FitPoint point;
+      point.system = "synthetic";
+      point.p = p;
+      point.n = 64 * (s + 1);
+      point.work_flops = 1.0e8 * static_cast<double>(s + 1);
+      point.speed_efficiency = es;
+      point.seconds = point.work_flops / (es * 1.0e8);
+      point.marked_speed = 1.0e8;
+      point.root_speed = 1.0e8 / pd;
+      point.het_score = 0.1;
+      data.points.push_back(point);
+    }
+  }
+  return data;
+}
+
+void BM_UslFit(benchmark::State& state) {
+  const auto data = synthetic_dataset(static_cast<int>(state.range(0)), 5);
+  const predict::ScalabilityModel* usl = predict::find_model("usl");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predict::fit_scalability_model(*usl, data));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UslFit)->Arg(3)->Arg(6);
+
+void BM_ZooRanking(benchmark::State& state) {
+  // The full per-algorithm study: 4 models x (full fit + LOO refits),
+  // on the scenario's 3 x 5 dataset shape.
+  const auto data = synthetic_dataset(3, 5);
+  for (auto _ : state) {
+    for (const predict::ScalabilityModel* model : predict::model_zoo()) {
+      benchmark::DoNotOptimize(predict::fit_scalability_model(*model, data));
+      benchmark::DoNotOptimize(predict::leave_one_out_cv(*model, data));
+    }
+  }
+}
+BENCHMARK(BM_ZooRanking);
+
+}  // namespace

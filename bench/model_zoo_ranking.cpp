@@ -1,0 +1,11 @@
+// Model zoo: cross-validated ranking vs the analytic prediction.
+//
+// Thin launcher for the model_zoo_ranking scenario (src/scenarios);
+// supports --format=text|csv|json and --jobs N like `hetscale_cli run`.
+#include "hetscale/run/scenario.hpp"
+#include "hetscale/scenarios/zoo.hpp"
+
+int main(int argc, char** argv) {
+  hetscale::scenarios::register_zoo_scenarios();
+  return hetscale::run::scenario_main("model_zoo_ranking", argc, argv);
+}

@@ -1,0 +1,62 @@
+// A small deterministic nonlinear least-squares fitter (Levenberg-
+// Marquardt with a numeric Jacobian).
+//
+// The model zoo fits its scalability models with this solver. Determinism
+// is a hard contract: a fixed iteration budget, no randomness, a fixed
+// lambda schedule, and every floating-point operation executed in the same
+// order on every run — so a fit over the same dataset is bit-identical at
+// any --jobs count and under either HETSCALE_KERNEL pin (the data itself
+// already is). The normal equations are regularized Marquardt-style,
+//   (J^T J + lambda * (diag(J^T J) + eps I)) delta = -J^T r,
+// so rank-deficient problems (fewer points than parameters, a parameter
+// the residuals do not depend on) degrade gracefully instead of throwing.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace hetscale::predict {
+
+struct LmOptions {
+  int max_iterations = 60;     ///< fixed budget; no early wall-clock exits
+  double lambda_init = 1e-3;
+  double lambda_up = 10.0;     ///< rejected step: lambda *= lambda_up
+  double lambda_down = 0.25;   ///< accepted step: lambda *= lambda_down
+  double lambda_min = 1e-12;
+  double lambda_max = 1e12;    ///< stop once lambda escapes this ceiling
+  /// Relative forward-difference step for the numeric Jacobian; the
+  /// absolute floor keeps parameters sitting at zero movable.
+  double jacobian_rel_step = 1e-6;
+  double jacobian_abs_floor = 1e-9;
+  /// Stop when the cost improves by less than this relative amount.
+  double cost_rel_tolerance = 1e-14;
+};
+
+struct LmResult {
+  std::vector<double> params;
+  double rmse = 0.0;    ///< sqrt(mean squared residual) at `params`
+  int iterations = 0;   ///< accepted + rejected steps consumed
+};
+
+/// Residual evaluator: fill `out` (pre-sized to residual_count) with the
+/// residuals at `params`. Non-finite residuals are treated as +1e6 by the
+/// solver (a rejected region, not a crash).
+using LmResiduals =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Optional box projection applied to every candidate parameter vector
+/// (including the initial guess).
+using LmClamp = std::function<void(std::span<double>)>;
+
+/// Minimize sum of squared residuals from `initial`. `residual_count == 0`
+/// or an empty parameter vector returns the (clamped) initial guess with
+/// rmse 0 — degenerate inputs are the caller's single-point ladders, not
+/// errors.
+LmResult levenberg_marquardt(const LmResiduals& residuals,
+                             std::size_t residual_count,
+                             std::vector<double> initial,
+                             const LmClamp& clamp = nullptr,
+                             const LmOptions& options = {});
+
+}  // namespace hetscale::predict

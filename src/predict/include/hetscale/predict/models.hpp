@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hetscale/machine/cluster.hpp"
@@ -86,6 +87,45 @@ class MmOverheadModel final : public OverheadModel {
   double sequential_flops(double n) const override;
   double overhead(double n, const SystemModel& system) const override;
 };
+
+/// Parallel Jacobi 2-D stencil (algos/jacobi.hpp): α = 0;
+/// To = T_bcast(meta) + (p-1)·(T_send(band out) + T_send(band back))
+///      + sweeps·2·T_send(8N) — per sweep, the ghost-row exchanges of the
+/// band boundaries run pairwise in parallel, so the critical path pays one
+/// row down plus one row up.
+class JacobiOverheadModel final : public OverheadModel {
+ public:
+  explicit JacobiOverheadModel(std::int64_t sweeps = 50);
+  double work(double n) const override;
+  double sequential_flops(double n) const override;
+  double overhead(double n, const SystemModel& system) const override;
+
+ private:
+  std::int64_t sweeps_;
+};
+
+/// Iterated SpMV (algos/spmv.hpp): α = 0, but the kernel streams CSR at
+/// kSpmvStreamEfficiency of the dense marked rate, so the stall time
+/// (W/C)·(1/η - 1) is charged as overhead on top of the communication:
+/// To = stall + T_bcast(meta) + (p-1)·T_send(avg CSR block) + x broadcast
+///      + sweeps·(p-1)·T_send(8N/p) ring allgather steps.
+/// The workload uses the synthetic matrix's expected 10 nonzeros per row.
+class SpmvOverheadModel final : public OverheadModel {
+ public:
+  explicit SpmvOverheadModel(std::int64_t sweeps = 50);
+  double work(double n) const override;
+  double sequential_flops(double n) const override;
+  double overhead(double n, const SystemModel& system) const override;
+
+ private:
+  std::int64_t sweeps_;
+};
+
+/// The analytic model for a CLI algorithm name ("ge", "mm", "jacobi",
+/// "spmv"). Throws PreconditionError naming the supported algorithms for
+/// anything else — unsupported algos fail loudly, never silently fall back
+/// to GE.
+std::unique_ptr<OverheadModel> overhead_model_for(const std::string& algo);
 
 /// Predicted execution time T(N) = (W - W_seq)/C + t0 + To.
 double predicted_time(const OverheadModel& model, const SystemModel& system,

@@ -1,0 +1,102 @@
+// The scalability-model zoo — fittable rivals to the paper's analytic
+// prediction.
+//
+// The paper predicts heterogeneous scalability from one analytic overhead
+// model (Theorem 1 / models.hpp). The literature offers ready-made rivals
+// that can be *fitted* to the same measured isospeed data instead:
+//
+//   * usl — Gunther's Universal Scalability Law, capacity as a rational
+//     function of p:  E_s(p) = e0 / (1 + sigma (p-1) + kappa p (p-1)),
+//     with sigma the contention and kappa the coherency term. Deliberately
+//     blind to N — the ranking shows what that costs on isospeed data.
+//   * granularity — Kwiatkowski-style computation/communication
+//     granularity ratio G = n^b / (c p^a):  E_s(p, n) = e0 / (1 + 1/G)
+//       = e0 / (1 + c p^a / n^b).
+//   * bsf — Sokolinsky's BSF (bulk-synchronous farm) cost model for
+//     iterative master-worker algorithms: overhead flops linear plus
+//     quadratic in p against the workload,
+//       E_s(p, n) = e0 / (1 + (u p + v p^2) / W(n)),
+//     with W the point's measured workload in flops (u, v in flops).
+//   * heet — HEET-style heterogeneity scoring over the rank-speed vector:
+//     the granularity overhead coefficient grows with the cluster's
+//     heterogeneity score h (scal::heterogeneity_score),
+//       E_s(p, n) = e0 / (1 + (a + b h) (p-1) / n).
+//
+// Every model predicts speed-efficiency E_s from a scal::FitPoint and a
+// small parameter vector, fitted with the deterministic Levenberg-
+// Marquardt solver (fitter.hpp). Evaluation is guarded: non-finite model
+// output is mapped to 0 so a pathological parameter vector can never leak
+// NaN/Inf into reports (tested).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hetscale/predict/fitter.hpp"
+#include "hetscale/scal/fit_study.hpp"
+
+namespace hetscale::predict {
+
+/// A fittable scalability model: name, parameter vector, E_s prediction.
+class ScalabilityModel {
+ public:
+  virtual ~ScalabilityModel() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const std::vector<std::string>& parameter_names() const = 0;
+
+  /// Deterministic starting point derived from the dataset alone.
+  virtual std::vector<double> initial_guess(
+      const scal::FitDataset& data) const = 0;
+
+  /// Project a candidate parameter vector onto the model's box constraints
+  /// (the fitter applies this to every step).
+  virtual void clamp(std::span<double> params) const = 0;
+
+  /// Predicted E_s at one measured point. May return non-finite values for
+  /// hostile parameters; use guarded_predict anywhere the result is
+  /// reported or compared.
+  virtual double predict(const scal::FitPoint& point,
+                         std::span<const double> params) const = 0;
+};
+
+/// predict() with a NaN/Inf guard: non-finite model output becomes 0.0 (a
+/// maximally wrong efficiency, never a poisoned report).
+double guarded_predict(const ScalabilityModel& model,
+                       const scal::FitPoint& point,
+                       std::span<const double> params);
+
+/// The four zoo models, in canonical order: usl, granularity, bsf, heet.
+/// Static instances — valid for the process lifetime.
+std::span<const ScalabilityModel* const> model_zoo();
+
+/// Find a zoo model by name, or nullptr.
+const ScalabilityModel* find_model(const std::string& name);
+
+struct ModelFitResult {
+  std::vector<double> params;
+  double rmse = 0.0;  ///< in-sample RMSE of E_s over the dataset
+};
+
+/// Fit the model to the dataset (deterministic LM from the model's own
+/// initial guess).
+ModelFitResult fit_scalability_model(const ScalabilityModel& model,
+                                     const scal::FitDataset& data,
+                                     const LmOptions& options = {});
+
+struct CrossValidation {
+  double rmse = 0.0;          ///< RMSE of the held-out prediction errors
+  double max_abs_error = 0.0; ///< worst held-out |error|
+};
+
+/// Leave-one-ladder-point-out cross-validation: refit on all points but
+/// one, score the held-out point, repeat for every point. For datasets
+/// with fewer than two points this degenerates to the in-sample error of
+/// the full fit (a single-point ladder cannot be held out).
+CrossValidation leave_one_out_cv(const ScalabilityModel& model,
+                                 const scal::FitDataset& data,
+                                 const LmOptions& options = {});
+
+}  // namespace hetscale::predict

@@ -1,0 +1,149 @@
+#include "hetscale/predict/fitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "hetscale/numeric/linsolve.hpp"
+#include "hetscale/numeric/matrix.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::predict {
+
+namespace {
+
+/// Non-finite residuals poison every norm downstream; map them to a large
+/// finite penalty so the solver backs out of the region instead of
+/// propagating NaN into the parameter estimates.
+constexpr double kResidualPenalty = 1e6;
+
+double sanitize(double r) { return std::isfinite(r) ? r : kResidualPenalty; }
+
+double cost_of(std::span<const double> residuals) {
+  double cost = 0.0;
+  for (const double r : residuals) cost += r * r;
+  return cost;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(const LmResiduals& residuals,
+                             std::size_t residual_count,
+                             std::vector<double> initial,
+                             const LmClamp& clamp, const LmOptions& options) {
+  HETSCALE_REQUIRE(residuals != nullptr, "fitter needs a residual function");
+  const std::size_t k = initial.size();
+  if (clamp) clamp(initial);
+  LmResult result;
+  result.params = std::move(initial);
+  if (residual_count == 0 || k == 0) return result;
+
+  const auto eval = [&](std::span<const double> params,
+                        std::vector<double>& out) {
+    out.assign(residual_count, 0.0);
+    residuals(params, out);
+    for (double& r : out) r = sanitize(r);
+  };
+
+  std::vector<double> r0;
+  eval(result.params, r0);
+  double cost = cost_of(r0);
+
+  double lambda = options.lambda_init;
+  std::vector<double> r_step;
+  std::vector<double> r_probe;
+  numeric::Matrix jacobian(residual_count, k);
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    // Forward-difference Jacobian, one column per parameter, fixed order.
+    for (std::size_t j = 0; j < k; ++j) {
+      const double theta = result.params[j];
+      const double h = std::max(options.jacobian_rel_step * std::abs(theta),
+                                options.jacobian_abs_floor);
+      std::vector<double> probe = result.params;
+      probe[j] = theta + h;
+      if (clamp) clamp(probe);
+      const double dh = probe[j] - theta;
+      if (dh == 0.0) {
+        // The clamp pinned this parameter at a bound; a zero column keeps
+        // it frozen for this iteration (the eps ridge keeps A solvable).
+        for (std::size_t i = 0; i < residual_count; ++i) {
+          jacobian(i, j) = 0.0;
+        }
+        continue;
+      }
+      eval(probe, r_probe);
+      for (std::size_t i = 0; i < residual_count; ++i) {
+        jacobian(i, j) = (r_probe[i] - r0[i]) / dh;
+      }
+    }
+
+    // Normal equations: A = J^T J, g = J^T r.
+    numeric::Matrix jtj(k, k);
+    std::vector<double> jtr(k, 0.0);
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k; ++b) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < residual_count; ++i) {
+          sum += jacobian(i, a) * jacobian(i, b);
+        }
+        jtj(a, b) = sum;
+      }
+      double sum = 0.0;
+      for (std::size_t i = 0; i < residual_count; ++i) {
+        sum += jacobian(i, a) * r0[i];
+      }
+      jtr[a] = sum;
+    }
+
+    bool stepped = false;
+    while (lambda <= options.lambda_max) {
+      numeric::Matrix damped = jtj;
+      for (std::size_t a = 0; a < k; ++a) {
+        damped(a, a) += lambda * (jtj(a, a) + 1e-12);
+      }
+      std::vector<double> rhs(k);
+      for (std::size_t a = 0; a < k; ++a) rhs[a] = -jtr[a];
+      std::vector<double> delta;
+      try {
+        delta = numeric::solve_dense(damped, rhs, numeric::Pivoting::kPartial);
+      } catch (const NumericError&) {
+        lambda *= options.lambda_up;  // singular even with the ridge: damp up
+        continue;
+      }
+      std::vector<double> candidate = result.params;
+      bool finite = true;
+      for (std::size_t a = 0; a < k; ++a) {
+        candidate[a] += delta[a];
+        finite = finite && std::isfinite(candidate[a]);
+      }
+      if (finite) {
+        if (clamp) clamp(candidate);
+        eval(candidate, r_step);
+        const double candidate_cost = cost_of(r_step);
+        if (candidate_cost < cost) {
+          const double improvement =
+              (cost - candidate_cost) / std::max(cost, 1e-300);
+          result.params = std::move(candidate);
+          r0 = r_step;
+          const double previous = cost;
+          cost = candidate_cost;
+          lambda = std::max(lambda * options.lambda_down, options.lambda_min);
+          stepped = true;
+          if (improvement < options.cost_rel_tolerance || previous == 0.0) {
+            iteration = options.max_iterations;  // converged: leave outer loop
+          }
+          break;
+        }
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!stepped) break;  // lambda escaped the ceiling: local minimum
+  }
+
+  result.rmse = std::sqrt(cost / static_cast<double>(residual_count));
+  return result;
+}
+
+}  // namespace hetscale::predict

@@ -120,6 +120,104 @@ double MmOverheadModel::overhead(double n, const SystemModel& system) const {
   return std::max(to, 1e-12);
 }
 
+// ---- Jacobi ----
+
+JacobiOverheadModel::JacobiOverheadModel(std::int64_t sweeps)
+    : sweeps_(sweeps) {
+  HETSCALE_REQUIRE(sweeps_ >= 1, "Jacobi needs sweeps >= 1");
+}
+
+double JacobiOverheadModel::work(double n) const {
+  // algos::jacobi_workload — sweeps interior updates of 6 flops over an
+  // (n-2) x n band layout (kernels::jacobi_sweep_flops).
+  return static_cast<double>(sweeps_) * 6.0 * (n - 2.0) * n;
+}
+
+double JacobiOverheadModel::sequential_flops(double /*n*/) const {
+  return 0.0;  // band updates are fully parallel: Corollary 2 applies
+}
+
+double JacobiOverheadModel::overhead(double n,
+                                     const SystemModel& system) const {
+  const int p = system.p;
+  if (p <= 1) return 1e-12;
+  const auto& comm = system.comm;
+  double to = comm.t_bcast(p, kMetadataBytes);
+  // Grid bands out and back: (p-1) sends each way, ~8N²/p bytes apiece.
+  const double band_bytes =
+      n * n * kBytesPerDouble / static_cast<double>(p);
+  to += 2.0 * static_cast<double>(p - 1) * comm.t_send(band_bytes);
+  // Per sweep the pairwise ghost-row exchanges overlap across band
+  // boundaries; the critical path pays one row down + one row up.
+  to += static_cast<double>(sweeps_) * 2.0 *
+        comm.t_send(n * kBytesPerDouble);
+  return to;
+}
+
+// ---- SpMV ----
+
+namespace {
+/// The synthetic CSR matrix carries 4..16 nonzeros per row, uniform in
+/// expectation — 10 on average (algos::make_synthetic_csr).
+constexpr double kSpmvMeanNnzPerRow = 10.0;
+/// Fraction of the dense marked rate sustained streaming CSR
+/// (algos::kSpmvStreamEfficiency, mirrored to keep predict free of an
+/// algos dependency).
+constexpr double kSpmvStreamEfficiency = 0.35;
+/// Bytes shipped per nonzero when distributing a CSR block: an 8-byte
+/// value plus a packed 4-byte column index.
+constexpr double kSpmvBytesPerNnz = 12.0;
+}  // namespace
+
+SpmvOverheadModel::SpmvOverheadModel(std::int64_t sweeps) : sweeps_(sweeps) {
+  HETSCALE_REQUIRE(sweeps_ >= 1, "SpMV needs sweeps >= 1");
+}
+
+double SpmvOverheadModel::work(double n) const {
+  return static_cast<double>(sweeps_) * 2.0 * kSpmvMeanNnzPerRow * n;
+}
+
+double SpmvOverheadModel::sequential_flops(double /*n*/) const {
+  return 0.0;
+}
+
+double SpmvOverheadModel::overhead(double n,
+                                   const SystemModel& system) const {
+  const auto& comm = system.comm;
+  const int p = system.p;
+  // Memory-bound stall: the sweep flops are charged at the stream
+  // efficiency, so beyond the ideal W/C the system loses W/C·(1/η - 1).
+  double to = work(n) / system.marked_speed *
+              (1.0 / kSpmvStreamEfficiency - 1.0);
+  if (p <= 1) return std::max(to, 1e-12);
+  to += comm.t_bcast(p, kMetadataBytes);
+  // CSR row blocks to the (p-1) remote ranks, ~nnz/p nonzeros apiece.
+  const double block_bytes =
+      kSpmvBytesPerNnz * kSpmvMeanNnzPerRow * n / static_cast<double>(p);
+  to += static_cast<double>(p - 1) * comm.t_send(block_bytes);
+  // Initial x to everyone.
+  const double x_bytes = n * kBytesPerDouble;
+  if (x_bytes >= system.large_bcast_threshold_bytes) {
+    to += std::max(0.0, comm.t_bcast_large(p, x_bytes));
+  } else {
+    to += comm.t_bcast(p, x_bytes);
+  }
+  // Per sweep, a (p-1)-step ring allgather of ~8N/p-byte blocks.
+  to += static_cast<double>(sweeps_) * static_cast<double>(p - 1) *
+        comm.t_send(x_bytes / static_cast<double>(p));
+  return to;
+}
+
+std::unique_ptr<OverheadModel> overhead_model_for(const std::string& algo) {
+  if (algo == "ge") return std::make_unique<GeOverheadModel>();
+  if (algo == "mm") return std::make_unique<MmOverheadModel>();
+  if (algo == "jacobi") return std::make_unique<JacobiOverheadModel>();
+  if (algo == "spmv") return std::make_unique<SpmvOverheadModel>();
+  HETSCALE_REQUIRE(false, "no analytic overhead model for algorithm '" +
+                              algo + "' (supported: ge, mm, jacobi, spmv)");
+  return nullptr;  // unreachable
+}
+
 // ---- Prediction pipeline ----
 
 double predicted_time(const OverheadModel& model, const SystemModel& system,

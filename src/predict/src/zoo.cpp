@@ -1,0 +1,298 @@
+#include "hetscale/predict/zoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::predict {
+
+namespace {
+
+/// Shared box bounds. Efficiencies live in (0, ~1]; overhead coefficients
+/// are non-negative by construction. kCoefMax keeps a diverging fit from
+/// wandering to infinity (where the Jacobian flatlines).
+constexpr double kE0Min = 1e-6;
+constexpr double kE0Max = 1.5;
+constexpr double kCoefMax = 1e18;
+
+double clamp_to(double value, double lo, double hi) {
+  return std::min(std::max(value, lo), hi);
+}
+
+/// Largest measured E_s — every model's natural e0 seed.
+double peak_efficiency(const scal::FitDataset& data) {
+  double peak = 0.0;
+  for (const auto& point : data.points) {
+    peak = std::max(peak, point.speed_efficiency);
+  }
+  return clamp_to(peak, kE0Min, kE0Max);
+}
+
+// ---- usl ----------------------------------------------------------------
+
+class UslModel final : public ScalabilityModel {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "usl";
+    return kName;
+  }
+  const std::vector<std::string>& parameter_names() const override {
+    static const std::vector<std::string> kNames{"e0", "sigma", "kappa"};
+    return kNames;
+  }
+  std::vector<double> initial_guess(
+      const scal::FitDataset& data) const override {
+    // Seed sigma from the mean efficiency decay per added processor.
+    double sigma = 0.0;
+    double count = 0.0;
+    const double e0 = peak_efficiency(data);
+    for (const auto& point : data.points) {
+      if (point.p > 1 && point.speed_efficiency > 0.0) {
+        sigma += (e0 / point.speed_efficiency - 1.0) /
+                 static_cast<double>(point.p - 1);
+        count += 1.0;
+      }
+    }
+    return {e0, count > 0.0 ? sigma / count : 0.0, 0.0};
+  }
+  void clamp(std::span<double> params) const override {
+    params[0] = clamp_to(params[0], kE0Min, kE0Max);
+    params[1] = clamp_to(params[1], 0.0, kCoefMax);
+    params[2] = clamp_to(params[2], 0.0, kCoefMax);
+  }
+  double predict(const scal::FitPoint& point,
+                 std::span<const double> params) const override {
+    const double p = static_cast<double>(point.p);
+    const double denom =
+        1.0 + params[1] * (p - 1.0) + params[2] * p * (p - 1.0);
+    return params[0] / denom;
+  }
+};
+
+// ---- granularity --------------------------------------------------------
+
+class GranularityModel final : public ScalabilityModel {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "granularity";
+    return kName;
+  }
+  const std::vector<std::string>& parameter_names() const override {
+    static const std::vector<std::string> kNames{"e0", "c", "a", "b"};
+    return kNames;
+  }
+  std::vector<double> initial_guess(
+      const scal::FitDataset& data) const override {
+    // With a = b = 1 the overhead ratio is c p / n; seed c from the mean.
+    const double e0 = peak_efficiency(data);
+    double c = 0.0;
+    double count = 0.0;
+    for (const auto& point : data.points) {
+      if (point.speed_efficiency > 0.0 && point.p > 0) {
+        c += (e0 / point.speed_efficiency - 1.0) *
+             static_cast<double>(point.n) / static_cast<double>(point.p);
+        count += 1.0;
+      }
+    }
+    return {e0, count > 0.0 ? std::max(c / count, 0.0) : 1.0, 1.0, 1.0};
+  }
+  void clamp(std::span<double> params) const override {
+    params[0] = clamp_to(params[0], kE0Min, kE0Max);
+    params[1] = clamp_to(params[1], 0.0, kCoefMax);
+    params[2] = clamp_to(params[2], 0.0, 4.0);  // exponents stay physical
+    params[3] = clamp_to(params[3], 0.0, 4.0);
+  }
+  double predict(const scal::FitPoint& point,
+                 std::span<const double> params) const override {
+    const double p = static_cast<double>(point.p);
+    const double n = static_cast<double>(point.n);
+    const double inv_g =
+        params[1] * std::pow(p, params[2]) / std::pow(n, params[3]);
+    return params[0] / (1.0 + inv_g);
+  }
+};
+
+// ---- bsf ----------------------------------------------------------------
+
+class BsfModel final : public ScalabilityModel {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "bsf";
+    return kName;
+  }
+  const std::vector<std::string>& parameter_names() const override {
+    static const std::vector<std::string> kNames{"e0", "u_flops", "v_flops"};
+    return kNames;
+  }
+  std::vector<double> initial_guess(
+      const scal::FitDataset& data) const override {
+    // Seed u (flops of overhead per processor) from the mean implied
+    // overhead; the quadratic term starts at zero.
+    const double e0 = peak_efficiency(data);
+    double u = 0.0;
+    double count = 0.0;
+    for (const auto& point : data.points) {
+      if (point.speed_efficiency > 0.0 && point.p > 0 &&
+          point.work_flops > 0.0) {
+        u += (e0 / point.speed_efficiency - 1.0) * point.work_flops /
+             static_cast<double>(point.p);
+        count += 1.0;
+      }
+    }
+    return {e0, count > 0.0 ? std::max(u / count, 0.0) : 0.0, 0.0};
+  }
+  void clamp(std::span<double> params) const override {
+    params[0] = clamp_to(params[0], kE0Min, kE0Max);
+    params[1] = clamp_to(params[1], 0.0, kCoefMax);
+    params[2] = clamp_to(params[2], 0.0, kCoefMax);
+  }
+  double predict(const scal::FitPoint& point,
+                 std::span<const double> params) const override {
+    const double p = static_cast<double>(point.p);
+    const double overhead_flops = params[1] * p + params[2] * p * p;
+    return params[0] / (1.0 + overhead_flops / point.work_flops);
+  }
+};
+
+// ---- heet ---------------------------------------------------------------
+
+class HeetModel final : public ScalabilityModel {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "heet";
+    return kName;
+  }
+  const std::vector<std::string>& parameter_names() const override {
+    static const std::vector<std::string> kNames{"e0", "a", "b_het"};
+    return kNames;
+  }
+  std::vector<double> initial_guess(
+      const scal::FitDataset& data) const override {
+    // Seed a from the homogeneous-coefficient estimate (h folded in), b
+    // from zero — the fit decides how much the heterogeneity score buys.
+    const double e0 = peak_efficiency(data);
+    double a = 0.0;
+    double count = 0.0;
+    for (const auto& point : data.points) {
+      if (point.speed_efficiency > 0.0 && point.p > 1) {
+        a += (e0 / point.speed_efficiency - 1.0) *
+             static_cast<double>(point.n) / static_cast<double>(point.p - 1);
+        count += 1.0;
+      }
+    }
+    return {e0, count > 0.0 ? std::max(a / count, 0.0) : 1.0, 0.0};
+  }
+  void clamp(std::span<double> params) const override {
+    params[0] = clamp_to(params[0], kE0Min, kE0Max);
+    params[1] = clamp_to(params[1], 0.0, kCoefMax);
+    // b may be negative (heterogeneity can help: the fast root soaks up
+    // the serial portion), but the combined coefficient must stay >= 0 —
+    // enforced in predict by flooring the denominator.
+    params[2] = clamp_to(params[2], -kCoefMax, kCoefMax);
+  }
+  double predict(const scal::FitPoint& point,
+                 std::span<const double> params) const override {
+    const double p = static_cast<double>(point.p);
+    const double n = static_cast<double>(point.n);
+    const double coef =
+        std::max(params[1] + params[2] * point.het_score, 0.0);
+    return params[0] / (1.0 + coef * (p - 1.0) / n);
+  }
+};
+
+}  // namespace
+
+double guarded_predict(const ScalabilityModel& model,
+                       const scal::FitPoint& point,
+                       std::span<const double> params) {
+  const double value = model.predict(point, params);
+  return std::isfinite(value) ? value : 0.0;
+}
+
+std::span<const ScalabilityModel* const> model_zoo() {
+  static const UslModel usl;
+  static const GranularityModel granularity;
+  static const BsfModel bsf;
+  static const HeetModel heet;
+  static const ScalabilityModel* const kZoo[] = {&usl, &granularity, &bsf,
+                                                 &heet};
+  return kZoo;
+}
+
+const ScalabilityModel* find_model(const std::string& name) {
+  for (const ScalabilityModel* model : model_zoo()) {
+    if (model->name() == name) return model;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Fit over an explicit point subset (shared by the full fit and LOO-CV).
+ModelFitResult fit_points(const ScalabilityModel& model,
+                          const scal::FitDataset& data,
+                          std::span<const scal::FitPoint> points,
+                          const LmOptions& options) {
+  const LmResiduals residuals = [&](std::span<const double> params,
+                                    std::span<double> out) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      out[i] =
+          guarded_predict(model, points[i], params) -
+          points[i].speed_efficiency;
+    }
+  };
+  const LmClamp clamp = [&](std::span<double> params) {
+    model.clamp(params);
+  };
+  const LmResult lm = levenberg_marquardt(
+      residuals, points.size(), model.initial_guess(data), clamp, options);
+  return ModelFitResult{lm.params, lm.rmse};
+}
+
+}  // namespace
+
+ModelFitResult fit_scalability_model(const ScalabilityModel& model,
+                                     const scal::FitDataset& data,
+                                     const LmOptions& options) {
+  HETSCALE_REQUIRE(!data.points.empty(), "cannot fit an empty dataset");
+  return fit_points(model, data, data.points, options);
+}
+
+CrossValidation leave_one_out_cv(const ScalabilityModel& model,
+                                 const scal::FitDataset& data,
+                                 const LmOptions& options) {
+  HETSCALE_REQUIRE(!data.points.empty(), "cannot cross-validate nothing");
+  CrossValidation cv;
+  if (data.points.size() < 2) {
+    const ModelFitResult fit = fit_scalability_model(model, data, options);
+    cv.rmse = fit.rmse;
+    for (const auto& point : data.points) {
+      cv.max_abs_error =
+          std::max(cv.max_abs_error,
+                   std::abs(guarded_predict(model, point, fit.params) -
+                            point.speed_efficiency));
+    }
+    return cv;
+  }
+  double sum_sq = 0.0;
+  std::vector<scal::FitPoint> held_in(data.points.size() - 1);
+  for (std::size_t leave = 0; leave < data.points.size(); ++leave) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < data.points.size(); ++i) {
+      if (i != leave) held_in[w++] = data.points[i];
+    }
+    // The initial guess deliberately comes from the *full* dataset: it
+    // keeps every fold starting from the same deterministic seed.
+    const ModelFitResult fit = fit_points(model, data, held_in, options);
+    const double error =
+        guarded_predict(model, data.points[leave], fit.params) -
+        data.points[leave].speed_efficiency;
+    sum_sq += error * error;
+    cv.max_abs_error = std::max(cv.max_abs_error, std::abs(error));
+  }
+  cv.rmse = std::sqrt(sum_sq / static_cast<double>(data.points.size()));
+  return cv;
+}
+
+}  // namespace hetscale::predict

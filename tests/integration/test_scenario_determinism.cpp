@@ -25,6 +25,7 @@
 #include "hetscale/scal/measure_store.hpp"
 #include "hetscale/scenarios/dist2d.hpp"
 #include "hetscale/scenarios/paper.hpp"
+#include "hetscale/scenarios/zoo.hpp"
 
 namespace hetscale {
 namespace {
@@ -47,6 +48,7 @@ class StoreDisabledScope {
 std::string render_csv(const std::string& scenario_name, int jobs) {
   scenarios::register_paper_scenarios();
   scenarios::register_dist2d_scenarios();
+  scenarios::register_zoo_scenarios();
   const run::Scenario* scenario = run::find_scenario(scenario_name);
   if (scenario == nullptr) ADD_FAILURE() << "unknown scenario " << scenario_name;
   run::Runner runner(jobs);
@@ -92,7 +94,8 @@ INSTANTIATE_TEST_SUITE_P(PaperArtifacts, ScenarioDeterminism,
                                            "fig2_mm_speed_efficiency",
                                            "summa_mm_scalability",
                                            "ge_pivot_scalability",
-                                           "spmv_imbalance"));
+                                           "spmv_imbalance",
+                                           "model_zoo_ranking"));
 
 TEST(SchedulerDeterminism, ReplayRepeatsEventCountAndFinalTime) {
   // One GE simulation, replayed on a fresh machine: the event count and the

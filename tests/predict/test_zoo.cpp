@@ -1,0 +1,221 @@
+// The model zoo and its fitter: registry contract, deterministic LM
+// convergence, exact parameter recovery on synthetic data, degenerate
+// ladders, and the NaN/Inf evaluation guard.
+#include "hetscale/predict/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "hetscale/predict/fitter.hpp"
+#include "hetscale/support/error.hpp"
+
+namespace hetscale::predict {
+namespace {
+
+scal::FitPoint point(int p, std::int64_t n, double es,
+                     double work = 1.0e8, double het = 0.1) {
+  scal::FitPoint fp;
+  fp.system = "synthetic";
+  fp.p = p;
+  fp.n = n;
+  fp.work_flops = work;
+  fp.speed_efficiency = es;
+  fp.seconds = work / (es * 1.0e8);
+  fp.marked_speed = 1.0e8;
+  fp.root_speed = 1.0e8 / static_cast<double>(p);
+  fp.het_score = het;
+  return fp;
+}
+
+/// Synthesize a dataset straight from the USL law.
+scal::FitDataset usl_dataset(double e0, double sigma, double kappa) {
+  scal::FitDataset data;
+  data.algo = "synthetic";
+  for (const int p : {1, 2, 4, 8, 16}) {
+    for (const std::int64_t n : {64, 256}) {
+      const double pd = static_cast<double>(p);
+      const double es =
+          e0 / (1.0 + sigma * (pd - 1.0) + kappa * pd * (pd - 1.0));
+      data.points.push_back(point(p, n, es));
+    }
+  }
+  return data;
+}
+
+TEST(ModelZoo, RegistryHasFourModelsInCanonicalOrder) {
+  const auto zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 4u);
+  EXPECT_EQ(zoo[0]->name(), "usl");
+  EXPECT_EQ(zoo[1]->name(), "granularity");
+  EXPECT_EQ(zoo[2]->name(), "bsf");
+  EXPECT_EQ(zoo[3]->name(), "heet");
+  for (const ScalabilityModel* model : zoo) {
+    EXPECT_EQ(find_model(model->name()), model);
+    EXPECT_FALSE(model->parameter_names().empty());
+  }
+  EXPECT_EQ(find_model("no-such-model"), nullptr);
+}
+
+TEST(ModelZoo, ZeroOverheadDataRecoversExactUslParameters) {
+  // sigma = kappa = 0: E_s is flat at e0. The fit must land on e0 with
+  // both overhead coefficients at (or numerically at) zero.
+  const auto data = usl_dataset(0.85, 0.0, 0.0);
+  const auto fit = fit_scalability_model(*find_model("usl"), data);
+  ASSERT_EQ(fit.params.size(), 3u);
+  EXPECT_NEAR(fit.params[0], 0.85, 1e-9);
+  EXPECT_NEAR(fit.params[1], 0.0, 1e-9);
+  EXPECT_NEAR(fit.params[2], 0.0, 1e-9);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+}
+
+TEST(ModelZoo, NoiselessUslDataRecoversContentionAndCoherency) {
+  const auto data = usl_dataset(0.9, 0.08, 0.003);
+  const auto fit = fit_scalability_model(*find_model("usl"), data);
+  EXPECT_NEAR(fit.params[0], 0.9, 1e-4);
+  EXPECT_NEAR(fit.params[1], 0.08, 1e-4);
+  EXPECT_NEAR(fit.params[2], 0.003, 1e-5);
+  EXPECT_LT(fit.rmse, 1e-6);
+}
+
+TEST(ModelZoo, SinglePointLadderFitsAndCrossValidatesInSample) {
+  scal::FitDataset data;
+  data.algo = "synthetic";
+  data.points.push_back(point(4, 128, 0.5));
+  for (const ScalabilityModel* model : model_zoo()) {
+    const auto fit = fit_scalability_model(*model, data);
+    EXPECT_EQ(fit.params.size(), model->parameter_names().size());
+    for (const double param : fit.params) {
+      EXPECT_TRUE(std::isfinite(param)) << model->name();
+    }
+    // <2 points: LOO degrades to the in-sample error of the full fit.
+    const auto cv = leave_one_out_cv(*model, data);
+    EXPECT_TRUE(std::isfinite(cv.rmse)) << model->name();
+    EXPECT_TRUE(std::isfinite(cv.max_abs_error)) << model->name();
+    EXPECT_NEAR(cv.rmse, fit.rmse, 1e-12) << model->name();
+  }
+}
+
+TEST(ModelZoo, SequentialOnlyLadderStaysFinite) {
+  // p = 1 everywhere: every (p-1) term vanishes and several parameters
+  // become unidentifiable. The fit must still return finite parameters
+  // (the Marquardt ridge keeps the normal equations solvable).
+  scal::FitDataset data;
+  data.algo = "synthetic";
+  for (const std::int64_t n : {32, 64, 128}) {
+    data.points.push_back(point(1, n, 0.97));
+  }
+  for (const ScalabilityModel* model : model_zoo()) {
+    const auto fit = fit_scalability_model(*model, data);
+    for (const double param : fit.params) {
+      EXPECT_TRUE(std::isfinite(param)) << model->name();
+    }
+    EXPECT_LT(fit.rmse, 1e-6) << model->name();
+    const auto cv = leave_one_out_cv(*model, data);
+    EXPECT_TRUE(std::isfinite(cv.rmse)) << model->name();
+  }
+}
+
+TEST(ModelZoo, GuardedPredictMapsNonFiniteToZero) {
+  // A zero-work point turns the BSF overhead ratio into 0/0 = NaN.
+  const auto fp = point(4, 128, 0.5, /*work=*/0.0);
+  const ScalabilityModel* bsf = find_model("bsf");
+  const std::vector<double> params{1.0, 0.0, 0.0};
+  EXPECT_TRUE(std::isnan(bsf->predict(fp, params)));
+  EXPECT_EQ(guarded_predict(*bsf, fp, params), 0.0);
+
+  // Finite predictions pass through untouched.
+  const auto ok = point(4, 128, 0.5);
+  EXPECT_EQ(guarded_predict(*bsf, ok, params), bsf->predict(ok, params));
+}
+
+TEST(ModelZoo, FitRejectsEmptyDataset) {
+  const scal::FitDataset empty{"synthetic", {}};
+  EXPECT_THROW(fit_scalability_model(*find_model("usl"), empty),
+               PreconditionError);
+  EXPECT_THROW(leave_one_out_cv(*find_model("usl"), empty),
+               PreconditionError);
+}
+
+TEST(ModelZoo, CrossValidationIsDeterministic) {
+  const auto data = usl_dataset(0.9, 0.1, 0.01);
+  for (const ScalabilityModel* model : model_zoo()) {
+    const auto a = leave_one_out_cv(*model, data);
+    const auto b = leave_one_out_cv(*model, data);
+    EXPECT_EQ(a.rmse, b.rmse) << model->name();  // bit-equal, not near
+    EXPECT_EQ(a.max_abs_error, b.max_abs_error) << model->name();
+  }
+}
+
+// ---- the LM solver itself ----------------------------------------------
+
+TEST(Fitter, ConvergesOnKnownRationalCurve) {
+  // y = a / (1 + b x) sampled exactly; start far from the solution.
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  const double a_true = 2.5;
+  const double b_true = 0.3;
+  const LmResiduals residuals = [&](std::span<const double> params,
+                                    std::span<double> out) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      out[i] = params[0] / (1.0 + params[1] * xs[i]) -
+               a_true / (1.0 + b_true * xs[i]);
+    }
+  };
+  const auto result =
+      levenberg_marquardt(residuals, xs.size(), {1.0, 1.0});
+  EXPECT_NEAR(result.params[0], a_true, 1e-6);
+  EXPECT_NEAR(result.params[1], b_true, 1e-6);
+  EXPECT_LT(result.rmse, 1e-8);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(Fitter, DegenerateInputsReturnClampedInitialGuess) {
+  const LmResiduals residuals = [](std::span<const double>,
+                                   std::span<double> out) {
+    for (double& r : out) r = 1.0;
+  };
+  const LmClamp clamp = [](std::span<double> params) {
+    for (double& p : params) p = std::max(p, 0.5);
+  };
+  // No residuals: nothing to fit.
+  const auto empty = levenberg_marquardt(residuals, 0, {0.1, 0.2}, clamp);
+  EXPECT_EQ(empty.params, (std::vector<double>{0.5, 0.5}));
+  EXPECT_EQ(empty.rmse, 0.0);
+  EXPECT_EQ(empty.iterations, 0);
+  // No parameters: nothing to move.
+  const auto no_params = levenberg_marquardt(residuals, 3, {});
+  EXPECT_TRUE(no_params.params.empty());
+}
+
+TEST(Fitter, NonFiniteResidualsAreSanitizedNotPropagated) {
+  // The residual function returns NaN away from the origin; the solver
+  // must treat that region as high-cost and stay finite.
+  const LmResiduals residuals = [](std::span<const double> params,
+                                   std::span<double> out) {
+    out[0] = params[0] > 0.5 ? std::numeric_limits<double>::quiet_NaN()
+                             : params[0] - 0.25;
+  };
+  const auto result = levenberg_marquardt(residuals, 1, {0.0});
+  ASSERT_EQ(result.params.size(), 1u);
+  EXPECT_TRUE(std::isfinite(result.params[0]));
+  EXPECT_TRUE(std::isfinite(result.rmse));
+  EXPECT_NEAR(result.params[0], 0.25, 1e-6);
+}
+
+TEST(Fitter, FixedBudgetIsHonored) {
+  LmOptions options;
+  options.max_iterations = 3;
+  // A residual the solver can always improve a little keeps it stepping.
+  const LmResiduals residuals = [](std::span<const double> params,
+                                   std::span<double> out) {
+    out[0] = std::exp(params[0]) - 0.5;
+  };
+  const auto result = levenberg_marquardt(residuals, 1, {5.0}, nullptr,
+                                          options);
+  EXPECT_LE(result.iterations, 3);
+}
+
+}  // namespace
+}  // namespace hetscale::predict

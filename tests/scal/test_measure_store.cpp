@@ -1,15 +1,20 @@
 // MeasurementStore: fingerprint sharing across display names, disk
-// round-trip with exact doubles, and version gating.
+// round-trip with exact doubles, version gating, and warm-starting a fit
+// study from a persisted cache.
 #include "hetscale/scal/measure_store.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "hetscale/machine/sunwulf.hpp"
+#include "hetscale/predict/zoo.hpp"
 #include "hetscale/run/runner.hpp"
+#include "hetscale/scal/fit_study.hpp"
 
 namespace hetscale::scal {
 namespace {
@@ -169,6 +174,54 @@ TEST_F(MeasureStoreTest, MeasureManyDeduplicatesAndUsesStore) {
     EXPECT_EQ(batch[i].seconds, again[i].seconds);
     EXPECT_EQ(batch[i].speed_efficiency, again[i].speed_efficiency);
   }
+}
+
+TEST_F(MeasureStoreTest, PersistedCacheWarmStartsFitStudyByteIdentically) {
+  // Cold pass: gather a fit dataset (every point is a store miss), fit a
+  // model, and persist the store — the `--measure-cache` save path.
+  auto& store = MeasurementStore::global();
+  GeCombination cold("C2", ge2_config());
+  std::vector<ClusterCombination*> ladder{&cold};
+  const std::vector<std::int64_t> sizes{32, 48, 64};
+  run::Runner runner(2);
+  const auto cold_data = gather_fit_points("ge", ladder, sizes, &runner);
+  const auto cold_fit = predict::fit_scalability_model(
+      *predict::find_model("usl"), cold_data);
+  EXPECT_EQ(store.misses(), sizes.size());
+  EXPECT_EQ(store.size(), sizes.size());
+
+  const std::string path =
+      ::testing::TempDir() + "/hetscale_measure_cache_test.txt";
+  ASSERT_TRUE(store.save_file(path));
+
+  // Warm pass: a fresh process (modeled by clear + load_file) must serve
+  // every measurement from the cache — zero new misses — and reproduce
+  // the fit output bit for bit.
+  store.clear();
+  ASSERT_TRUE(store.load_file(path));
+  ASSERT_EQ(store.size(), sizes.size());
+  const std::uint64_t hits_before = store.hits();
+  const std::uint64_t misses_before = store.misses();
+  GeCombination warm("C2-warm", ge2_config());
+  std::vector<ClusterCombination*> warm_ladder{&warm};
+  const auto warm_data = gather_fit_points("ge", warm_ladder, sizes, &runner);
+  EXPECT_EQ(store.misses(), misses_before)
+      << "a warm-started gather must not recompute anything";
+  EXPECT_EQ(store.hits(), hits_before + sizes.size());
+
+  ASSERT_EQ(warm_data.points.size(), cold_data.points.size());
+  for (std::size_t i = 0; i < cold_data.points.size(); ++i) {
+    EXPECT_EQ(warm_data.points[i].seconds, cold_data.points[i].seconds);
+    EXPECT_EQ(warm_data.points[i].speed_efficiency,
+              cold_data.points[i].speed_efficiency);
+    EXPECT_EQ(warm_data.points[i].work_flops,
+              cold_data.points[i].work_flops);
+  }
+  const auto warm_fit = predict::fit_scalability_model(
+      *predict::find_model("usl"), warm_data);
+  EXPECT_EQ(warm_fit.params, cold_fit.params);  // bit-equal, not near
+  EXPECT_EQ(warm_fit.rmse, cold_fit.rmse);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -28,6 +28,7 @@ _KNOWN_SCHEMAS = (
     "hetscale.bench.pr4/v1",
     "hetscale.bench.pr5/v1",
     "hetscale.bench.pr6/v1",
+    "hetscale.bench.pr7/v1",
 )
 
 

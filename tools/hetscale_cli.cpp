@@ -7,7 +7,9 @@
 //   hetscale_cli solve   --algo ge --cluster "server:2,sunbladex3" --target 0.3
 //   hetscale_cli curve   --algo mm --cluster "server:1,v210x3:1" --from 32 --to 512 --step 32
 //   hetscale_cli series  --algo ge --ladder "2,4,8,16" --target 0.3
-//   hetscale_cli predict --ladder "2,4,8" --target 0.3
+//   hetscale_cli predict --algo jacobi --ladder "2,4,8" --target 0.3
+//   hetscale_cli fit     --algo ge --format json --jobs 8
+//   hetscale_cli fit     spmv --format table
 //   hetscale_cli profile table2_ge_two_nodes --format json --out report.json
 //   hetscale_cli profile --algo sort --cluster "sunbladex4" --n 4096
 //                        --format table --trace-out sort.trace.json
@@ -52,6 +54,7 @@
 #include "hetscale/scenarios/fault.hpp"
 #include "hetscale/scenarios/paper.hpp"
 #include "hetscale/scenarios/profile.hpp"
+#include "hetscale/scenarios/zoo.hpp"
 #include "hetscale/support/args.hpp"
 #include "hetscale/support/csv.hpp"
 #include "hetscale/support/table.hpp"
@@ -104,6 +107,7 @@ void register_all_scenarios() {
   scenarios::register_fault_scenarios();
   scenarios::register_profile_scenarios();
   scenarios::register_dist2d_scenarios();
+  scenarios::register_zoo_scenarios();
 }
 
 /// `hetscale_cli scenarios [substring]` — the registry as a listing, with
@@ -268,20 +272,61 @@ int cmd_series(const ArgParser& args) {
 }
 
 int cmd_predict(const ArgParser& args) {
-  const double target = args.get_double("target", 0.3);
+  const std::string algo = args.get_or("algo", "ge");
+  // Throws a loud PreconditionError for algorithms without an analytic
+  // model (sort, summa, ...) — predict never silently falls back to GE.
+  const auto model = predict::overhead_model_for(algo);
+  // Per-algorithm defaults: the paper's targets for ge/mm, ge's for the
+  // compute-bound jacobi, and a low bar for spmv — its CSR streaming stall
+  // caps E_s well below the dense targets.
+  const double default_target =
+      algo == "mm" ? 0.2 : (algo == "spmv" ? 0.05 : 0.3);
+  const double target = args.get_double("target", default_target);
   const auto comm = predict::probe_comm_model(
       predict::ProbeConfig{.node = machine::sunwulf::sunblade_spec()});
-  predict::GeOverheadModel model;
-  Table table("Predicted GE operating points (probed parameters, paper §4.5)");
+  // ge/jacobi run on the paper's GE ensembles, mm/spmv on the MM ones —
+  // the same pairing the fit study measures.
+  const bool mm_ensembles = algo == "mm" || algo == "spmv";
+  Table table("Predicted " + algo +
+              " operating points (probed parameters, paper §4.5)");
   table.set_header({"nodes", "predicted N"});
   for (const auto& piece : split(args.get_or("ladder", "2,4,8"), ',')) {
     const int nodes = static_cast<int>(std::stol(piece));
     const auto system = predict::system_model_for(
-        machine::sunwulf::ge_ensemble(nodes), comm);
+        mm_ensembles ? machine::sunwulf::mm_ensemble(nodes)
+                     : machine::sunwulf::ge_ensemble(nodes),
+        comm);
     table.add_row({piece, std::to_string(predict::predicted_required_size(
-                              model, system, target))});
+                              *model, system, target))});
   }
   std::cout << table;
+  return 0;
+}
+
+/// `hetscale_cli fit [algo]` — fit and cross-validate the model zoo on
+/// measured efficiency points, ranked against the analytic prediction.
+int cmd_fit(const ArgParser& args) {
+  const auto& positional = args.positional();
+  std::vector<std::string> algos;
+  if (positional.size() > 1) {
+    algos.push_back(positional[1]);
+  } else if (args.has("algo")) {
+    algos.push_back(args.get("algo"));
+  } else {
+    algos = scenarios::zoo_algos();
+  }
+  run::Runner runner(resolve_jobs(args));
+  const auto report = scenarios::build_fit_report(algos, &runner);
+  const std::string format = args.get_or("format", "table");
+  if (format == "json") {
+    report.to_json(std::cout);
+  } else if (format == "csv") {
+    std::cout << report.to_csv();
+  } else if (format == "table") {
+    std::cout << report.to_table();
+  } else {
+    throw PreconditionError("fit supports --format json, csv, or table");
+  }
   return 0;
 }
 
@@ -463,12 +508,13 @@ int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "curve") return cmd_curve(args);
   if (command == "series") return cmd_series(args);
   if (command == "predict") return cmd_predict(args);
+  if (command == "fit") return cmd_fit(args);
   if (command == "profile") return cmd_profile(args);
   if (command == "trace") return profile_adhoc(args, /*trace_alias=*/true);
   if (command == "inject") return cmd_inject(args);
   std::cout << "hetscale_cli — isospeed-efficiency scalability analyses\n"
             << "commands: run | scenarios | marked | solve | curve | series "
-               "| predict | profile | trace | inject\n\n"
+               "| predict | fit | profile | trace | inject\n\n"
             << args.help("hetscale_cli <command>");
   return command.empty() ? 0 : 2;
 }
@@ -492,7 +538,9 @@ int main(int argc, char** argv) {
       .add_flag("out", "profile: report file; trace: chrome-trace file")
       .add_flag("trace-out", "profile: chrome-trace output file")
       .add_flag("format",
-                "run: text, csv, json; profile: json, prom, table", "text")
+                "run: text, csv, json; fit: json, csv, table; profile: "
+                "json, prom, table",
+                "text")
       .add_bool("profile", "run: also print the obs report to stderr")
       .add_flag("slowdown", "inject: straggler compute-rate factor", "1.0")
       .add_flag("loss", "inject: per-transmission drop probability", "0.0")
