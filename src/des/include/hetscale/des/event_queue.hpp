@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "hetscale/des/telemetry.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::des {
@@ -59,12 +60,18 @@ class LadderEventQueue {
   bool empty() const { return count_ == 0; }
   std::size_t size() const { return count_; }
 
+  /// Bind an optional telemetry block (null detaches). Unbound — the
+  /// default — the instrumented paths reduce to one untaken branch each.
+  void bind_telemetry(QueueTelemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Insert an event. The caller (the scheduler) guarantees that `e.time` is
   /// never behind the last popped time, which is what keeps insertions into
   /// the currently-draining bucket order-safe.
   void push(const Event& e) {
     ++count_;
+    if (telemetry_ != nullptr) ++telemetry_->pushes;
     if (ladder_count_ == 0 || e.time >= epoch_end_) {
+      if (telemetry_ != nullptr) ++telemetry_->far_inserts;
       far_.push_back(e);
       return;
     }
@@ -101,6 +108,7 @@ class LadderEventQueue {
   Event pop_min() {
     HETSCALE_DCHECK(!empty(), "pop from an empty event queue");
     --count_;
+    if (telemetry_ != nullptr) ++telemetry_->pops;
     if (ladder_count_ == 0) {
       // Small-count fast path. The simulator's steady state is a handful of
       // pending events (one per rank, mostly), and with an empty ladder they
@@ -165,6 +173,7 @@ class LadderEventQueue {
   SimTime epoch_start_ = 0.0;
   SimTime epoch_end_ = 0.0;
   double inv_width_ = 0.0;
+  QueueTelemetry* telemetry_ = nullptr;  ///< optional; see bind_telemetry()
 };
 
 }  // namespace hetscale::des

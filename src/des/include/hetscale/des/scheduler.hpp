@@ -44,6 +44,13 @@ class Scheduler {
   /// Total resumption events processed so far (for tests and micro benches).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Bind optional telemetry for the backing ladder queue (see
+  /// des/telemetry.hpp). The front-slot fast path is not counted — it never
+  /// touches the ladder; the counters cover the overlap traffic that does.
+  void bind_telemetry(QueueTelemetry* telemetry) {
+    queue_.bind_telemetry(telemetry);
+  }
+
   /// High-water mark of the pending-event queue depth. Only the overlap
   /// path maintains max_queue_depth_, so a run that never held two pending
   /// events reports depth 1 (anything scheduled at all means depth >= 1).

@@ -25,6 +25,15 @@ void LadderEventQueue::rebuild() {
   // bucket is sorted once, when the drain reaches it. A degenerate span (all
   // events at one instant) gets an arbitrary positive width — everything
   // lands in bucket 0 and the epoch behaves like a single sorted run.
+  if (telemetry_ != nullptr) {
+    ++telemetry_->rebuilds;
+    // The rebuild instant is the one point where the whole pending
+    // population is in hand; count_ was already decremented for the pop in
+    // flight, so +1 restores the true depth.
+    if (telemetry_->occupancy.size() < QueueTelemetry::kMaxSamples) {
+      telemetry_->occupancy.push_back(QueueTelemetry::Sample{lo, count_ + 1});
+    }
+  }
   double width = 2.0 * (hi - lo) / static_cast<double>(kBuckets);
   if (!(width > 0.0)) width = 1.0;
   epoch_start_ = lo;

@@ -1,0 +1,79 @@
+// Cross-run analysis: the data model behind `hetscale_cli analyze`.
+//
+// An Analysis folds a Profiler's runs (in canonical sorted order, so the
+// result is independent of completion order and therefore of --jobs) into
+// one deterministic view: summed critical-path attribution, the merged
+// per-rank communication matrix with ranked hotspots, and ladder-queue
+// telemetry totals. Exports are byte-stable: equal profiles render to equal
+// bytes in every format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hetscale/obs/comm_matrix.hpp"
+#include "hetscale/obs/profiler.hpp"
+#include "hetscale/support/table.hpp"
+
+namespace hetscale::obs {
+
+struct AnalysisOptions {
+  /// Name of the analyzed workload, echoed in every export.
+  std::string subject = "unnamed";
+  /// How many hotspot edges to keep in each ranking (top wait, top bytes).
+  int top = 10;
+};
+
+/// One ranked communication edge: a merged (src, dst, phase) cell plus its
+/// share of the corresponding total (receiver wait or on-wire bytes).
+struct CommHotspot {
+  CommCell cell;
+  /// Fraction of the ranking's total carried by this edge; 0 when the
+  /// total is not positive.
+  double share = 0.0;
+};
+
+class Analysis {
+ public:
+  Analysis(const Profiler& profiler, AnalysisOptions options);
+
+  std::size_t runs() const { return runs_; }
+  double elapsed_s() const { return elapsed_s_; }
+  const CriticalPathSummary& critical_path() const { return critical_path_; }
+  const std::vector<CommCell>& comm_cells() const { return comm_cells_; }
+  const std::vector<CommHotspot>& top_wait() const { return top_wait_; }
+  const std::vector<CommHotspot>& top_bytes() const { return top_bytes_; }
+  const DesQueueStats& des_queue() const { return des_queue_; }
+  std::uint64_t occupancy_peak() const { return occupancy_peak_; }
+
+  /// hetscale.obs.analysis/v1 — a self-contained JSON document.
+  void to_json(std::ostream& os) const;
+
+  /// The merged communication matrix as CSV (one row per (src, dst, phase)
+  /// cell, sorted by key), for external plotting of heat maps.
+  void to_csv(std::ostream& os) const;
+
+  /// Human-readable summary: critical-path attribution plus the top-N
+  /// hotspot edges ranked by receiver wait.
+  std::string to_text() const;
+
+ private:
+  std::string subject_;
+  int top_ = 10;
+  std::size_t runs_ = 0;
+  double elapsed_s_ = 0.0;
+  CriticalPathSummary critical_path_;
+  /// Merged across runs, sorted by (src, dst, phase).
+  std::vector<CommCell> comm_cells_;
+  std::vector<CommHotspot> top_wait_;
+  std::vector<CommHotspot> top_bytes_;
+  /// Counter totals only; raw occupancy timelines are summarized into
+  /// `occupancy_peak_` / `occupancy_samples_` and not merged across runs.
+  DesQueueStats des_queue_;
+  std::uint64_t occupancy_peak_ = 0;
+  std::uint64_t occupancy_samples_ = 0;
+};
+
+}  // namespace hetscale::obs

@@ -24,4 +24,9 @@ std::string format_double(double value);
 /// "null" — the same convention as hetscale.run.result/v1.
 std::string json_number_or_null(double value);
 
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash -> \\, double quote -> \", newline -> \n (the three escapes
+/// the format defines; everything else passes through verbatim).
+std::string prom_escape(const std::string& value);
+
 }  // namespace hetscale::obs

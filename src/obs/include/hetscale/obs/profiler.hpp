@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "hetscale/obs/budget.hpp"
+#include "hetscale/obs/comm_matrix.hpp"
 
 namespace hetscale::obs {
 
@@ -51,6 +52,41 @@ struct FaultProfileTotals {
   auto operator<=>(const FaultProfileTotals&) const = default;
 };
 
+/// Category totals of one run's critical path (obs/critical_path.hpp
+/// computes them; the per-segment detail stays with the analyzer — the
+/// profile carries just the fold-friendly sums).
+struct CriticalPathSummary {
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double wait_s = 0.0;
+  double fault_s = 0.0;
+
+  double total_s() const { return compute_s + comm_s + wait_s + fault_s; }
+
+  auto operator<=>(const CriticalPathSummary&) const = default;
+};
+
+/// Ladder-queue telemetry totals (mirrors des::QueueTelemetry — the obs
+/// layer sits below des in the build, so it keeps its own shape).
+struct DesQueueStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t far_inserts = 0;
+  std::uint64_t rebuilds = 0;
+
+  /// Occupancy timeline: (virtual time, pending events) at every ladder
+  /// epoch rebuild, capped at the producer side.
+  struct Sample {
+    double time = 0.0;
+    std::uint64_t depth = 0;
+
+    auto operator<=>(const Sample&) const = default;
+  };
+  std::vector<Sample> occupancy;
+
+  auto operator<=>(const DesQueueStats&) const = default;
+};
+
 /// Everything one machine run contributes to the report. All values are
 /// virtual-time or event counts — deterministic by construction. The
 /// defaulted ordering is what report() sorts by; no field may be NaN.
@@ -78,6 +114,13 @@ struct RunProfile {
   // fault injection
   FaultProfileTotals fault;
 
+  // communication observatory: per-(src, dst, phase) traffic cells in
+  // canonical order, the run's critical-path attribution, and the ladder
+  // queue's telemetry (empty/zero when the machine ran unprofiled).
+  std::vector<CommCell> comm_cells;
+  CriticalPathSummary critical_path;
+  DesQueueStats des_queue;
+
   auto operator<=>(const RunProfile&) const = default;
 };
 
@@ -88,6 +131,7 @@ struct WallStats {
   double worker_busy_s = 0.0;  ///< summed per-lane busy wall time
   std::uint64_t batches = 0;
   std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;  ///< Chase-Lev deque steals across batches
   int jobs = 0;
 
   bool empty() const { return batches == 0 && tasks == 0 && wall_s == 0.0; }
@@ -104,7 +148,7 @@ class Profiler {
   /// Record host-side batch execution (volatile; Runner calls this).
   /// Thread-safe.
   void record_batch(int jobs, std::uint64_t tasks, double wall_s,
-                    double worker_busy_s);
+                    double worker_busy_s, std::uint64_t steals = 0);
 
   std::size_t runs() const;
 

@@ -1,0 +1,233 @@
+#include "hetscale/obs/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "hetscale/obs/format.hpp"
+#include "hetscale/support/csv.hpp"
+
+namespace hetscale::obs {
+
+namespace {
+
+/// Rank merged cells by a metric, largest first; ties break on the cell key
+/// so the ranking is a total order (required for byte-stable exports).
+std::vector<CommHotspot> rank_cells(const std::vector<CommCell>& cells,
+                                    double (*metric)(const CommCell&),
+                                    int top) {
+  double total = 0.0;
+  for (const CommCell& cell : cells) total += metric(cell);
+  std::vector<CommHotspot> ranked;
+  ranked.reserve(cells.size());
+  for (const CommCell& cell : cells) {
+    const double value = metric(cell);
+    ranked.push_back(
+        CommHotspot{cell, total > 0.0 ? value / total : 0.0});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const CommHotspot& a, const CommHotspot& b) {
+              const double ma = metric(a.cell);
+              const double mb = metric(b.cell);
+              if (ma != mb) return ma > mb;
+              return std::tie(a.cell.src, a.cell.dst, a.cell.phase) <
+                     std::tie(b.cell.src, b.cell.dst, b.cell.phase);
+            });
+  if (top >= 0 && ranked.size() > static_cast<std::size_t>(top)) {
+    ranked.resize(static_cast<std::size_t>(top));
+  }
+  return ranked;
+}
+
+void write_hotspots(std::ostream& os, const std::vector<CommHotspot>& edges) {
+  os << "[";
+  bool first = true;
+  for (const CommHotspot& edge : edges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n      {\"src\": " << edge.cell.src
+       << ", \"dst\": " << edge.cell.dst << ", \"phase\": \""
+       << json_escape(
+              comm_phase_name(static_cast<CommPhase>(edge.cell.phase)))
+       << "\", \"messages\": " << edge.cell.messages
+       << ", \"bytes\": " << json_number_or_null(edge.cell.bytes)
+       << ", \"wait_s\": " << json_number_or_null(edge.cell.wait_s)
+       << ", \"share\": " << json_number_or_null(edge.share) << "}";
+  }
+  os << (first ? "]" : "\n    ]");
+}
+
+}  // namespace
+
+Analysis::Analysis(const Profiler& profiler, AnalysisOptions options)
+    : subject_(std::move(options.subject)), top_(options.top) {
+  // sorted_runs() is the same canonical fold the report uses, so every
+  // quantity below is independent of worker count and completion order.
+  const std::vector<RunProfile> runs = profiler.sorted_runs();
+  runs_ = runs.size();
+  std::map<std::tuple<int, int, int>, CommCell> merged;
+  for (const RunProfile& run : runs) {
+    elapsed_s_ += run.elapsed_s;
+    critical_path_.compute_s += run.critical_path.compute_s;
+    critical_path_.comm_s += run.critical_path.comm_s;
+    critical_path_.wait_s += run.critical_path.wait_s;
+    critical_path_.fault_s += run.critical_path.fault_s;
+    for (const CommCell& cell : run.comm_cells) {
+      CommCell& into =
+          merged
+              .try_emplace(std::tuple<int, int, int>{cell.src, cell.dst,
+                                                     cell.phase},
+                           CommCell{cell.src, cell.dst, cell.phase})
+              .first->second;
+      into.messages += cell.messages;
+      into.bytes += cell.bytes;
+      into.wait_s += cell.wait_s;
+    }
+    des_queue_.pushes += run.des_queue.pushes;
+    des_queue_.pops += run.des_queue.pops;
+    des_queue_.far_inserts += run.des_queue.far_inserts;
+    des_queue_.rebuilds += run.des_queue.rebuilds;
+    occupancy_samples_ += run.des_queue.occupancy.size();
+    for (const DesQueueStats::Sample& sample : run.des_queue.occupancy) {
+      occupancy_peak_ = std::max(occupancy_peak_, sample.depth);
+    }
+  }
+  comm_cells_.reserve(merged.size());
+  for (const auto& [key, cell] : merged) comm_cells_.push_back(cell);
+  top_wait_ = rank_cells(
+      comm_cells_, [](const CommCell& c) { return c.wait_s; }, top_);
+  top_bytes_ = rank_cells(
+      comm_cells_, [](const CommCell& c) { return c.bytes; }, top_);
+}
+
+void Analysis::to_json(std::ostream& os) const {
+  double messages = 0.0;
+  double bytes = 0.0;
+  double wait_s = 0.0;
+  struct PhaseTotals {
+    double messages = 0.0;
+    double bytes = 0.0;
+    double wait_s = 0.0;
+  };
+  std::map<int, PhaseTotals> phases;
+  for (const CommCell& cell : comm_cells_) {
+    messages += static_cast<double>(cell.messages);
+    bytes += cell.bytes;
+    wait_s += cell.wait_s;
+    PhaseTotals& t = phases[cell.phase];
+    t.messages += static_cast<double>(cell.messages);
+    t.bytes += cell.bytes;
+    t.wait_s += cell.wait_s;
+  }
+
+  os << "{\n";
+  os << "  \"schema\": \"hetscale.obs.analysis/v1\",\n";
+  os << "  \"subject\": \"" << json_escape(subject_) << "\",\n";
+  os << "  \"runs\": " << runs_ << ",\n";
+  os << "  \"elapsed_virtual_s\": " << json_number_or_null(elapsed_s_)
+     << ",\n";
+  os << "  \"critical_path\": {";
+  os << "\"compute_s\": " << json_number_or_null(critical_path_.compute_s)
+     << ", ";
+  os << "\"comm_s\": " << json_number_or_null(critical_path_.comm_s)
+     << ", ";
+  os << "\"wait_s\": " << json_number_or_null(critical_path_.wait_s)
+     << ", ";
+  os << "\"fault_s\": " << json_number_or_null(critical_path_.fault_s)
+     << ", ";
+  os << "\"total_s\": " << json_number_or_null(critical_path_.total_s());
+  os << "},\n";
+  os << "  \"comm_matrix\": {\n";
+  os << "    \"cells\": " << comm_cells_.size() << ",\n";
+  os << "    \"messages\": " << json_number_or_null(messages) << ",\n";
+  os << "    \"bytes\": " << json_number_or_null(bytes) << ",\n";
+  os << "    \"wait_s\": " << json_number_or_null(wait_s) << ",\n";
+  os << "    \"phases\": [";
+  bool first = true;
+  for (const auto& [phase, totals] : phases) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n      {\"phase\": \""
+       << json_escape(comm_phase_name(static_cast<CommPhase>(phase)))
+       << "\", \"messages\": " << json_number_or_null(totals.messages)
+       << ", \"bytes\": " << json_number_or_null(totals.bytes)
+       << ", \"wait_s\": " << json_number_or_null(totals.wait_s) << "}";
+  }
+  os << (first ? "],\n" : "\n    ],\n");
+  os << "    \"top_wait\": ";
+  write_hotspots(os, top_wait_);
+  os << ",\n";
+  os << "    \"top_bytes\": ";
+  write_hotspots(os, top_bytes_);
+  os << "\n  },\n";
+  os << "  \"des_queue\": {";
+  os << "\"pushes\": " << des_queue_.pushes << ", ";
+  os << "\"pops\": " << des_queue_.pops << ", ";
+  os << "\"far_inserts\": " << des_queue_.far_inserts << ", ";
+  os << "\"rebuilds\": " << des_queue_.rebuilds << ", ";
+  os << "\"occupancy_peak\": " << occupancy_peak_ << ", ";
+  os << "\"occupancy_samples\": " << occupancy_samples_;
+  os << "}\n";
+  os << "}\n";
+}
+
+void Analysis::to_csv(std::ostream& os) const {
+  CsvWriter csv({"src", "dst", "phase", "messages", "bytes", "wait_s"});
+  for (const CommCell& cell : comm_cells_) {
+    csv.add_row({std::to_string(cell.src), std::to_string(cell.dst),
+                 comm_phase_name(static_cast<CommPhase>(cell.phase)),
+                 std::to_string(cell.messages), format_double(cell.bytes),
+                 format_double(cell.wait_s)});
+  }
+  csv.write_to(os);
+}
+
+std::string Analysis::to_text() const {
+  std::ostringstream out;
+  Table path("Critical path  " + subject_ + "  (" + std::to_string(runs_) +
+             " run" + (runs_ == 1 ? "" : "s") + ", virtual seconds)");
+  path.set_header({"Segment", "Seconds", "Share"});
+  const double total = critical_path_.total_s();
+  auto share = [&](double v) {
+    return total > 0.0 ? Table::fixed(100.0 * v / total, 1) + "%" : "-";
+  };
+  path.add_row({"compute", Table::num(critical_path_.compute_s, 6),
+                share(critical_path_.compute_s)});
+  path.add_row({"comm", Table::num(critical_path_.comm_s, 6),
+                share(critical_path_.comm_s)});
+  path.add_row({"wait", Table::num(critical_path_.wait_s, 6),
+                share(critical_path_.wait_s)});
+  path.add_row({"fault", Table::num(critical_path_.fault_s, 6),
+                share(critical_path_.fault_s)});
+  path.add_row({"total", Table::num(total, 6), share(total)});
+  out << path;
+
+  Table hot("Comm hotspots  top " + std::to_string(top_wait_.size()) +
+            " by receiver wait");
+  hot.set_header({"Src", "Dst", "Phase", "Msgs", "Bytes", "Wait s", "Share"});
+  for (const CommHotspot& edge : top_wait_) {
+    hot.add_row({std::to_string(edge.cell.src), std::to_string(edge.cell.dst),
+                 comm_phase_name(static_cast<CommPhase>(edge.cell.phase)),
+                 std::to_string(edge.cell.messages),
+                 Table::num(edge.cell.bytes, 6),
+                 Table::num(edge.cell.wait_s, 6),
+                 Table::fixed(100.0 * edge.share, 1) + "%"});
+  }
+  out << "\n" << hot;
+
+  Table queue("Event queue telemetry");
+  queue.set_header({"Counter", "Value"});
+  queue.add_row({"pushes", std::to_string(des_queue_.pushes)});
+  queue.add_row({"pops", std::to_string(des_queue_.pops)});
+  queue.add_row({"far inserts", std::to_string(des_queue_.far_inserts)});
+  queue.add_row({"rebuilds", std::to_string(des_queue_.rebuilds)});
+  queue.add_row({"occupancy peak", std::to_string(occupancy_peak_)});
+  queue.add_row({"occupancy samples", std::to_string(occupancy_samples_)});
+  out << "\n" << queue;
+  return out.str();
+}
+
+}  // namespace hetscale::obs

@@ -46,4 +46,18 @@ std::string json_number_or_null(double value) {
   return format_double(value);
 }
 
+std::string prom_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace hetscale::obs

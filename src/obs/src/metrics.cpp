@@ -31,21 +31,6 @@ Labels canonical(Labels labels) {
   return labels;
 }
 
-/// Escape a label value for the Prometheus exposition format.
-std::string prom_escape(const std::string& value) {
-  std::string out;
-  out.reserve(value.size());
-  for (const char c : value) {
-    if (c == '\\' || c == '"') out += '\\';
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out += c;
-  }
-  return out;
-}
-
 std::string prom_labels(const Labels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";

@@ -16,12 +16,13 @@ void Profiler::add_run(RunProfile run) {
 }
 
 void Profiler::record_batch(int jobs, std::uint64_t tasks, double wall_s,
-                            double worker_busy_s) {
+                            double worker_busy_s, std::uint64_t steals) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++wall_.batches;
   wall_.tasks += tasks;
   wall_.wall_s += wall_s;
   wall_.worker_busy_s += worker_busy_s;
+  wall_.steals += steals;
   wall_.jobs = std::max(wall_.jobs, jobs);
 }
 

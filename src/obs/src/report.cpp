@@ -1,5 +1,7 @@
 #include "hetscale/obs/report.hpp"
 
+#include <algorithm>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,6 +57,61 @@ void fold_run(MetricsRegistry& m, const RunProfile& run) {
         .add(link.wire_s);
     m.counter("hetscale_net_link_stall_seconds_total", by_node)
         .add(link.stall_s);
+  }
+
+  if (!run.comm_cells.empty()) {
+    // The report keeps the per-phase rollup; the full (src, dst, phase)
+    // matrix stays with `hetscale_cli analyze`, which ranks its cells.
+    struct PhaseTotals {
+      double messages = 0.0;
+      double bytes = 0.0;
+      double wait_s = 0.0;
+    };
+    std::map<int, PhaseTotals> phases;
+    for (const CommCell& cell : run.comm_cells) {
+      PhaseTotals& t = phases[cell.phase];
+      t.messages += static_cast<double>(cell.messages);
+      t.bytes += cell.bytes;
+      t.wait_s += cell.wait_s;
+    }
+    for (const auto& [phase, totals] : phases) {
+      const Labels by_phase = {
+          {"phase", comm_phase_name(static_cast<CommPhase>(phase))}};
+      m.counter("hetscale_comm_messages_total", by_phase)
+          .add(totals.messages);
+      m.counter("hetscale_comm_bytes_total", by_phase).add(totals.bytes);
+      m.counter("hetscale_comm_wait_seconds_total", by_phase)
+          .add(totals.wait_s);
+    }
+  }
+
+  if (run.critical_path != CriticalPathSummary{}) {
+    m.counter("hetscale_critical_path_seconds_total",
+              {{"segment", "compute"}})
+        .add(run.critical_path.compute_s);
+    m.counter("hetscale_critical_path_seconds_total", {{"segment", "comm"}})
+        .add(run.critical_path.comm_s);
+    m.counter("hetscale_critical_path_seconds_total", {{"segment", "wait"}})
+        .add(run.critical_path.wait_s);
+    m.counter("hetscale_critical_path_seconds_total", {{"segment", "fault"}})
+        .add(run.critical_path.fault_s);
+  }
+
+  if (run.des_queue != DesQueueStats{}) {
+    m.counter("hetscale_des_queue_pushes_total")
+        .add(static_cast<double>(run.des_queue.pushes));
+    m.counter("hetscale_des_queue_pops_total")
+        .add(static_cast<double>(run.des_queue.pops));
+    m.counter("hetscale_des_queue_far_inserts_total")
+        .add(static_cast<double>(run.des_queue.far_inserts));
+    m.counter("hetscale_des_queue_rebuilds_total")
+        .add(static_cast<double>(run.des_queue.rebuilds));
+    std::uint64_t peak = 0;
+    for (const DesQueueStats::Sample& s : run.des_queue.occupancy) {
+      peak = std::max(peak, s.depth);
+    }
+    m.gauge("hetscale_des_queue_occupancy_peak")
+        .set_max(static_cast<double>(peak));
   }
 
   if (run.fault != FaultProfileTotals{}) {
@@ -126,6 +183,7 @@ void Report::to_json(std::ostream& os) const {
        << ", ";
     os << "\"batches\": " << wall_.batches << ", ";
     os << "\"tasks\": " << wall_.tasks << ", ";
+    os << "\"steals\": " << wall_.steals << ", ";
     os << "\"jobs\": " << wall_.jobs;
     os << "}";
   }

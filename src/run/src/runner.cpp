@@ -211,12 +211,17 @@ void Runner::run_indexed(std::size_t count,
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - begin).count();
   profiler->record_batch(jobs_, count, wall_s,
-                         1e-9 * static_cast<double>(busy_ns.load()));
+                         1e-9 * static_cast<double>(busy_ns.load()),
+                         last_batch_steals_);
 }
 
 void Runner::run_batch(std::size_t count,
                        const std::function<void(std::size_t)>& task) {
   if (jobs_ == 1 || count == 1 || t_on_worker) {
+    // Inline execution steals nothing. Only the submitting thread may
+    // write the member: a nested batch runs on a worker lane, where a
+    // write would race the owner's read-back.
+    if (!t_on_worker) last_batch_steals_ = 0;
     for (std::size_t i = 0; i < count; ++i) task(i);
     return;
   }

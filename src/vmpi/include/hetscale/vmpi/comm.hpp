@@ -19,11 +19,13 @@
 
 #include "hetscale/des/task.hpp"
 #include "hetscale/net/network.hpp"
+#include "hetscale/obs/comm_matrix.hpp"
 #include "hetscale/vmpi/message.hpp"
 
 namespace hetscale::vmpi {
 
 class Machine;
+class TraceRecorder;
 
 class Comm {
  public:
@@ -115,6 +117,15 @@ class Comm {
 
   /// Sum-reduction delivered to every rank.
   des::Task<double> allreduce_sum(double value);
+
+  /// The machine's trace recorder (null when tracing is off). Group uses
+  /// this to annotate its collectives' lanes on the CommMatrix.
+  TraceRecorder* tracer() const;
+
+  /// The CommMatrix phase a world-communicator tag implies: the fixed
+  /// collective tags map to their phase, everything else is p2p. Group
+  /// collectives ride on caller-chosen tags and override per lane instead.
+  static obs::CommPhase phase_for_tag(int tag);
 
  private:
   static constexpr int kTagBcast = 1 << 28;

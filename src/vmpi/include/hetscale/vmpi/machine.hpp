@@ -8,6 +8,7 @@
 
 #include "hetscale/des/scheduler.hpp"
 #include "hetscale/des/task.hpp"
+#include "hetscale/des/telemetry.hpp"
 #include "hetscale/machine/cluster.hpp"
 #include "hetscale/net/network.hpp"
 #include "hetscale/obs/profiler.hpp"
@@ -118,6 +119,7 @@ class Machine {
   std::unique_ptr<TraceRecorder> tracer_;
   FaultHooks* fault_hooks_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
+  des::QueueTelemetry queue_telemetry_;  ///< bound only when profiled
   bool ran_ = false;
 };
 

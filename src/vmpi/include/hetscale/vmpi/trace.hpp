@@ -13,10 +13,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "hetscale/des/scheduler.hpp"
+#include "hetscale/obs/comm_matrix.hpp"
+#include "hetscale/obs/critical_path.hpp"
 #include "hetscale/obs/span.hpp"
 
 namespace hetscale::vmpi {
@@ -62,9 +65,27 @@ class TraceRecorder {
   /// from coroutine code.
   int barrier_name_id() const { return barrier_id_; }
 
+  /// The per-rank x per-rank communication matrix (obs/comm_matrix.hpp).
+  /// Comm's send/recv hooks record into it whenever tracing is on.
+  obs::CommMatrix& comm() { return comm_; }
+  const obs::CommMatrix& comm() const { return comm_; }
+
+  /// Group collectives run over plain tagged point-to-point sends, so the
+  /// world tags cannot name them; a group marks its own lane for the span
+  /// of the collective and every message the lane sends or receives is
+  /// charged to that phase instead of the tag-derived one. Lanes are
+  /// independent, so interleaved coroutines cannot clobber each other.
+  void set_lane_phase(int lane, obs::CommPhase phase);
+  void clear_lane_phase(int lane);
+  obs::CommPhase lane_phase_or(int lane, obs::CommPhase fallback) const;
+
+  /// The messages converted to the critical-path walker's shape.
+  std::vector<obs::PathMessage> path_messages() const;
+
   /// Chrome trace-event JSON ("X" duration events per rank lane, "s"/"f"
-  /// flow pairs per message). Times in microseconds of virtual time. All
-  /// span names are JSON-escaped; an empty trace renders as "[]".
+  /// flow pairs per message, plus one "C" counter row per CommMatrix cell
+  /// when the matrix is non-empty). Times in microseconds of virtual time.
+  /// All span names are JSON-escaped; an empty trace renders as "[]".
   std::string chrome_trace_json() const;
 
   /// Per-rank utilization over [0, horizon]: compute, blocked-communicating
@@ -74,6 +95,8 @@ class TraceRecorder {
  private:
   obs::SpanStore spans_;
   std::vector<TraceMessage> messages_;
+  obs::CommMatrix comm_;
+  std::map<int, obs::CommPhase> lane_phase_;
   int compute_id_;
   int send_id_;
   int recv_id_;

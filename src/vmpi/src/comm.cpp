@@ -14,6 +14,23 @@ double Comm::rate_flops() const {
   return machine_->processor(rank_).rate_flops;
 }
 
+TraceRecorder* Comm::tracer() const { return machine_->tracer(); }
+
+obs::CommPhase Comm::phase_for_tag(int tag) {
+  switch (tag) {
+    case kTagBcast: return obs::CommPhase::kBcast;
+    case kTagBarrierIn:
+    case kTagBarrierOut: return obs::CommPhase::kBarrier;
+    case kTagGather: return obs::CommPhase::kGather;
+    case kTagScatter: return obs::CommPhase::kScatter;
+    case kTagBcastScatter: return obs::CommPhase::kBcastScatter;
+    case kTagBcastRing: return obs::CommPhase::kBcastRing;
+    case kTagAllgather: return obs::CommPhase::kAllgather;
+    case kTagAlltoall: return obs::CommPhase::kAlltoall;
+    default: return obs::CommPhase::kP2p;
+  }
+}
+
 des::Task<void> Comm::compute(double flops, double efficiency) {
   HETSCALE_REQUIRE(flops >= 0.0, "flop count must be non-negative");
   HETSCALE_REQUIRE(efficiency > 0.0, "efficiency must be positive");
@@ -82,6 +99,8 @@ des::Task<void> Comm::send(int dst, int tag, double bytes, Payload payload) {
     tracer->record_interval(
         {rank_, TraceInterval::Kind::kSend, start, now(), dst, tag, bytes});
     tracer->record_message({rank_, dst, tag, bytes, start, result.arrival});
+    tracer->comm().record_send(
+        rank_, dst, tracer->lane_phase_or(rank_, phase_for_tag(tag)), bytes);
   }
 }
 
@@ -102,6 +121,8 @@ Comm::SendRequest Comm::isend(int dst, int tag, double bytes,
     tracer->record_interval(
         {rank_, TraceInterval::Kind::kSend, start, start, dst, tag, bytes});
     tracer->record_message({rank_, dst, tag, bytes, start, result.arrival});
+    tracer->comm().record_send(
+        rank_, dst, tracer->lane_phase_or(rank_, phase_for_tag(tag)), bytes);
   }
   return SendRequest{result.sender_free};
 }
@@ -131,6 +152,12 @@ des::Task<Message> Comm::recv(int source, int tag) {
         tracer->record_interval({rank_, TraceInterval::Kind::kRecv, start,
                                  now(), message->source, message->tag,
                                  message->bytes});
+        // Receiver-side wait: the whole blocked interval, charged to the
+        // cell of the message that released it.
+        tracer->comm().record_wait(
+            message->source, rank_,
+            tracer->lane_phase_or(rank_, phase_for_tag(message->tag)),
+            now() - start);
       }
       co_return std::move(*message);
     }

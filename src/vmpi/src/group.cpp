@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "hetscale/support/error.hpp"
+#include "hetscale/vmpi/trace.hpp"
 
 namespace hetscale::vmpi {
 
@@ -32,6 +33,15 @@ des::Task<Payload> Group::bcast(int root_index, int tag, double bytes,
   HETSCALE_REQUIRE(root_index >= 0 && root_index < size(),
                    "group root out of range");
   if (size() == 1) co_return payload;
+  // Mark this lane for the CommMatrix: group traffic rides on
+  // caller-chosen tags, so the phase cannot be derived from the tag. The
+  // mark must be cleared before every co_return — the coroutine frame may
+  // be destroyed at an unrelated virtual time.
+  TraceRecorder* tracer = comm_->tracer();
+  const int lane = comm_->rank();
+  if (tracer != nullptr) {
+    tracer->set_lane_phase(lane, obs::CommPhase::kGroupBcast);
+  }
   if (index_ == root_index) {
     // Flat tree in group-index order, skipping self — mirrors Comm's small
     // bcast (linear in the group size, the paper's measured shape).
@@ -40,9 +50,11 @@ des::Task<Payload> Group::bcast(int root_index, int tag, double bytes,
       Payload copy = payload;
       co_await comm_->send(world_rank(i), tag, bytes, std::move(copy));
     }
+    if (tracer != nullptr) tracer->clear_lane_phase(lane);
     co_return payload;
   }
   Message message = co_await comm_->recv(world_rank(root_index), tag);
+  if (tracer != nullptr) tracer->clear_lane_phase(lane);
   co_return message.payload;
 }
 
@@ -50,6 +62,11 @@ des::Task<std::vector<Payload>> Group::gather(int root_index, int tag,
                                               double bytes, Payload payload) {
   HETSCALE_REQUIRE(root_index >= 0 && root_index < size(),
                    "group root out of range");
+  TraceRecorder* tracer = comm_->tracer();
+  const int lane = comm_->rank();
+  if (tracer != nullptr) {
+    tracer->set_lane_phase(lane, obs::CommPhase::kGroupGather);
+  }
   std::vector<Payload> parts;
   if (index_ == root_index) {
     parts.resize(members_.size());
@@ -59,9 +76,11 @@ des::Task<std::vector<Payload>> Group::gather(int root_index, int tag,
       Message message = co_await comm_->recv(world_rank(i), tag);
       parts[static_cast<std::size_t>(i)] = std::move(message.payload);
     }
+    if (tracer != nullptr) tracer->clear_lane_phase(lane);
     co_return parts;
   }
   co_await comm_->send(world_rank(root_index), tag, bytes, std::move(payload));
+  if (tracer != nullptr) tracer->clear_lane_phase(lane);
   co_return parts;
 }
 

@@ -6,6 +6,7 @@
 #include "hetscale/net/shared_bus.hpp"
 #include "hetscale/net/switched.hpp"
 #include "hetscale/obs/budget.hpp"
+#include "hetscale/obs/critical_path.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::vmpi {
@@ -44,6 +45,7 @@ Machine::Machine(machine::Cluster cluster,
   if (profiler_ != nullptr) {
     enable_tracing().spans().bind_clock(
         [scheduler = &scheduler_] { return scheduler->now(); });
+    scheduler_.bind_telemetry(&queue_telemetry_);
   }
 }
 
@@ -170,6 +172,20 @@ RunResult Machine::run(const Program& program) {
     }
     profile.des_events = scheduler_.events_processed();
     profile.des_queue_depth_max = scheduler_.max_queue_depth();
+    profile.comm_cells = tracer_->comm().cells();
+    const obs::CriticalPath path = obs::critical_path(
+        tracer_->spans(), tracer_->path_messages(), result.elapsed);
+    profile.critical_path = obs::CriticalPathSummary{
+        path.compute_s, path.comm_s, path.wait_s, path.fault_s};
+    profile.des_queue.pushes = queue_telemetry_.pushes;
+    profile.des_queue.pops = queue_telemetry_.pops;
+    profile.des_queue.far_inserts = queue_telemetry_.far_inserts;
+    profile.des_queue.rebuilds = queue_telemetry_.rebuilds;
+    profile.des_queue.occupancy.reserve(queue_telemetry_.occupancy.size());
+    for (const des::QueueTelemetry::Sample& s : queue_telemetry_.occupancy) {
+      profile.des_queue.occupancy.push_back(
+          obs::DesQueueStats::Sample{s.time, s.depth});
+    }
     if (fault_hooks_ != nullptr) {
       const FaultProfile faults = fault_hooks_->fault_profile();
       profile.retries = faults.retries;

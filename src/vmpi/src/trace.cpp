@@ -42,6 +42,28 @@ void TraceRecorder::record_message(TraceMessage message) {
   messages_.push_back(message);
 }
 
+void TraceRecorder::set_lane_phase(int lane, obs::CommPhase phase) {
+  lane_phase_[lane] = phase;
+}
+
+void TraceRecorder::clear_lane_phase(int lane) { lane_phase_.erase(lane); }
+
+obs::CommPhase TraceRecorder::lane_phase_or(int lane,
+                                            obs::CommPhase fallback) const {
+  const auto it = lane_phase_.find(lane);
+  return it == lane_phase_.end() ? fallback : it->second;
+}
+
+std::vector<obs::PathMessage> TraceRecorder::path_messages() const {
+  std::vector<obs::PathMessage> out;
+  out.reserve(messages_.size());
+  for (const TraceMessage& m : messages_) {
+    out.push_back(obs::PathMessage{m.source, m.destination, m.tag, m.bytes,
+                                   m.depart, m.arrive});
+  }
+  return out;
+}
+
 std::vector<TraceInterval> TraceRecorder::intervals() const {
   std::vector<TraceInterval> out;
   out.reserve(spans_.spans().size());
@@ -98,6 +120,18 @@ std::string TraceRecorder::chrome_trace_json() const {
     os << R"({"name":"msg","ph":"f","bp":"e","id":)" << i
        << R"(,"pid":0,"tid":)" << m.destination << R"(,"ts":)"
        << to_us(m.arrive) << "}";
+  }
+  // CommMatrix heat rows: one counter track per sending rank, one series
+  // per (dst, phase) cell, in canonical cell order. Only emitted when the
+  // matrix has cells, so a bare recorder still renders "[]".
+  if (!comm_.empty()) {
+    for (const obs::CommCell& cell : comm_.cells()) {
+      sep();
+      os << R"({"name":"comm.bytes","ph":"C","pid":0,"tid":)" << cell.src
+         << R"(,"ts":0,"args":{"to )" << cell.dst << ' '
+         << obs::comm_phase_name(static_cast<obs::CommPhase>(cell.phase))
+         << R"(":)" << cell.bytes << "}}";
+    }
   }
   os << (first ? "]\n" : "\n]\n");
   return os.str();

@@ -159,6 +159,62 @@ TEST(EventQueue, SparseTimesForceEpochRebuilds) {
   expect_same_drain(ladder, reference);
 }
 
+TEST(EventQueue, TelemetryCountsPushPopAndRebuilds) {
+  LadderEventQueue ladder;
+  QueueTelemetry telemetry;
+  ladder.bind_telemetry(&telemetry);
+  // Enough pending events to exceed the linear-scan threshold, so the
+  // first pop builds an epoch (a rebuild) and samples occupancy.
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 100; ++i) {
+    ladder.push(Event{static_cast<double>(i), seq++, {}});
+  }
+  EXPECT_EQ(telemetry.pushes, 100u);
+  EXPECT_EQ(telemetry.far_inserts, 100u);  // empty ladder: all go far
+  EXPECT_EQ(telemetry.pops, 0u);
+  while (!ladder.empty()) (void)ladder.pop_min();
+  EXPECT_EQ(telemetry.pops, 100u);
+  EXPECT_GE(telemetry.rebuilds, 1u);
+  ASSERT_FALSE(telemetry.occupancy.empty());
+  EXPECT_EQ(telemetry.occupancy.size(), telemetry.rebuilds);
+  // The first rebuild happened with all 100 events pending.
+  EXPECT_EQ(telemetry.occupancy.front().depth, 100u);
+  EXPECT_DOUBLE_EQ(telemetry.occupancy.front().time, 0.0);
+}
+
+TEST(EventQueue, TelemetryDetachesOnNullBind) {
+  LadderEventQueue ladder;
+  QueueTelemetry telemetry;
+  ladder.bind_telemetry(&telemetry);
+  ladder.push(Event{1.0, 0, {}});
+  ladder.bind_telemetry(nullptr);
+  ladder.push(Event{2.0, 1, {}});
+  (void)ladder.pop_min();
+  EXPECT_EQ(telemetry.pushes, 1u);
+  EXPECT_EQ(telemetry.pops, 0u);
+}
+
+TEST(EventQueue, TelemetryOccupancySamplesAreBounded) {
+  LadderEventQueue ladder;
+  QueueTelemetry telemetry;
+  ladder.bind_telemetry(&telemetry);
+  std::uint64_t seq = 0;
+  double now = 0.0;
+  // Thousands of sparse drains force a rebuild per wave; the sample buffer
+  // must clamp at kMaxSamples while the rebuild counter keeps counting.
+  for (int wave = 0; wave < static_cast<int>(QueueTelemetry::kMaxSamples) + 64;
+       ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      ladder.push(Event{now + 1.0 + 0.01 * i, seq++, {}});
+    }
+    while (!ladder.empty()) {
+      now = ladder.pop_min().time;
+    }
+  }
+  EXPECT_GT(telemetry.rebuilds, QueueTelemetry::kMaxSamples);
+  EXPECT_EQ(telemetry.occupancy.size(), QueueTelemetry::kMaxSamples);
+}
+
 TEST(EventQueue, ReusableAcrossFullDrains) {
   // The slabs survive a full drain; a reused queue behaves like a fresh one.
   LadderEventQueue ladder;

@@ -1,0 +1,131 @@
+#include "hetscale/obs/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hetscale/obs/profiler.hpp"
+
+namespace hetscale::obs {
+namespace {
+
+RunProfile make_run(double elapsed, double wait_ab, double bytes_ba) {
+  RunProfile run;
+  run.elapsed_s = elapsed;
+  run.critical_path =
+      CriticalPathSummary{0.5 * elapsed, 0.3 * elapsed, 0.2 * elapsed, 0.0};
+  run.comm_cells.push_back(CommCell{0, 1, static_cast<int>(CommPhase::kP2p),
+                                    3, 24.0, wait_ab});
+  run.comm_cells.push_back(CommCell{
+      1, 0, static_cast<int>(CommPhase::kBcast), 1, bytes_ba, 0.0});
+  run.des_queue.pushes = 10;
+  run.des_queue.pops = 10;
+  run.des_queue.far_inserts = 2;
+  run.des_queue.rebuilds = 1;
+  run.des_queue.occupancy.push_back(DesQueueStats::Sample{0.5, 7});
+  return run;
+}
+
+TEST(Analysis, FoldsRunsIntoTotals) {
+  Profiler profiler;
+  profiler.add_run(make_run(1.0, 0.25, 100.0));
+  profiler.add_run(make_run(2.0, 0.75, 300.0));
+  const Analysis analysis(profiler, AnalysisOptions{"test", 10});
+  EXPECT_EQ(analysis.runs(), 2u);
+  EXPECT_DOUBLE_EQ(analysis.elapsed_s(), 3.0);
+  EXPECT_DOUBLE_EQ(analysis.critical_path().compute_s, 1.5);
+  EXPECT_DOUBLE_EQ(analysis.critical_path().total_s(), 3.0);
+  // Cells with one key merge; distinct keys stay separate.
+  ASSERT_EQ(analysis.comm_cells().size(), 2u);
+  EXPECT_EQ(analysis.comm_cells()[0].messages, 6u);
+  EXPECT_DOUBLE_EQ(analysis.comm_cells()[0].wait_s, 1.0);
+  EXPECT_DOUBLE_EQ(analysis.comm_cells()[1].bytes, 400.0);
+  EXPECT_EQ(analysis.des_queue().pushes, 20u);
+  EXPECT_EQ(analysis.occupancy_peak(), 7u);
+}
+
+TEST(Analysis, HotspotsRankByMetricWithShares) {
+  Profiler profiler;
+  profiler.add_run(make_run(1.0, 0.75, 1000.0));
+  const Analysis analysis(profiler, AnalysisOptions{"test", 10});
+  // Wait ranking: the (0, 1, p2p) cell holds all the wait.
+  ASSERT_EQ(analysis.top_wait().size(), 2u);
+  EXPECT_EQ(analysis.top_wait()[0].cell.src, 0);
+  EXPECT_DOUBLE_EQ(analysis.top_wait()[0].share, 1.0);
+  EXPECT_DOUBLE_EQ(analysis.top_wait()[1].share, 0.0);
+  // Byte ranking: the bcast cell dominates 1000 of 1024 bytes.
+  EXPECT_EQ(analysis.top_bytes()[0].cell.src, 1);
+  EXPECT_NEAR(analysis.top_bytes()[0].share, 1000.0 / 1024.0, 1e-12);
+}
+
+TEST(Analysis, TopTruncatesDeterministically) {
+  Profiler profiler;
+  RunProfile run;
+  run.elapsed_s = 1.0;
+  for (int src = 0; src < 4; ++src) {
+    run.comm_cells.push_back(CommCell{
+        src, (src + 1) % 4, 0, 1, 8.0, /*wait_s=*/0.0});
+  }
+  profiler.add_run(run);
+  const Analysis analysis(profiler, AnalysisOptions{"test", 2});
+  // All cells tie at zero wait: the ranking falls back to key order and
+  // truncates to --top.
+  ASSERT_EQ(analysis.top_wait().size(), 2u);
+  EXPECT_EQ(analysis.top_wait()[0].cell.src, 0);
+  EXPECT_EQ(analysis.top_wait()[1].cell.src, 1);
+  EXPECT_DOUBLE_EQ(analysis.top_wait()[0].share, 0.0);
+}
+
+TEST(Analysis, JsonIsIndependentOfRunOrder) {
+  Profiler a;
+  a.add_run(make_run(1.0, 0.25, 100.0));
+  a.add_run(make_run(2.0, 0.75, 300.0));
+  Profiler b;
+  b.add_run(make_run(2.0, 0.75, 300.0));
+  b.add_run(make_run(1.0, 0.25, 100.0));
+  std::ostringstream ja;
+  std::ostringstream jb;
+  Analysis(a, AnalysisOptions{"same", 10}).to_json(ja);
+  Analysis(b, AnalysisOptions{"same", 10}).to_json(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+  EXPECT_NE(ja.str().find("\"schema\": \"hetscale.obs.analysis/v1\""),
+            std::string::npos);
+}
+
+TEST(Analysis, CsvListsMergedCells) {
+  Profiler profiler;
+  profiler.add_run(make_run(1.0, 0.25, 100.0));
+  std::ostringstream csv;
+  Analysis(profiler, AnalysisOptions{"test", 10}).to_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("src,dst,phase,messages,bytes,wait_s"),
+            std::string::npos);
+  EXPECT_NE(text.find("0,1,p2p,3,24,0.25"), std::string::npos);
+  EXPECT_NE(text.find("1,0,bcast,1,100,0"), std::string::npos);
+}
+
+TEST(Analysis, TextHasPathAndHotspotTables) {
+  Profiler profiler;
+  profiler.add_run(make_run(1.0, 0.25, 100.0));
+  const std::string text =
+      Analysis(profiler, AnalysisOptions{"test", 10}).to_text();
+  EXPECT_NE(text.find("Critical path"), std::string::npos);
+  EXPECT_NE(text.find("Comm hotspots"), std::string::npos);
+  EXPECT_NE(text.find("Event queue telemetry"), std::string::npos);
+}
+
+TEST(Analysis, EmptyProfilerStaysWellFormed) {
+  Profiler profiler;
+  const Analysis analysis(profiler, AnalysisOptions{"empty", 5});
+  EXPECT_EQ(analysis.runs(), 0u);
+  EXPECT_TRUE(analysis.comm_cells().empty());
+  std::ostringstream json;
+  analysis.to_json(json);
+  EXPECT_NE(json.str().find("\"cells\": 0"), std::string::npos);
+  EXPECT_NE(json.str().find("\"top_wait\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetscale::obs

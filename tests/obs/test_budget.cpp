@@ -98,6 +98,76 @@ TEST(Budget, OtherCategorySpansAreInvisible) {
   EXPECT_EQ(budget.residual_s, 2.0);
 }
 
+TEST(Budget, FullyOverlappingSpansOnOneLaneCountOnce) {
+  // Nested / duplicated compute spans on one lane must not double-charge:
+  // the sweep classifies instants by lane state, not by span count.
+  SpanStore store;
+  const int compute = store.intern("compute");
+  store.record(0, compute, 0.0, 2.0);
+  store.record(0, compute, 0.0, 2.0);  // exact duplicate
+  store.record(0, compute, 0.5, 1.5);  // fully contained
+  const TimeBudget budget = compute_time_budget(store, 2.0);
+  EXPECT_EQ(budget.sequential_s, 2.0);
+  EXPECT_EQ(budget.compute_s, 0.0);
+  EXPECT_EQ(budget.total(), budget.elapsed_s);
+}
+
+TEST(Budget, FullyOverlappingSpansAcrossLanesAreParallel) {
+  SpanStore store;
+  const int compute = store.intern("compute");
+  store.record(0, compute, 0.5, 1.5);
+  store.record(1, compute, 0.5, 1.5);  // identical interval, other lane
+  const TimeBudget budget = compute_time_budget(store, 2.0);
+  EXPECT_EQ(budget.compute_s, 1.0);
+  EXPECT_EQ(budget.residual_s, 1.0);
+  EXPECT_EQ(budget.total(), budget.elapsed_s);
+}
+
+TEST(Budget, ZeroWidthSpansAtBoundariesContributeNothing) {
+  // Zero-width spans sit exactly on segment boundaries (0, an interior
+  // breakpoint, and elapsed); none may contribute time or disturb the
+  // partition around them.
+  SpanStore store;
+  const int compute = store.intern("compute");
+  const int send = store.intern("send.wait");
+  store.record(0, compute, 0.0, 0.0);  // at the run start
+  store.record(0, compute, 0.0, 1.0);
+  store.record(0, send, 1.0, 1.0);  // at an interior breakpoint
+  store.record(1, send, 1.0, 2.0);
+  store.record(1, compute, 2.0, 2.0);  // at the run end
+  const TimeBudget budget = compute_time_budget(store, 2.0);
+  EXPECT_EQ(budget.sequential_s, 1.0);
+  EXPECT_EQ(budget.comm_s, 1.0);
+  EXPECT_EQ(budget.compute_s, 0.0);
+  EXPECT_EQ(budget.residual_s, 0.0);
+  EXPECT_EQ(budget.total(), budget.elapsed_s);
+}
+
+TEST(Budget, OnlyZeroWidthSpansIsAllResidual) {
+  SpanStore store;
+  const int compute = store.intern("compute");
+  store.record(0, compute, 1.0, 1.0);
+  const TimeBudget budget = compute_time_budget(store, 2.0);
+  EXPECT_EQ(budget.residual_s, 2.0);
+  EXPECT_EQ(budget.total(), budget.elapsed_s);
+}
+
+TEST(Budget, SpansPastTheRunEndAreClipped) {
+  // A span that begins before but ends after `elapsed` counts only its
+  // in-range part; one that begins at or after `elapsed` contributes
+  // nothing at all.
+  SpanStore store;
+  const int compute = store.intern("compute");
+  const int send = store.intern("send.wait");
+  store.record(0, compute, 1.0, 5.0);  // clipped to [1, 2]
+  store.record(1, send, 2.0, 9.0);     // entirely past the end
+  const TimeBudget budget = compute_time_budget(store, 2.0);
+  EXPECT_EQ(budget.sequential_s, 1.0);
+  EXPECT_EQ(budget.comm_s, 0.0);
+  EXPECT_EQ(budget.residual_s, 1.0);
+  EXPECT_EQ(budget.total(), budget.elapsed_s);
+}
+
 TEST(Budget, AccumulationAddsElementwise) {
   TimeBudget a;
   a.compute_s = 1.0;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "hetscale/obs/format.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::obs {
@@ -125,6 +126,31 @@ TEST(Metrics, PrometheusHistogramIsCumulativeWithInf) {
   EXPECT_NE(text.find("lat_seconds_bucket{le=\"10\"} 2"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds_count 3"), std::string::npos);
+}
+
+TEST(Metrics, PromEscapeIsExpositionFormatCompliant) {
+  // The Prometheus text format defines exactly three label-value escapes:
+  // backslash, double quote, and newline. Everything else passes through.
+  EXPECT_EQ(prom_escape("plain"), "plain");
+  EXPECT_EQ(prom_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(prom_escape("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(prom_escape("tabs\tand {braces}"), "tabs\tand {braces}");
+  EXPECT_EQ(prom_escape(""), "");
+}
+
+TEST(Metrics, PrometheusLabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.counter("c", {{"path", "a\\b"}, {"quote", "x\"y\nz"}}).inc();
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(text.find("quote=\"x\\\"y\\nz\""), std::string::npos);
+  // The exposition document must stay one-record-per-line: the raw newline
+  // from the label value may not survive into the output.
+  EXPECT_EQ(text.find("y\nz"), std::string::npos);
 }
 
 TEST(Metrics, JsonRendersNonFiniteAsNull) {

@@ -1,0 +1,192 @@
+// The communication observatory end to end on real machines: CommMatrix
+// cells from p2p and collective traffic, Group lane-phase annotation, and
+// the critical-path walk over a traced run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hetscale/obs/critical_path.hpp"
+#include "hetscale/support/units.hpp"
+#include "hetscale/vmpi/group.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace hetscale::vmpi {
+namespace {
+
+using des::Task;
+
+machine::Cluster test_cluster(int nodes) {
+  machine::Cluster cluster;
+  for (int i = 0; i < nodes; ++i) {
+    cluster.add_node(
+        "n" + std::to_string(i),
+        machine::NodeSpec{"Test", 1, units::mflops(50.0), 1e9, 4e8, {1.0}});
+  }
+  return cluster;
+}
+
+net::NetworkParams fast_params() {
+  net::NetworkParams p;
+  p.remote = {1e-4, 1e7};
+  p.per_message_overhead_s = 1e-5;
+  return p;
+}
+
+const obs::CommCell* find_cell(const std::vector<obs::CommCell>& cells,
+                               int src, int dst, obs::CommPhase phase) {
+  for (const obs::CommCell& cell : cells) {
+    if (cell.src == src && cell.dst == dst &&
+        cell.phase == static_cast<int>(phase)) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+TEST(CommObservatory, PingPongFillsBothDirections) {
+  auto machine = Machine::shared_bus(test_cluster(2), fast_params());
+  auto& tracer = machine.enable_tracing();
+  machine.run([](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      co_await comm.send(1, 5, 1000.0, {});
+      co_await comm.recv(1, 6);
+    } else {
+      co_await comm.recv(0, 5);
+      co_await comm.send(0, 6, 2000.0, {});
+    }
+  });
+  const auto cells = tracer.comm().cells();
+  const obs::CommCell* fwd = find_cell(cells, 0, 1, obs::CommPhase::kP2p);
+  const obs::CommCell* bwd = find_cell(cells, 1, 0, obs::CommPhase::kP2p);
+  ASSERT_NE(fwd, nullptr);
+  ASSERT_NE(bwd, nullptr);
+  EXPECT_EQ(fwd->messages, 1u);
+  EXPECT_DOUBLE_EQ(fwd->bytes, 1000.0);
+  EXPECT_GT(fwd->wait_s, 0.0);  // rank 1 blocked before the message landed
+  EXPECT_EQ(bwd->messages, 1u);
+  EXPECT_DOUBLE_EQ(bwd->bytes, 2000.0);
+  EXPECT_EQ(tracer.comm().total_messages(), 2u);
+}
+
+TEST(CommObservatory, CollectiveTagsMapToTheirPhases) {
+  auto machine = Machine::shared_bus(test_cluster(3), fast_params());
+  auto& tracer = machine.enable_tracing();
+  machine.run([](Comm& comm) -> Task<void> {
+    Payload payload;
+    if (comm.rank() == 0) payload = Payload(42);
+    (void)co_await comm.bcast(0, 64.0, std::move(payload));
+    co_await comm.barrier();
+    (void)co_await comm.gather(0, 32.0, Payload(comm.rank()));
+  });
+  const auto cells = tracer.comm().cells();
+  EXPECT_NE(find_cell(cells, 0, 1, obs::CommPhase::kBcast), nullptr);
+  EXPECT_NE(find_cell(cells, 0, 2, obs::CommPhase::kBcast), nullptr);
+  EXPECT_NE(find_cell(cells, 1, 0, obs::CommPhase::kBarrier), nullptr);
+  EXPECT_NE(find_cell(cells, 1, 0, obs::CommPhase::kGather), nullptr);
+  EXPECT_EQ(find_cell(cells, 0, 1, obs::CommPhase::kP2p), nullptr);
+}
+
+TEST(CommObservatory, LargeBcastSplitsIntoScatterAndRing) {
+  auto machine = Machine::shared_bus(test_cluster(4), fast_params());
+  auto& tracer = machine.enable_tracing();
+  machine.run([](Comm& comm) -> Task<void> {
+    Payload payload;
+    if (comm.rank() == 0) payload = Payload(1);
+    // Comfortably past the 12288-byte van de Geijn threshold.
+    (void)co_await comm.bcast(0, 1e5, std::move(payload));
+  });
+  double scatter_bytes = 0.0;
+  double ring_bytes = 0.0;
+  for (const obs::CommCell& cell : tracer.comm().cells()) {
+    if (cell.phase == static_cast<int>(obs::CommPhase::kBcastScatter)) {
+      scatter_bytes += cell.bytes;
+    }
+    if (cell.phase == static_cast<int>(obs::CommPhase::kBcastRing)) {
+      ring_bytes += cell.bytes;
+    }
+  }
+  EXPECT_GT(scatter_bytes, 0.0);
+  EXPECT_GT(ring_bytes, 0.0);
+}
+
+TEST(CommObservatory, GroupCollectivesGetTheirOwnPhase) {
+  auto machine = Machine::shared_bus(test_cluster(4), fast_params());
+  auto& tracer = machine.enable_tracing();
+  machine.run([](Comm& comm) -> Task<void> {
+    if (comm.rank() == 3) co_return;
+    Group group(comm, {0, 1, 2});
+    Payload payload;
+    if (group.rank() == 0) payload = Payload(9);
+    (void)co_await group.bcast(0, /*tag=*/11, 64.0, std::move(payload));
+    (void)co_await group.gather(0, /*tag=*/12, 32.0, Payload(comm.rank()));
+  });
+  const auto cells = tracer.comm().cells();
+  EXPECT_NE(find_cell(cells, 0, 1, obs::CommPhase::kGroupBcast), nullptr);
+  EXPECT_NE(find_cell(cells, 0, 2, obs::CommPhase::kGroupBcast), nullptr);
+  EXPECT_NE(find_cell(cells, 1, 0, obs::CommPhase::kGroupGather), nullptr);
+  // The caller-chosen tags must never leak through as p2p traffic.
+  EXPECT_EQ(find_cell(cells, 0, 1, obs::CommPhase::kP2p), nullptr);
+  EXPECT_EQ(find_cell(cells, 1, 0, obs::CommPhase::kP2p), nullptr);
+}
+
+TEST(CommObservatory, CriticalPathCoversElapsedOnRealRuns) {
+  auto machine = Machine::shared_bus(test_cluster(3), fast_params());
+  auto& tracer = machine.enable_tracing();
+  const auto result = machine.run([](Comm& comm) -> Task<void> {
+    co_await comm.compute(units::mflop(10.0 * (comm.rank() + 1)));
+    co_await comm.barrier();
+    if (comm.rank() == 0) {
+      co_await comm.send(2, 1, 5e4, {});
+    } else if (comm.rank() == 2) {
+      co_await comm.recv(0, 1);
+      co_await comm.compute(units::mflop(5.0));
+    }
+  });
+  const obs::CriticalPath path = obs::critical_path(
+      tracer.spans(), tracer.path_messages(), result.elapsed);
+  EXPECT_GE(path.compute_s, 0.0);
+  EXPECT_GE(path.comm_s, 0.0);
+  EXPECT_GE(path.wait_s, 0.0);
+  EXPECT_GE(path.fault_s, 0.0);
+  EXPECT_GT(path.compute_s, 0.0);
+  EXPECT_NEAR(path.total_s(), result.elapsed,
+              1e-9 * (1.0 + result.elapsed));
+}
+
+TEST(CommObservatory, ChromeTraceGainsHeatRows) {
+  auto machine = Machine::shared_bus(test_cluster(2), fast_params());
+  auto& tracer = machine.enable_tracing();
+  machine.run([](Comm& comm) -> Task<void> {
+    if (comm.rank() == 0) {
+      co_await comm.send(1, 4, 512.0, {});
+    } else {
+      co_await comm.recv(0, 4);
+    }
+  });
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"comm.bytes\""), std::string::npos);
+  EXPECT_NE(json.find("to 1 p2p"), std::string::npos);
+}
+
+TEST(CommObservatory, MatrixIsDeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto machine = Machine::shared_bus(test_cluster(3), fast_params());
+    auto& tracer = machine.enable_tracing();
+    machine.run([](Comm& comm) -> Task<void> {
+      Payload payload;
+      if (comm.rank() == 0) payload = Payload(1);
+      (void)co_await comm.bcast(0, 256.0, std::move(payload));
+      co_await comm.barrier();
+    });
+    return tracer.comm().cells();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);  // bit-identical cells, including wait seconds
+}
+
+}  // namespace
+}  // namespace hetscale::vmpi

@@ -29,6 +29,7 @@ _KNOWN_SCHEMAS = (
     "hetscale.bench.pr5/v1",
     "hetscale.bench.pr6/v1",
     "hetscale.bench.pr7/v1",
+    "hetscale.bench.pr8/v1",
 )
 
 

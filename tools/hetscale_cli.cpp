@@ -10,6 +10,8 @@
 //   hetscale_cli predict --algo jacobi --ladder "2,4,8" --target 0.3
 //   hetscale_cli fit     --algo ge --format json --jobs 8
 //   hetscale_cli fit     spmv --format table
+//   hetscale_cli analyze table4_ge_scalability --format json --top 5
+//   hetscale_cli analyze --algo summa --cluster "sunbladex4" --n 128
 //   hetscale_cli profile table2_ge_two_nodes --format json --out report.json
 //   hetscale_cli profile --algo sort --cluster "sunbladex4" --n 4096
 //                        --format table --trace-out sort.trace.json
@@ -26,7 +28,11 @@
 // registered scenario or a single algorithm with instrumentation on and
 // exports the hetscale.obs.report in --format json | prom | table; `trace`
 // is the historical alias for the single-run form (utilization table plus
-// --out chrome trace).
+// --out chrome trace). `analyze` runs the same subjects but exports the
+// hetscale.obs.analysis document instead: critical-path attribution, the
+// ranked communication matrix, and event-queue telemetry, in --format
+// json | csv | table. Its output is byte-stable across --jobs and kernel
+// pins.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -39,6 +45,7 @@
 #include "hetscale/machine/parse.hpp"
 #include "hetscale/machine/sunwulf.hpp"
 #include "hetscale/marked/suite.hpp"
+#include "hetscale/obs/analysis.hpp"
 #include "hetscale/obs/report.hpp"
 #include "hetscale/predict/models.hpp"
 #include "hetscale/predict/probe.hpp"
@@ -500,6 +507,73 @@ int cmd_profile(const ArgParser& args) {
   return profile_adhoc(args, /*trace_alias=*/false);
 }
 
+// Emit `analysis` per --format json | csv | table to --out or stdout.
+void write_analysis(const ArgParser& args, const obs::Analysis& analysis) {
+  const std::string format = args.get_or("format", "table");
+  std::ostringstream os;
+  if (format == "json") {
+    analysis.to_json(os);
+  } else if (format == "csv") {
+    analysis.to_csv(os);
+  } else if (format == "table" || format == "text") {
+    os << analysis.to_text();
+  } else {
+    throw PreconditionError("analyze supports --format json, csv, or table");
+  }
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    HETSCALE_REQUIRE(out.good(), "cannot open --out file for writing");
+    out << os.str();
+  } else {
+    std::cout << os.str();
+  }
+}
+
+/// `hetscale_cli analyze <scenario> | --algo ... --cluster ...` — the
+/// communication observatory: critical-path attribution, comm-matrix
+/// hotspots, and ladder-queue telemetry for an instrumented run.
+int cmd_analyze(const ArgParser& args) {
+  obs::AnalysisOptions options;
+  options.top = static_cast<int>(args.get_int("top", options.top));
+  HETSCALE_REQUIRE(options.top >= 0, "--top must be >= 0");
+  const auto& positional = args.positional();
+  obs::Profiler profiler;
+  if (positional.size() > 1) {
+    register_all_scenarios();
+    const std::string& name = positional[1];
+    const run::Scenario* scenario = run::find_scenario(name);
+    if (scenario == nullptr) {
+      std::cerr << "error: unknown scenario '" << name
+                << "' (try: hetscale_cli run list)\n";
+      return 2;
+    }
+    {
+      // Same ambient-profiler contract as `profile`: machines built while
+      // the scope is live publish their RunProfile (now including comm
+      // cells, critical path, and queue telemetry) automatically.
+      obs::ProfilerScope scope(profiler);
+      run::Runner runner(resolve_jobs(args));
+      const run::RunContext context{runner, run::OutputFormat::kText,
+                                    resolve_seed(args), &profiler};
+      (void)scenario->run(context);
+    }
+    options.subject = name;
+  } else {
+    HETSCALE_REQUIRE(
+        args.has("cluster"),
+        "analyze needs a scenario name or --cluster (see --help)");
+    auto combo = make_combination(
+        args.get_or("algo", "ge"),
+        machine::parse_cluster(args.get("cluster")));
+    const auto n = args.get_int("n", 64);
+    const auto profiled = scal::profile_run(*combo, n);
+    profiler.add_run(profiled.profile);
+    options.subject = combo->name();
+  }
+  write_analysis(args, obs::Analysis(profiler, options));
+  return 0;
+}
+
 int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "run") return cmd_run(args);
   if (command == "scenarios") return cmd_scenarios(args);
@@ -510,11 +584,12 @@ int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "predict") return cmd_predict(args);
   if (command == "fit") return cmd_fit(args);
   if (command == "profile") return cmd_profile(args);
+  if (command == "analyze") return cmd_analyze(args);
   if (command == "trace") return profile_adhoc(args, /*trace_alias=*/true);
   if (command == "inject") return cmd_inject(args);
   std::cout << "hetscale_cli — isospeed-efficiency scalability analyses\n"
             << "commands: run | scenarios | marked | solve | curve | series "
-               "| predict | fit | profile | trace | inject\n\n"
+               "| predict | fit | profile | analyze | trace | inject\n\n"
             << args.help("hetscale_cli <command>");
   return command.empty() ? 0 : 2;
 }
@@ -539,8 +614,9 @@ int main(int argc, char** argv) {
       .add_flag("trace-out", "profile: chrome-trace output file")
       .add_flag("format",
                 "run: text, csv, json; fit: json, csv, table; profile: "
-                "json, prom, table",
+                "json, prom, table; analyze: json, csv, table",
                 "text")
+      .add_flag("top", "analyze: hotspot edges per ranking", "10")
       .add_bool("profile", "run: also print the obs report to stderr")
       .add_flag("slowdown", "inject: straggler compute-rate factor", "1.0")
       .add_flag("loss", "inject: per-transmission drop probability", "0.0")
