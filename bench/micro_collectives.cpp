@@ -1,0 +1,131 @@
+// Micro-benchmarks of the collective algorithm families at large p: the
+// paper-era flat family (CollectiveTuning::legacy_flat()) against the
+// logarithmic tree family (the defaults) for bcast, barrier, and reduce at
+// 64 / 512 / 2048 ranks.
+//
+// Two numbers per run:
+//   * wall-clock (google-benchmark real_time) — what the simulator pays to
+//     execute the collective, the quantity BENCH_PR9.json holds CI to;
+//   * sim_s counter — the *simulated* completion time of the collective,
+//     where the algorithmic gap lives: flat is Θ(p) rounds, tree Θ(log p),
+//     so the flat/tree sim_s ratio at p >= 1024 is the >=5x speedup the
+//     large-p engine is built on.
+//
+// Receive-side software overhead is enabled (NetworkParams::recv_overhead_s,
+// off everywhere else): without it, incast is free — the p-1 concurrent
+// child->root sends of a flat gather/reduce all land in parallel and the
+// flat reduce looks constant-time, which no real NIC + MPI stack delivers.
+// With the root charged per matched message, flat reduce shows its true
+// Θ(p) root-processing cost against the combining tree's Θ(log p).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "hetscale/machine/cluster.hpp"
+#include "hetscale/machine/sunwulf.hpp"
+#include "hetscale/net/network.hpp"
+#include "hetscale/support/units.hpp"
+#include "hetscale/vmpi/machine.hpp"
+
+namespace {
+
+using namespace hetscale;
+using des::Task;
+
+machine::Cluster blades(int n) {
+  machine::Cluster cluster;
+  for (int i = 0; i < n; ++i) {
+    cluster.add_node("n" + std::to_string(i),
+                     machine::sunwulf::sunblade_spec());
+  }
+  return cluster;
+}
+
+constexpr int kRounds = 10;
+
+/// One timed run: `rounds` back-to-back collectives on a fresh machine.
+/// Returns the simulated completion time.
+template <class Body>
+double run_collective(const machine::Cluster& cluster,
+                      const vmpi::CollectiveTuning& tuning, Body body) {
+  net::NetworkParams params;  // paper calibration, plus receiver-side cost
+  params.recv_overhead_s = params.per_message_overhead_s;
+  auto machine = vmpi::Machine::switched(cluster, params, tuning);
+  return machine.run(body).elapsed;
+}
+
+void bcast_rounds(benchmark::State& state,
+                  const vmpi::CollectiveTuning& tuning) {
+  const auto cluster = blades(static_cast<int>(state.range(0)));
+  double sim_s = 0.0;
+  for (auto _ : state) {
+    sim_s = run_collective(cluster, tuning, [](vmpi::Comm& comm) -> Task<void> {
+      for (int i = 0; i < kRounds; ++i) {
+        vmpi::Payload payload;
+        if (comm.rank() == 0) payload = vmpi::Payload(1.0);
+        (void)co_await comm.bcast(0, 64.0, std::move(payload));
+      }
+    });
+    benchmark::DoNotOptimize(sim_s);
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds * state.range(0));
+  state.counters["sim_s"] = benchmark::Counter(sim_s);
+}
+
+void barrier_rounds(benchmark::State& state,
+                    const vmpi::CollectiveTuning& tuning) {
+  const auto cluster = blades(static_cast<int>(state.range(0)));
+  double sim_s = 0.0;
+  for (auto _ : state) {
+    sim_s = run_collective(cluster, tuning, [](vmpi::Comm& comm) -> Task<void> {
+      for (int i = 0; i < kRounds; ++i) co_await comm.barrier();
+    });
+    benchmark::DoNotOptimize(sim_s);
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds * state.range(0));
+  state.counters["sim_s"] = benchmark::Counter(sim_s);
+}
+
+void reduce_rounds(benchmark::State& state,
+                   const vmpi::CollectiveTuning& tuning) {
+  const auto cluster = blades(static_cast<int>(state.range(0)));
+  double sim_s = 0.0;
+  for (auto _ : state) {
+    sim_s = run_collective(cluster, tuning, [](vmpi::Comm& comm) -> Task<void> {
+      for (int i = 0; i < kRounds; ++i) {
+        (void)co_await comm.reduce_sum(0, 1.0);
+      }
+    });
+    benchmark::DoNotOptimize(sim_s);
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds * state.range(0));
+  state.counters["sim_s"] = benchmark::Counter(sim_s);
+}
+
+void BM_BcastFlat(benchmark::State& state) {
+  bcast_rounds(state, vmpi::CollectiveTuning::legacy_flat());
+}
+void BM_BcastTree(benchmark::State& state) {
+  bcast_rounds(state, vmpi::CollectiveTuning::tree());
+}
+void BM_BarrierFlat(benchmark::State& state) {
+  barrier_rounds(state, vmpi::CollectiveTuning::legacy_flat());
+}
+void BM_BarrierTree(benchmark::State& state) {
+  barrier_rounds(state, vmpi::CollectiveTuning::tree());
+}
+void BM_ReduceFlat(benchmark::State& state) {
+  reduce_rounds(state, vmpi::CollectiveTuning::legacy_flat());
+}
+void BM_ReduceTree(benchmark::State& state) {
+  reduce_rounds(state, vmpi::CollectiveTuning::tree());
+}
+
+BENCHMARK(BM_BcastFlat)->Arg(64)->Arg(512)->Arg(2048);
+BENCHMARK(BM_BcastTree)->Arg(64)->Arg(512)->Arg(2048);
+BENCHMARK(BM_BarrierFlat)->Arg(64)->Arg(512)->Arg(2048);
+BENCHMARK(BM_BarrierTree)->Arg(64)->Arg(512)->Arg(2048);
+BENCHMARK(BM_ReduceFlat)->Arg(64)->Arg(512)->Arg(2048);
+BENCHMARK(BM_ReduceTree)->Arg(64)->Arg(512)->Arg(2048);
+
+}  // namespace

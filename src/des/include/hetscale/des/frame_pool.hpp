@@ -27,4 +27,15 @@ void frame_free(void* p, std::size_t size) noexcept;
 /// freelists.
 std::size_t frame_pool_parked();
 
+/// Frames currently allocated (not yet freed) on this thread — one per
+/// suspended coroutine, roughly.
+std::size_t frame_pool_live();
+
+/// High-water mark of frame_pool_live() since the last reset. Machine::run
+/// resets it at launch so a profiled run reports its own peak.
+std::size_t frame_pool_live_peak();
+
+/// Restart the high-water mark at the current live count.
+void frame_pool_reset_live_peak();
+
 }  // namespace hetscale::des::detail

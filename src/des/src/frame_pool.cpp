@@ -60,6 +60,12 @@ struct Pool {
 
 thread_local Pool t_pool;
 
+// Live-frame gauge: frames allocated and not yet freed on this thread. The
+// high-water mark is what large-p memory regressions show up in — every
+// concurrently-suspended actor coroutine holds at least one live frame.
+thread_local std::size_t t_live = 0;
+thread_local std::size_t t_live_peak = 0;
+
 inline std::size_t bin_index(std::size_t size) {
   return (size - 1) / kGranularity;
 }
@@ -68,6 +74,7 @@ inline std::size_t bin_index(std::size_t size) {
 
 void* frame_alloc(std::size_t size) {
   if (size == 0) size = 1;
+  if (++t_live > t_live_peak) t_live_peak = t_live;
   if (size > kMaxPooledBytes) return ::operator new(size);
   Bin& bin = t_pool.bins[bin_index(size)];
   if (bin.head != nullptr) {
@@ -83,6 +90,7 @@ void* frame_alloc(std::size_t size) {
 
 void frame_free(void* p, std::size_t size) noexcept {
   if (p == nullptr) return;
+  if (t_live > 0) --t_live;
   if (size == 0) size = 1;
   if (size > kMaxPooledBytes) {
     ::operator delete(p);
@@ -105,5 +113,11 @@ std::size_t frame_pool_parked() {
   for (const Bin& bin : t_pool.bins) total += bin.count;
   return total;
 }
+
+std::size_t frame_pool_live() { return t_live; }
+
+std::size_t frame_pool_live_peak() { return t_live_peak; }
+
+void frame_pool_reset_live_peak() { t_live_peak = t_live; }
 
 }  // namespace hetscale::des::detail

@@ -42,7 +42,16 @@ struct TransferResult {
 struct NetworkParams {
   LinkParams remote{5e-5, 12.5e6};  ///< inter-node path (100 Mb Ethernet)
   LinkParams local{5e-6, 400e6};    ///< intra-node path (shared memory copy)
-  double per_message_overhead_s = 1e-4;  ///< software send/recv setup cost
+  double per_message_overhead_s = 1e-4;  ///< software send setup cost
+
+  /// Software cost the *receiving* CPU pays per matched message. Off by
+  /// default: the paper's calibration folds both ends into the sender-side
+  /// overhead, which is fine while every hot collective is root-sourced.
+  /// It matters for incast — p-1 concurrent senders hitting one root cost
+  /// the root Θ(p) of receive processing in reality, yet 0 under a pure
+  /// sender-side model. Studies of gather/reduce-shaped traffic (the
+  /// micro_collectives benchmark) turn this on to make that cost visible.
+  double recv_overhead_s = 0.0;
 };
 
 /// Cumulative on-wire totals of one physical link (a node's injection port

@@ -47,6 +47,10 @@ class Analysis {
   const std::vector<CommHotspot>& top_bytes() const { return top_bytes_; }
   const DesQueueStats& des_queue() const { return des_queue_; }
   std::uint64_t occupancy_peak() const { return occupancy_peak_; }
+  /// Largest event-queue population any single run reached.
+  std::uint64_t population_peak() const { return population_peak_; }
+  /// Largest live-coroutine-frame count any single run reached.
+  std::uint64_t frame_live_peak() const { return frame_live_peak_; }
 
   /// hetscale.obs.analysis/v1 — a self-contained JSON document.
   void to_json(std::ostream& os) const;
@@ -74,6 +78,9 @@ class Analysis {
   DesQueueStats des_queue_;
   std::uint64_t occupancy_peak_ = 0;
   std::uint64_t occupancy_samples_ = 0;
+  /// Maxima across runs (not sums — peaks of different runs don't add).
+  std::uint64_t population_peak_ = 0;
+  std::uint64_t frame_live_peak_ = 0;
 };
 
 }  // namespace hetscale::obs

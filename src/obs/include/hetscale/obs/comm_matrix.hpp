@@ -39,6 +39,10 @@ enum class CommPhase : int {
   kAlltoall,
   kGroupBcast,   ///< vmpi::Group row/column panel broadcast
   kGroupGather,  ///< vmpi::Group panel gather
+  // Appended past the seed phases so recorded phase ints stay stable.
+  kReduce,         ///< combining-tree reduce partials
+  kAllreduce,      ///< recursive-doubling allreduce exchanges
+  kBcastDoubling,  ///< long-broadcast doubling-allgather leg
 };
 
 /// Stable lowercase name of a phase ("p2p", "bcast", ...).

@@ -105,6 +105,7 @@ struct RunProfile {
   // des
   std::uint64_t des_events = 0;
   std::uint64_t des_queue_depth_max = 0;
+  std::uint64_t frame_live_peak = 0;  ///< coroutine-frame high-water mark
 
   // net (on-wire truth, from the innermost network model)
   double wire_s = 0.0;

@@ -94,6 +94,8 @@ Analysis::Analysis(const Profiler& profiler, AnalysisOptions options)
     for (const DesQueueStats::Sample& sample : run.des_queue.occupancy) {
       occupancy_peak_ = std::max(occupancy_peak_, sample.depth);
     }
+    population_peak_ = std::max(population_peak_, run.des_queue_depth_max);
+    frame_live_peak_ = std::max(frame_live_peak_, run.frame_live_peak);
   }
   comm_cells_.reserve(merged.size());
   for (const auto& [key, cell] : merged) comm_cells_.push_back(cell);
@@ -169,7 +171,9 @@ void Analysis::to_json(std::ostream& os) const {
   os << "\"far_inserts\": " << des_queue_.far_inserts << ", ";
   os << "\"rebuilds\": " << des_queue_.rebuilds << ", ";
   os << "\"occupancy_peak\": " << occupancy_peak_ << ", ";
-  os << "\"occupancy_samples\": " << occupancy_samples_;
+  os << "\"occupancy_samples\": " << occupancy_samples_ << ", ";
+  os << "\"population_peak\": " << population_peak_ << ", ";
+  os << "\"frame_live_peak\": " << frame_live_peak_;
   os << "}\n";
   os << "}\n";
 }
@@ -226,6 +230,8 @@ std::string Analysis::to_text() const {
   queue.add_row({"rebuilds", std::to_string(des_queue_.rebuilds)});
   queue.add_row({"occupancy peak", std::to_string(occupancy_peak_)});
   queue.add_row({"occupancy samples", std::to_string(occupancy_samples_)});
+  queue.add_row({"population peak", std::to_string(population_peak_)});
+  queue.add_row({"frame live peak", std::to_string(frame_live_peak_)});
   out << "\n" << queue;
   return out.str();
 }

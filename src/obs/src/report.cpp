@@ -47,6 +47,10 @@ void fold_run(MetricsRegistry& m, const RunProfile& run) {
       .add(static_cast<double>(run.des_events));
   m.gauge("hetscale_des_queue_depth_max")
       .set_max(static_cast<double>(run.des_queue_depth_max));
+  if (run.frame_live_peak > 0) {
+    m.gauge("hetscale_des_frame_live_peak")
+        .set_max(static_cast<double>(run.frame_live_peak));
+  }
 
   m.counter("hetscale_net_wire_seconds_total").add(run.wire_s);
   m.counter("hetscale_net_contention_seconds_total").add(run.contention_s);

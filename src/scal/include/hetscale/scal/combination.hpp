@@ -47,9 +47,14 @@ class ClusterCombination;
 struct ProfiledRun;  // scal/profile.hpp
 ProfiledRun profile_run(ClusterCombination& combination, std::int64_t n);
 
-/// Build a single-shot machine for one run of a combination.
-vmpi::Machine make_machine(const machine::Cluster& cluster, NetworkKind kind,
-                           const net::NetworkParams& params);
+/// Build a single-shot machine for one run of a combination. The tuning
+/// default is the paper-era flat collective family: every measurement path
+/// that predates the tree collectives pins legacy behaviour unless its
+/// combination asks otherwise.
+vmpi::Machine make_machine(
+    const machine::Cluster& cluster, NetworkKind kind,
+    const net::NetworkParams& params,
+    const vmpi::CollectiveTuning& tuning = vmpi::CollectiveTuning::legacy_flat());
 
 class Combination {
  public:
@@ -85,6 +90,13 @@ class ClusterCombination : public Combination {
     NetworkKind network = NetworkKind::kSwitched;
     net::NetworkParams net_params{};
     bool with_data = false;  ///< timing-only by default for sweeps
+    /// Collective algorithm family the combination's machines run. Defaults
+    /// to the paper-era flat family so every pre-existing scenario (and its
+    /// golden artifact) is byte-identical to the original runs; large-p
+    /// studies opt into vmpi::CollectiveTuning::tree(). Part of the
+    /// measurement fingerprint — flat and tree runs never alias in the
+    /// store.
+    vmpi::CollectiveTuning tuning = vmpi::CollectiveTuning::legacy_flat();
   };
 
   ClusterCombination(std::string name, Config config);

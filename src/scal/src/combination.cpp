@@ -30,11 +30,12 @@ std::vector<Measurement> Combination::measure_many(
 }
 
 vmpi::Machine make_machine(const machine::Cluster& cluster, NetworkKind kind,
-                           const net::NetworkParams& params) {
+                           const net::NetworkParams& params,
+                           const vmpi::CollectiveTuning& tuning) {
   if (kind == NetworkKind::kSharedBus) {
-    return vmpi::Machine::shared_bus(cluster, params);
+    return vmpi::Machine::shared_bus(cluster, params, tuning);
   }
-  return vmpi::Machine::switched(cluster, params);
+  return vmpi::Machine::switched(cluster, params, tuning);
 }
 
 ClusterCombination::ClusterCombination(std::string name, Config config)
@@ -49,7 +50,7 @@ const std::string& ClusterCombination::store_key() {
   if (store_key_.empty()) {
     store_key_ = config_fingerprint(algo_key(), config_.cluster,
                                     config_.network, config_.net_params,
-                                    config_.with_data);
+                                    config_.with_data, config_.tuning);
   }
   return store_key_;
 }
@@ -75,8 +76,8 @@ const Measurement& ClusterCombination::measure(std::int64_t n) {
 
 Measurement ClusterCombination::compute(std::int64_t n) const {
   HETSCALE_REQUIRE(n >= 1, "problem size must be >= 1");
-  auto machine =
-      make_machine(config_.cluster, config_.network, config_.net_params);
+  auto machine = make_machine(config_.cluster, config_.network,
+                              config_.net_params, config_.tuning);
   const RunOutcome outcome = run_once(machine, n);
 
   Measurement m;

@@ -48,7 +48,7 @@ FaultyMeasurement FaultedCombination::compute(std::int64_t n) const {
   const auto& config = inner_->config();
   auto network = std::make_unique<fault::DegradedNetwork>(
       make_network(config.network, config.net_params), *plan_);
-  vmpi::Machine machine(config.cluster, std::move(network));
+  vmpi::Machine machine(config.cluster, std::move(network), config.tuning);
   fault::Injector injector(*plan_, processor_rates(config.cluster));
   machine.attach_fault_hooks(&injector);
 

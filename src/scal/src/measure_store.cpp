@@ -167,7 +167,8 @@ std::string config_fingerprint(std::string_view algo_key,
                                const machine::Cluster& cluster,
                                NetworkKind network,
                                const net::NetworkParams& params,
-                               bool with_data) {
+                               bool with_data,
+                               const vmpi::CollectiveTuning& tuning) {
   std::string key;
   key.reserve(256);
   append_sanitized(key, algo_key);
@@ -183,6 +184,11 @@ std::string config_fingerprint(std::string_view algo_key,
   append_exact(key, params.local.bandwidth_Bps);
   key += ',';
   append_exact(key, params.per_message_overhead_s);
+  if (params.recv_overhead_s != 0.0) {
+    // Appended conditionally so every pre-existing cache key is unchanged.
+    key += ",recv=";
+    append_exact(key, params.recv_overhead_s);
+  }
   for (const auto& node : cluster.nodes()) {
     key += "|node=";
     append_sanitized(key, node.name);
@@ -203,6 +209,26 @@ std::string config_fingerprint(std::string_view algo_key,
       append_exact(key, b);
       key += ';';
     }
+  }
+  // Legacy-flat adds nothing, so fingerprints minted before collective
+  // tuning existed still resolve; any other family is spelled out.
+  if (!(tuning == vmpi::CollectiveTuning::legacy_flat())) {
+    key += "|coll=";
+    key += std::to_string(static_cast<int>(tuning.small_bcast));
+    key += ',';
+    key += std::to_string(static_cast<int>(tuning.large_bcast));
+    key += ',';
+    append_exact(key, tuning.large_bcast_threshold_bytes);
+    key += ',';
+    key += std::to_string(static_cast<int>(tuning.barrier));
+    key += ',';
+    key += std::to_string(static_cast<int>(tuning.gather));
+    key += ',';
+    key += std::to_string(static_cast<int>(tuning.scatter));
+    key += ',';
+    key += std::to_string(static_cast<int>(tuning.reduce));
+    key += ',';
+    key += std::to_string(static_cast<int>(tuning.allreduce));
   }
   return key;
 }

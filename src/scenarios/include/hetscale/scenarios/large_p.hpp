@@ -1,0 +1,39 @@
+// The large-p study — scaling the simulated testbed two orders of
+// magnitude past the paper's 84 processors.
+//
+// The paper's Sunwulf measurements stop where the physical cluster does.
+// With the logarithmic collective family (vmpi::CollectiveTuning::tree())
+// and the lean per-rank runtime state, ensembles of 256-4096 ranks are
+// affordable to simulate, which opens the regime where the model zoo's
+// contention/coherency terms (USL, BSF) become measurable.
+#pragma once
+
+#include <string>
+
+#include "hetscale/machine/cluster.hpp"
+#include "hetscale/scal/combination.hpp"
+
+namespace hetscale::scenarios {
+
+/// The large-p rung sizes (total ranks per synthetic ensemble).
+inline const int kLargePRungs[] = {256, 1024, 2048, 4096};
+
+/// The textual description (machine/parse.hpp grammar) of the synthetic
+/// heterogeneous ensemble with `ranks` single-CPU nodes: one half
+/// SunBlades, one quarter V210s, one quarter servers — the Sunwulf node
+/// catalog, scaled far past the physical machine. `ranks` must be a
+/// multiple of 4.
+std::string large_p_description(int ranks);
+
+/// The parsed ensemble for one rung.
+machine::Cluster large_p_cluster(int ranks);
+
+/// Shared combination config for the large-p study: switched fabric,
+/// timing-only runs, and the tree collective family (the whole point of
+/// the study — the legacy flat family is quadratically expensive here).
+scal::ClusterCombination::Config large_p_config(int ranks);
+
+/// Register the `large_p_scalability` scenario. Idempotent.
+void register_large_p_scenarios();
+
+}  // namespace hetscale::scenarios

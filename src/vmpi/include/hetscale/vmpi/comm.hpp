@@ -71,23 +71,31 @@ class Comm {
   // ---- Collectives (see file comment) ----
 
   /// Root's payload of modeled size `bytes` is delivered to every rank.
-  /// Small messages use a flat tree (linear in p, like the paper's measured
-  /// T_bcast ≈ const·p); messages at or above the machine's
-  /// large_bcast_threshold use the MPICH-style van de Geijn algorithm
-  /// (scatter + ring allgather), whose cost is ~2·bytes/B + Θ(p) latency —
-  /// essential to reproduce MM's behaviour (DESIGN.md §6).
+  /// The algorithm is the machine's CollectiveTuning choice: short messages
+  /// use a binomial tree by default (Θ(log p)) or the paper-era flat tree
+  /// under the legacy pin (linear in p, like the measured T_bcast ≈
+  /// const·p); messages at or above the machine's large_bcast_threshold use
+  /// a scatter+allgather long-message algorithm (van de Geijn scatter+ring
+  /// under the legacy pin, binomial scatter + doubling allgather by
+  /// default), whose cost is ~2·bytes/B — essential to reproduce MM's
+  /// behaviour (DESIGN.md §6).
   des::Task<Payload> bcast(int root, double bytes, Payload payload);
 
-  /// All ranks synchronize (gather of tokens to root, then release).
+  /// All ranks synchronize. Tuning-selected: flat all-to-root tokens plus a
+  /// root release (legacy), a binomial combining tree with binomial release
+  /// (default), or a dissemination barrier.
   des::Task<void> barrier();
 
   /// Every rank contributes (`bytes`, `payload`); the root returns the
   /// vector indexed by rank, other ranks return an empty vector.
+  /// Tuning-selected: direct sends to the root (legacy) or subtree bundles
+  /// up a binomial tree (default, Θ(log p) rounds).
   des::Task<std::vector<Payload>> gather(int root, double bytes,
                                           Payload payload);
 
   /// The root distributes parts[r] (modeled size parts_bytes[r]) to rank r;
-  /// every rank returns its own part.
+  /// every rank returns its own part. Tuning-selected: direct sends from
+  /// the root (legacy) or subtree bundles down a binomial tree (default).
   des::Task<Payload> scatter(int root, const std::vector<double>& parts_bytes,
                               std::vector<Payload> parts);
 
@@ -106,13 +114,19 @@ class Comm {
   /// Reduction operators over doubles.
   enum class ReduceOp { kSum, kMin, kMax, kProd };
 
-  /// Reduction of a double to the root (others get 0.0).
+  /// Reduction of a double to the root (others get 0.0). Tuning-selected:
+  /// gather p scalars to the root and fold there (legacy — the root
+  /// materializes a vector of p payloads), or fold partial results up a
+  /// binomial combining tree (default — Θ(log p), O(1) state per rank).
   des::Task<double> reduce(int root, double value, ReduceOp op);
 
   /// Sum-reduction of a double to the root (others get 0.0).
   des::Task<double> reduce_sum(int root, double value);
 
-  /// Reduction delivered to every rank.
+  /// Reduction delivered to every rank. Tuning-selected: reduce to rank 0
+  /// then broadcast (legacy — two full trips), or a recursive-doubling
+  /// butterfly (default — the value lands everywhere in Θ(log p) rounds,
+  /// bit-identical across ranks by fixed combine association).
   des::Task<double> allreduce(double value, ReduceOp op);
 
   /// Sum-reduction delivered to every rank.
@@ -137,6 +151,10 @@ class Comm {
   static constexpr int kTagBcastRing = (1 << 28) + 6;
   static constexpr int kTagAllgather = (1 << 28) + 7;
   static constexpr int kTagAlltoall = (1 << 28) + 8;
+  static constexpr int kTagBarrierDissem = (1 << 28) + 9;
+  static constexpr int kTagReduce = (1 << 28) + 10;
+  static constexpr int kTagAllreduce = (1 << 28) + 11;
+  static constexpr int kTagBcastDoubling = (1 << 28) + 12;
 
   /// One logical transmission to `dst`, consulting the machine's fault
   /// hooks: under message loss this models the full retry schedule (every
@@ -147,7 +165,27 @@ class Comm {
   des::Task<Payload> bcast_flat(int root, double bytes, Payload payload);
   des::Task<Payload> bcast_binomial(int root, double bytes,
                                      Payload payload);
-  des::Task<Payload> bcast_large(int root, double bytes, Payload payload);
+  des::Task<Payload> bcast_large_ring(int root, double bytes,
+                                       Payload payload);
+  des::Task<Payload> bcast_large_doubling(int root, double bytes,
+                                           Payload payload);
+  des::Task<void> barrier_flat();
+  des::Task<void> barrier_combining();
+  des::Task<void> barrier_dissemination();
+  des::Task<std::vector<Payload>> gather_flat(int root, double bytes,
+                                               Payload payload);
+  des::Task<std::vector<Payload>> gather_binomial(int root, double bytes,
+                                                   Payload payload);
+  des::Task<Payload> scatter_flat(int root,
+                                   const std::vector<double>& parts_bytes,
+                                   std::vector<Payload> parts);
+  des::Task<Payload> scatter_binomial(int root,
+                                       const std::vector<double>& parts_bytes,
+                                       std::vector<Payload> parts);
+  des::Task<double> reduce_flat(int root, double value, ReduceOp op);
+  des::Task<double> reduce_combining(int root, double value, ReduceOp op);
+  des::Task<double> allreduce_reduce_bcast(double value, ReduceOp op);
+  des::Task<double> allreduce_doubling(double value, ReduceOp op);
   /// Modeled size of a zero-payload control token (MPI header-ish).
   static constexpr double kTokenBytes = 16.0;
 

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <coroutine>
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "hetscale/des/scheduler.hpp"
@@ -51,7 +53,10 @@ class Mailbox {
   /// Remove and return the first pending message matching (source, tag),
   /// honouring wildcards; messages are matched in post order (MPI's
   /// non-overtaking rule). Arrival times are NOT consulted here — the caller
-  /// waits out a future arrival itself.
+  /// waits out a future arrival itself. Wildcard-free matches (every
+  /// collective and algorithm in the tree) hit a per-(source, tag) FIFO
+  /// index — O(1) regardless of how many unrelated messages are pending, so
+  /// a flat-collective root at p=4096 no longer pays an O(p) scan per take.
   std::optional<Message> take_match(int source, int tag);
 
   /// Awaitable: suspend until the next post. Only one waiter may exist.
@@ -62,7 +67,7 @@ class Mailbox {
     return WaitAwaiter{*this, source, tag};
   }
 
-  std::size_t pending_count() const { return pending_.size() - head_; }
+  std::size_t pending_count() const { return live_count_; }
 
   /// The (source, tag) of a receiver currently suspended on this mailbox.
   struct WaitingRecv {
@@ -81,12 +86,38 @@ class Mailbox {
     void await_resume() const noexcept { box.waiting_.reset(); }
   };
 
+  /// Sentinel for a slot whose message was taken: slots tombstone in place
+  /// (the index holds positions into pending_, so mid-erase would shift
+  /// them) and the whole slab resets when it fully drains — the
+  /// overwhelmingly common case between collective phases.
+  static constexpr int kConsumedSource = -2;
+
+  /// FIFO of slot positions for one (source, tag) key. `epoch` lazily
+  /// invalidates the queue after a full drain without touching the map.
+  struct SlotQueue {
+    std::vector<std::size_t> slots;
+    std::size_t head = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  static std::uint64_t index_key(int source, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  std::optional<Message> consume(std::size_t slot);
+  void reset_slab();
+
   des::Scheduler* scheduler_;
   /// Pending messages live in [head_, pending_.size()); popping the front
-  /// advances head_, and the vector (its capacity is the slab) resets to
-  /// index 0 whenever it fully drains — the overwhelmingly common case.
+  /// advances head_ past tombstones, and the vector (its capacity is the
+  /// slab) resets to index 0 whenever it fully drains.
   std::vector<Message> pending_;
   std::size_t head_ = 0;
+  std::size_t live_count_ = 0;
+  std::unordered_map<std::uint64_t, SlotQueue> index_;
+  std::uint64_t drain_epoch_ = 0;
   std::coroutine_handle<> waiter_;
   std::optional<WaitingRecv> waiting_;
 };

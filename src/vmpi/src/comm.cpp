@@ -1,6 +1,7 @@
 #include "hetscale/vmpi/comm.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "hetscale/support/error.hpp"
@@ -20,13 +21,17 @@ obs::CommPhase Comm::phase_for_tag(int tag) {
   switch (tag) {
     case kTagBcast: return obs::CommPhase::kBcast;
     case kTagBarrierIn:
-    case kTagBarrierOut: return obs::CommPhase::kBarrier;
+    case kTagBarrierOut:
+    case kTagBarrierDissem: return obs::CommPhase::kBarrier;
     case kTagGather: return obs::CommPhase::kGather;
     case kTagScatter: return obs::CommPhase::kScatter;
     case kTagBcastScatter: return obs::CommPhase::kBcastScatter;
     case kTagBcastRing: return obs::CommPhase::kBcastRing;
+    case kTagBcastDoubling: return obs::CommPhase::kBcastDoubling;
     case kTagAllgather: return obs::CommPhase::kAllgather;
     case kTagAlltoall: return obs::CommPhase::kAlltoall;
+    case kTagReduce: return obs::CommPhase::kReduce;
+    case kTagAllreduce: return obs::CommPhase::kAllreduce;
     default: return obs::CommPhase::kP2p;
   }
 }
@@ -147,6 +152,13 @@ des::Task<Message> Comm::recv(int source, int tag) {
       if (message->arrival > now()) {
         co_await machine_->scheduler().resume_at(message->arrival);
       }
+      // Receive processing occupies this rank's CPU, so back-to-back
+      // receives (incast at a flat-gather root) serialize here. Guarded so
+      // the default (0.0) leaves the event schedule untouched.
+      const double recv_cost = machine_->network().params().recv_overhead_s;
+      if (recv_cost > 0.0) {
+        co_await machine_->scheduler().delay(recv_cost);
+      }
       stats.comm_s += now() - start;
       if (auto* tracer = machine_->tracer()) {
         tracer->record_interval({rank_, TraceInterval::Kind::kRecv, start,
@@ -169,7 +181,11 @@ des::Task<Payload> Comm::bcast(int root, double bytes, Payload payload) {
   HETSCALE_REQUIRE(root >= 0 && root < size_, "root rank out of range");
   if (size_ > 1 &&
       bytes >= machine_->tuning().large_bcast_threshold_bytes) {
-    return bcast_large(root, bytes, std::move(payload));
+    if (machine_->tuning().large_bcast ==
+        LargeBcastAlgorithm::kScatterDoubling) {
+      return bcast_large_doubling(root, bytes, std::move(payload));
+    }
+    return bcast_large_ring(root, bytes, std::move(payload));
   }
   if (machine_->tuning().small_bcast == BcastAlgorithm::kBinomialTree) {
     return bcast_binomial(root, bytes, std::move(payload));
@@ -223,8 +239,8 @@ des::Task<Payload> Comm::bcast_flat(int root, double bytes,
   co_return std::move(message.payload);
 }
 
-des::Task<Payload> Comm::bcast_large(int root, double bytes,
-                                      Payload payload) {
+des::Task<Payload> Comm::bcast_large_ring(int root, double bytes,
+                                           Payload payload) {
   // Van de Geijn long-message broadcast: scatter 1/p-sized chunks from the
   // root, then a ring allgather. Wall time ~ 2·bytes·(p-1)/(p·B) plus Θ(p)
   // latency on a switched network. The *real* payload rides on the scatter
@@ -251,9 +267,51 @@ des::Task<Payload> Comm::bcast_large(int root, double bytes,
   co_return out;
 }
 
+des::Task<Payload> Comm::bcast_large_doubling(int root, double bytes,
+                                               Payload payload) {
+  // Logarithmic long-message broadcast: binomial scatter of 1/p-sized
+  // chunks, then a Bruck-style doubling allgather — ~2·bytes/B total wire
+  // time in Θ(log p) rounds, against the ring's Θ(p). As in the ring
+  // variant, the *real* payload rides the scatter messages (each rank needs
+  // the whole value); the allgather rounds move timing-only chunks.
+  const double chunk = bytes / static_cast<double>(size_);
+  const int vrank = (rank_ - root + size_) % size_;
+  Payload out;
+  int mask = 1;
+  if (vrank == 0) {
+    out = std::move(payload);
+    while (mask < size_) mask <<= 1;
+  } else {
+    while (!(vrank & mask)) mask <<= 1;
+    const int src = ((vrank - mask) + root) % size_;
+    Message message = co_await recv(src, kTagBcastScatter);
+    out = std::move(message.payload);
+  }
+  // Forward chunk bundles to each binomial subtree; the modeled size is the
+  // subtree's share of the chunks.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < size_) {
+      const int len = std::min(mask, size_ - (vrank + mask));
+      const int dst = ((vrank + mask) + root) % size_;
+      co_await send(dst, kTagBcastScatter, chunk * len, out);
+    }
+    mask >>= 1;
+  }
+  // Doubling allgather: in round k every rank owns 2^k chunks and swaps
+  // them with the rank 2^k away, so all p chunks land everywhere after
+  // ceil(log2 p) rounds.
+  for (int dist = 1; dist < size_; dist <<= 1) {
+    const int blocks = std::min(dist, size_ - dist);
+    const int dst = (rank_ - dist + size_) % size_;
+    const int src = (rank_ + dist) % size_;
+    co_await send(dst, kTagBcastDoubling, chunk * blocks, {});
+    co_await recv(src, kTagBcastDoubling);
+  }
+  co_return out;
+}
+
 des::Task<void> Comm::barrier() {
-  // All-to-root token gather, then a root-to-all release — 2(p-1) messages.
-  constexpr int kRoot = 0;
   // Explicit open/close (not RAII): the coroutine frame may be destroyed at
   // an unrelated virtual time, so the span must close at the single exit
   // point below, while the rank is still running.
@@ -261,6 +319,24 @@ des::Task<void> Comm::barrier() {
   const std::size_t span =
       tracer ? tracer->spans().open(rank_, tracer->barrier_name_id(), now())
              : obs::kNoSpan;
+  switch (machine_->tuning().barrier) {
+    case BarrierAlgorithm::kFlatTree:
+      co_await barrier_flat();
+      break;
+    case BarrierAlgorithm::kCombiningTree:
+      co_await barrier_combining();
+      break;
+    case BarrierAlgorithm::kDissemination:
+      co_await barrier_dissemination();
+      break;
+  }
+  if (tracer) tracer->spans().close(span, now());
+}
+
+des::Task<void> Comm::barrier_flat() {
+  // All-to-root token gather, then a root-to-all release — 2(p-1) messages,
+  // both legs serialized on the root.
+  constexpr int kRoot = 0;
   if (rank_ == kRoot) {
     for (int src = 0; src < size_; ++src) {
       if (src == kRoot) continue;
@@ -274,12 +350,106 @@ des::Task<void> Comm::barrier() {
     co_await send(kRoot, kTagBarrierIn, kTokenBytes, {});
     co_await recv(kRoot, kTagBarrierOut);
   }
-  if (tracer) tracer->spans().close(span, now());
 }
+
+des::Task<void> Comm::barrier_combining() {
+  // Binomial combine of tokens to rank 0, then a binomial release — still
+  // 2(p-1) messages, but Θ(log p) rounds on each leg.
+  int mask = 1;
+  while (mask < size_) {
+    if (rank_ & mask) {
+      co_await send(rank_ - mask, kTagBarrierIn, kTokenBytes, {});
+      break;
+    }
+    if (rank_ + mask < size_) co_await recv(rank_ + mask, kTagBarrierIn);
+    mask <<= 1;
+  }
+  // `mask` is the bit this rank combined up on (or the first power of two
+  // >= p at rank 0); every lower bit names a subtree to release.
+  if (rank_ != 0) co_await recv(rank_ - mask, kTagBarrierOut);
+  mask >>= 1;
+  while (mask > 0) {
+    if (rank_ + mask < size_) {
+      co_await send(rank_ + mask, kTagBarrierOut, kTokenBytes, {});
+    }
+    mask >>= 1;
+  }
+}
+
+des::Task<void> Comm::barrier_dissemination() {
+  // Dissemination barrier: in round k every rank sends a token to the rank
+  // 2^k ahead and waits on the rank 2^k behind — ceil(log2 p) fully
+  // concurrent rounds, no root at all. Distances are distinct powers of two
+  // below p, so every (source, round) pair a rank waits on is unique and
+  // source-specific receives cannot mismatch across rounds.
+  for (int dist = 1; dist < size_; dist <<= 1) {
+    const int dst = (rank_ + dist) % size_;
+    const int src = (rank_ - dist + size_) % size_;
+    co_await send(dst, kTagBarrierDissem, kTokenBytes, {});
+    co_await recv(src, kTagBarrierDissem);
+  }
+}
+
+namespace {
+
+/// One rank's contribution riding inside a tree-collective bundle.
+struct RankPart {
+  int rank = 0;
+  double bytes = 0.0;
+  Payload payload;
+};
+using PartsVec = std::vector<RankPart>;
+
+/// Thread-local freelist for bundle vectors: a binomial gather/scatter at
+/// p=4096 would otherwise allocate a fresh vector per tree edge. A
+/// simulation runs entirely on one thread (the Runner pins each machine to
+/// a worker), so no locks are needed.
+std::vector<PartsVec>& parts_pool() {
+  thread_local std::vector<PartsVec> pool;
+  return pool;
+}
+
+PartsVec acquire_parts() {
+  auto& pool = parts_pool();
+  if (pool.empty()) return {};
+  PartsVec out = std::move(pool.back());
+  pool.pop_back();
+  out.clear();
+  return out;
+}
+
+void release_parts(PartsVec&& parts) {
+  auto& pool = parts_pool();
+  if (parts.capacity() > 0 && pool.size() < 64) {
+    pool.push_back(std::move(parts));
+  }
+}
+
+/// Subtree bundle shipped along one edge of a binomial gather/scatter.
+/// Boxed as a shared_ptr so forwarding a bundle bumps a refcount instead of
+/// deep-copying p payloads; the destructor returns the vector to the pool.
+struct TreeBundle {
+  PartsVec parts;
+  explicit TreeBundle(PartsVec p) : parts(std::move(p)) {}
+  TreeBundle(const TreeBundle&) = delete;
+  TreeBundle& operator=(const TreeBundle&) = delete;
+  ~TreeBundle() { release_parts(std::move(parts)); }
+};
+using TreeBundlePtr = std::shared_ptr<TreeBundle>;
+
+}  // namespace
 
 des::Task<std::vector<Payload>> Comm::gather(int root, double bytes,
                                               Payload payload) {
   HETSCALE_REQUIRE(root >= 0 && root < size_, "root rank out of range");
+  if (machine_->tuning().gather == GatherAlgorithm::kBinomialTree) {
+    return gather_binomial(root, bytes, std::move(payload));
+  }
+  return gather_flat(root, bytes, std::move(payload));
+}
+
+des::Task<std::vector<Payload>> Comm::gather_flat(int root, double bytes,
+                                                   Payload payload) {
   if (rank_ != root) {
     co_await send(root, kTagGather, bytes, std::move(payload));
     co_return std::vector<Payload>{};
@@ -294,6 +464,42 @@ des::Task<std::vector<Payload>> Comm::gather(int root, double bytes,
   co_return parts;
 }
 
+des::Task<std::vector<Payload>> Comm::gather_binomial(int root, double bytes,
+                                                       Payload payload) {
+  // Mirror image of bcast_binomial on virtual ranks: in round k, every rank
+  // whose k-th bit is set sends its accumulated subtree bundle to
+  // vrank - 2^k and is done; the rest absorb the bundle arriving from
+  // vrank + 2^k. p-1 messages in Θ(log p) rounds; the modeled size of a
+  // bundle is the sum of its members' contributions.
+  const int vrank = (rank_ - root + size_) % size_;
+  PartsVec bundle = acquire_parts();
+  bundle.push_back(RankPart{rank_, bytes, std::move(payload)});
+  double bundle_bytes = bytes;
+  int mask = 1;
+  while (mask < size_) {
+    if (vrank & mask) {
+      const int dst = ((vrank - mask) + root) % size_;
+      co_await send(dst, kTagGather, bundle_bytes,
+                    Payload(std::make_shared<TreeBundle>(std::move(bundle))));
+      co_return std::vector<Payload>{};
+    }
+    if (vrank + mask < size_) {
+      const int src = ((vrank + mask) + root) % size_;
+      Message message = co_await recv(src, kTagGather);
+      const auto sub = message.payload.as<TreeBundlePtr>();
+      for (RankPart& part : sub->parts) bundle.push_back(std::move(part));
+      bundle_bytes += message.bytes;
+    }
+    mask <<= 1;
+  }
+  std::vector<Payload> parts(static_cast<std::size_t>(size_));
+  for (RankPart& part : bundle) {
+    parts[static_cast<std::size_t>(part.rank)] = std::move(part.payload);
+  }
+  release_parts(std::move(bundle));
+  co_return parts;
+}
+
 des::Task<Payload> Comm::scatter(int root,
                                   const std::vector<double>& parts_bytes,
                                   std::vector<Payload> parts) {
@@ -302,6 +508,17 @@ des::Task<Payload> Comm::scatter(int root,
     HETSCALE_REQUIRE(parts.size() == static_cast<std::size_t>(size_) &&
                          parts_bytes.size() == parts.size(),
                      "scatter needs one part per rank at the root");
+  }
+  if (machine_->tuning().scatter == GatherAlgorithm::kBinomialTree) {
+    return scatter_binomial(root, parts_bytes, std::move(parts));
+  }
+  return scatter_flat(root, parts_bytes, std::move(parts));
+}
+
+des::Task<Payload> Comm::scatter_flat(int root,
+                                       const std::vector<double>& parts_bytes,
+                                       std::vector<Payload> parts) {
+  if (rank_ == root) {
     for (int dst = 0; dst < size_; ++dst) {
       if (dst == root) continue;
       co_await send(dst, kTagScatter, parts_bytes[static_cast<std::size_t>(dst)],
@@ -311,6 +528,57 @@ des::Task<Payload> Comm::scatter(int root,
   }
   Message message = co_await recv(root, kTagScatter);
   co_return std::move(message.payload);
+}
+
+des::Task<Payload> Comm::scatter_binomial(
+    int root, const std::vector<double>& parts_bytes,
+    std::vector<Payload> parts) {
+  // Reverse of gather_binomial: each rank first receives the bundle for its
+  // whole binomial subtree (on its lowest set vrank bit), keeps its own
+  // part, then peels off and forwards the sub-bundles for each child
+  // subtree. Bundles are ordered by vrank, so a subtree rooted at vrank v
+  // with span m holds the parts for vranks [v, v+m) at indices [0, m).
+  const int vrank = (rank_ - root + size_) % size_;
+  PartsVec bundle;
+  Payload mine;
+  int mask = 1;
+  if (vrank == 0) {
+    bundle = acquire_parts();
+    bundle.reserve(static_cast<std::size_t>(size_));
+    for (int v = 0; v < size_; ++v) {
+      const int r = (v + root) % size_;
+      bundle.push_back(RankPart{r, parts_bytes[static_cast<std::size_t>(r)],
+                                std::move(parts[static_cast<std::size_t>(r)])});
+    }
+    while (mask < size_) mask <<= 1;
+  } else {
+    while (!(vrank & mask)) mask <<= 1;
+    const int src = ((vrank - mask) + root) % size_;
+    Message message = co_await recv(src, kTagScatter);
+    const auto sub = message.payload.as<TreeBundlePtr>();
+    bundle = std::move(sub->parts);
+  }
+  mine = std::move(bundle.front().payload);
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < size_) {
+      const int len = std::min(mask, size_ - (vrank + mask));
+      PartsVec child = acquire_parts();
+      child.reserve(static_cast<std::size_t>(len));
+      double child_bytes = 0.0;
+      for (int i = 0; i < len; ++i) {
+        RankPart& part = bundle[static_cast<std::size_t>(mask + i)];
+        child_bytes += part.bytes;
+        child.push_back(std::move(part));
+      }
+      const int dst = ((vrank + mask) + root) % size_;
+      co_await send(dst, kTagScatter, child_bytes,
+                    Payload(std::make_shared<TreeBundle>(std::move(child))));
+    }
+    mask >>= 1;
+  }
+  release_parts(std::move(bundle));
+  co_return std::move(mine);
 }
 
 des::Task<std::vector<Payload>> Comm::allgather(double bytes,
@@ -371,6 +639,16 @@ double apply_reduce(Comm::ReduceOp op, double a, double b) {
 }  // namespace
 
 des::Task<double> Comm::reduce(int root, double value, ReduceOp op) {
+  HETSCALE_REQUIRE(root >= 0 && root < size_, "root rank out of range");
+  if (machine_->tuning().reduce == ReduceAlgorithm::kCombiningTree) {
+    return reduce_combining(root, value, op);
+  }
+  return reduce_flat(root, value, op);
+}
+
+des::Task<double> Comm::reduce_flat(int root, double value, ReduceOp op) {
+  // The paper-era shape: gather p scalars to the root (the root really
+  // materializes a vector of p payloads) and fold them in rank order.
   auto parts = co_await gather(root, /*bytes=*/8.0, value);
   if (rank_ != root) co_return 0.0;
   double accumulated = parts.front().scalar();
@@ -380,17 +658,90 @@ des::Task<double> Comm::reduce(int root, double value, ReduceOp op) {
   co_return accumulated;
 }
 
+des::Task<double> Comm::reduce_combining(int root, double value,
+                                          ReduceOp op) {
+  // Binomial combining tree on virtual ranks: partial results fold upward,
+  // so every rank holds O(1) state and the root sees ceil(log2 p) messages.
+  // The combine is always op(lower subtree, higher subtree), a fixed
+  // association — deterministic, though (for floats) a different one than
+  // the flat rank-order fold.
+  const int vrank = (rank_ - root + size_) % size_;
+  double accumulated = value;
+  int mask = 1;
+  while (mask < size_) {
+    if (vrank & mask) {
+      const int dst = ((vrank - mask) + root) % size_;
+      co_await send(dst, kTagReduce, /*bytes=*/8.0, Payload(accumulated));
+      co_return 0.0;
+    }
+    if (vrank + mask < size_) {
+      const int src = ((vrank + mask) + root) % size_;
+      Message message = co_await recv(src, kTagReduce);
+      accumulated = apply_reduce(op, accumulated, message.payload.scalar());
+    }
+    mask <<= 1;
+  }
+  co_return accumulated;
+}
+
 des::Task<double> Comm::reduce_sum(int root, double value) {
   return reduce(root, value, ReduceOp::kSum);
 }
 
 des::Task<double> Comm::allreduce(double value, ReduceOp op) {
+  if (machine_->tuning().allreduce == AllreduceAlgorithm::kRecursiveDoubling) {
+    return allreduce_doubling(value, op);
+  }
+  return allreduce_reduce_bcast(value, op);
+}
+
+des::Task<double> Comm::allreduce_reduce_bcast(double value, ReduceOp op) {
   constexpr int kRoot = 0;
   const double total = co_await reduce(kRoot, value, op);
   Payload payload;  // named local: see ge.cpp on coroutine temporaries
   if (rank_ == kRoot) payload = total;
   const Payload out = co_await bcast(kRoot, /*bytes=*/8.0, std::move(payload));
   co_return out.scalar();
+}
+
+des::Task<double> Comm::allreduce_doubling(double value, ReduceOp op) {
+  // Recursive-doubling butterfly. Non-power-of-two p folds the ranks past
+  // the largest power of two into mirrors first and unfolds at the end
+  // (MPICH's scheme). In every exchange the combine is op(lower rank's
+  // value, higher rank's value), so each block of ranks carries one fixed
+  // association and the result is bit-identical on every rank.
+  if (size_ == 1) co_return value;
+  int pof2 = 1;
+  while (pof2 * 2 <= size_) pof2 *= 2;
+  const int rem = size_ - pof2;
+  double accumulated = value;
+  if (rank_ >= pof2) {
+    co_await send(rank_ - pof2, kTagAllreduce, /*bytes=*/8.0,
+                  Payload(accumulated));
+  } else {
+    if (rank_ < rem) {
+      Message message = co_await recv(rank_ + pof2, kTagAllreduce);
+      accumulated = apply_reduce(op, accumulated, message.payload.scalar());
+    }
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner = rank_ ^ mask;
+      co_await send(partner, kTagAllreduce, /*bytes=*/8.0,
+                    Payload(accumulated));
+      Message message = co_await recv(partner, kTagAllreduce);
+      const double theirs = message.payload.scalar();
+      accumulated = partner < rank_
+                        ? apply_reduce(op, theirs, accumulated)
+                        : apply_reduce(op, accumulated, theirs);
+    }
+  }
+  if (rank_ >= pof2) {
+    Message message = co_await recv(rank_ - pof2, kTagAllreduce);
+    accumulated = message.payload.scalar();
+  } else if (rank_ < rem) {
+    co_await send(rank_ + pof2, kTagAllreduce, /*bytes=*/8.0,
+                  Payload(accumulated));
+  }
+  co_return accumulated;
 }
 
 des::Task<double> Comm::allreduce_sum(double value) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "hetscale/des/frame_pool.hpp"
 #include "hetscale/net/shared_bus.hpp"
 #include "hetscale/net/switched.hpp"
 #include "hetscale/obs/budget.hpp"
@@ -24,8 +25,11 @@ double RunResult::total_compute_s() const {
 }
 
 Machine::Machine(machine::Cluster cluster,
-                 std::unique_ptr<net::Network> network)
-    : cluster_(std::move(cluster)), network_(std::move(network)) {
+                 std::unique_ptr<net::Network> network,
+                 const CollectiveTuning& tuning)
+    : cluster_(std::move(cluster)),
+      network_(std::move(network)),
+      tuning_(tuning) {
   HETSCALE_REQUIRE(network_ != nullptr, "network must not be null");
   processors_ = cluster_.processors();
   HETSCALE_REQUIRE(!processors_.empty(),
@@ -50,15 +54,16 @@ Machine::Machine(machine::Cluster cluster,
 }
 
 Machine Machine::shared_bus(machine::Cluster cluster,
-                            net::NetworkParams params) {
+                            net::NetworkParams params,
+                            const CollectiveTuning& tuning) {
   return Machine(std::move(cluster),
-                 std::make_unique<net::SharedBusNetwork>(params));
+                 std::make_unique<net::SharedBusNetwork>(params), tuning);
 }
 
-Machine Machine::switched(machine::Cluster cluster,
-                          net::NetworkParams params) {
+Machine Machine::switched(machine::Cluster cluster, net::NetworkParams params,
+                          const CollectiveTuning& tuning) {
   return Machine(std::move(cluster),
-                 std::make_unique<net::SwitchedNetwork>(params));
+                 std::make_unique<net::SwitchedNetwork>(params), tuning);
 }
 
 const machine::Processor& Machine::processor(int rank) const {
@@ -122,6 +127,10 @@ std::string describe_rank_wait(int rank, const Mailbox& box) {
 RunResult Machine::run(const Program& program) {
   HETSCALE_REQUIRE(!ran_, "a Machine is single-shot; construct a fresh one");
   ran_ = true;
+  // Start the coroutine-frame high-water mark at this run's baseline; the
+  // whole simulation runs on this thread, so the peak read after the run is
+  // this machine's own.
+  des::detail::frame_pool_reset_live_peak();
   for (int r = 0; r < world_size(); ++r) {
     scheduler_.spawn(rank_main(*this, comms_[static_cast<std::size_t>(r)],
                                program));
@@ -172,6 +181,7 @@ RunResult Machine::run(const Program& program) {
     }
     profile.des_events = scheduler_.events_processed();
     profile.des_queue_depth_max = scheduler_.max_queue_depth();
+    profile.frame_live_peak = des::detail::frame_pool_live_peak();
     profile.comm_cells = tracer_->comm().cells();
     const obs::CriticalPath path = obs::critical_path(
         tracer_->spans(), tracer_->path_messages(), result.elapsed);

@@ -7,10 +7,26 @@
 
 namespace hetscale::vmpi {
 
+namespace {
+// A mailbox whose (source, tag) key set outgrows this after a full drain
+// frees the map outright instead of epoch-recycling it: workloads that mint
+// a fresh tag per step (pipelined GE) would otherwise grow the index without
+// bound, p mailboxes deep.
+constexpr std::size_t kIndexKeyCap = 64;
+}  // namespace
+
 void Mailbox::post(Message message) {
   const des::SimTime wake_at =
       std::max(scheduler_->now(), message.arrival);
+  SlotQueue& queue = index_[index_key(message.source, message.tag)];
+  if (queue.epoch != drain_epoch_) {
+    queue.slots.clear();
+    queue.head = 0;
+    queue.epoch = drain_epoch_;
+  }
+  queue.slots.push_back(pending_.size());
   pending_.push_back(std::move(message));
+  ++live_count_;
   if (waiter_) {
     // The waiting recv re-checks the queue when it resumes; waking it at the
     // arrival time makes "recv completes at max(call time, arrival)" emerge.
@@ -19,24 +35,59 @@ void Mailbox::post(Message message) {
 }
 
 std::optional<Message> Mailbox::take_match(int source, int tag) {
+  if (source != kAnySource && tag != kAnyTag) {
+    // Hot path: straight to this (source, tag)'s FIFO. Slots consumed by a
+    // wildcard take in the meantime are skipped lazily.
+    const auto it = index_.find(index_key(source, tag));
+    if (it == index_.end()) return std::nullopt;
+    SlotQueue& queue = it->second;
+    if (queue.epoch != drain_epoch_) return std::nullopt;
+    while (queue.head < queue.slots.size() &&
+           pending_[queue.slots[queue.head]].source == kConsumedSource) {
+      ++queue.head;
+    }
+    if (queue.head == queue.slots.size()) {
+      queue.slots.clear();
+      queue.head = 0;
+      return std::nullopt;
+    }
+    const std::size_t slot = queue.slots[queue.head++];
+    if (queue.head == queue.slots.size()) {
+      queue.slots.clear();
+      queue.head = 0;
+    }
+    return consume(slot);
+  }
   for (std::size_t i = head_; i < pending_.size(); ++i) {
-    Message& candidate = pending_[i];
+    const Message& candidate = pending_[i];
+    if (candidate.source == kConsumedSource) continue;
     const bool source_ok = source == kAnySource || candidate.source == source;
     const bool tag_ok = tag == kAnyTag || candidate.tag == tag;
-    if (!source_ok || !tag_ok) continue;
-    Message found = std::move(candidate);
-    if (i == head_) {
-      ++head_;  // front pop: just advance the drain index
-    } else {
-      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
-    }
-    if (head_ == pending_.size()) {
-      pending_.clear();  // keeps capacity — the slab is reused
-      head_ = 0;
-    }
-    return found;
+    if (source_ok && tag_ok) return consume(i);
   }
   return std::nullopt;
+}
+
+std::optional<Message> Mailbox::consume(std::size_t slot) {
+  Message found = std::move(pending_[slot]);
+  pending_[slot].source = kConsumedSource;
+  pending_[slot].payload = Payload{};
+  --live_count_;
+  if (slot == head_) {
+    while (head_ < pending_.size() &&
+           pending_[head_].source == kConsumedSource) {
+      ++head_;
+    }
+  }
+  if (head_ == pending_.size()) reset_slab();
+  return found;
+}
+
+void Mailbox::reset_slab() {
+  pending_.clear();  // keeps capacity — the slab is reused
+  head_ = 0;
+  ++drain_epoch_;  // lazily empties every slot queue
+  if (index_.size() > kIndexKeyCap) index_.clear();
 }
 
 void Mailbox::WaitAwaiter::await_suspend(std::coroutine_handle<> handle) {

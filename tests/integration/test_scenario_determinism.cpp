@@ -24,6 +24,7 @@
 #include "hetscale/scal/combination.hpp"
 #include "hetscale/scal/measure_store.hpp"
 #include "hetscale/scenarios/dist2d.hpp"
+#include "hetscale/scenarios/large_p.hpp"
 #include "hetscale/scenarios/paper.hpp"
 #include "hetscale/scenarios/zoo.hpp"
 
@@ -49,6 +50,7 @@ std::string render_csv(const std::string& scenario_name, int jobs) {
   scenarios::register_paper_scenarios();
   scenarios::register_dist2d_scenarios();
   scenarios::register_zoo_scenarios();
+  scenarios::register_large_p_scenarios();
   const run::Scenario* scenario = run::find_scenario(scenario_name);
   if (scenario == nullptr) ADD_FAILURE() << "unknown scenario " << scenario_name;
   run::Runner runner(jobs);
@@ -95,7 +97,8 @@ INSTANTIATE_TEST_SUITE_P(PaperArtifacts, ScenarioDeterminism,
                                            "summa_mm_scalability",
                                            "ge_pivot_scalability",
                                            "spmv_imbalance",
-                                           "model_zoo_ranking"));
+                                           "model_zoo_ranking",
+                                           "large_p_scalability"));
 
 TEST(SchedulerDeterminism, ReplayRepeatsEventCountAndFinalTime) {
   // One GE simulation, replayed on a fresh machine: the event count and the

@@ -91,9 +91,11 @@ TEST(BcastAlgorithms, BinomialScalesLogarithmically) {
 }
 
 TEST(BcastAlgorithms, VdGBeatsFlatForLargeMessages) {
-  CollectiveTuning flat_only;
+  // Compare within the paper-era family: flat small-message tree vs the
+  // vdG scatter+ring, so the ratio is ~2m/B against (p-1)m/B.
+  CollectiveTuning flat_only = CollectiveTuning::legacy_flat();
   flat_only.large_bcast_threshold_bytes = 1e18;  // never switch
-  CollectiveTuning with_vdg;                     // default threshold
+  CollectiveTuning with_vdg = CollectiveTuning::legacy_flat();
   const double bytes = 1e6;
   const double t_flat = run_bcast(16, 0, bytes, flat_only);
   const double t_vdg = run_bcast(16, 0, bytes, with_vdg);

@@ -161,8 +161,11 @@ TEST(Collectives, BcastCostGrowsLinearlyOnSharedBus) {
 TEST(Collectives, BarrierCostIsAffineInWorldSize) {
   // T_barrier(p) = const + (p-1)·unit on the shared bus (the end latency is
   // pipelined, everything else serializes): differences scale linearly.
+  // This is the paper-era flat barrier; pin it — the tree default has a
+  // different (logarithmic-depth) law.
   auto time_for = [&](int p) {
-    auto machine = Machine::shared_bus(test_cluster(p), fast_params());
+    auto machine = Machine::shared_bus(test_cluster(p), fast_params(),
+                                       CollectiveTuning::legacy_flat());
     auto latest = std::make_shared<double>(0.0);
     machine.run([latest](Comm& comm) -> Task<void> {
       co_await comm.barrier();

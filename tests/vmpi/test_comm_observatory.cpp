@@ -3,6 +3,7 @@
 // the critical-path walk over a traced run.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -89,7 +90,10 @@ TEST(CommObservatory, CollectiveTagsMapToTheirPhases) {
 }
 
 TEST(CommObservatory, LargeBcastSplitsIntoScatterAndRing) {
-  auto machine = Machine::shared_bus(test_cluster(4), fast_params());
+  // The ring allgather leg only exists in the paper-era (legacy) family;
+  // the default tuning finishes with a doubling allgather instead.
+  auto machine = Machine::shared_bus(test_cluster(4), fast_params(),
+                                     CollectiveTuning::legacy_flat());
   auto& tracer = machine.enable_tracing();
   machine.run([](Comm& comm) -> Task<void> {
     Payload payload;
@@ -109,6 +113,56 @@ TEST(CommObservatory, LargeBcastSplitsIntoScatterAndRing) {
   }
   EXPECT_GT(scatter_bytes, 0.0);
   EXPECT_GT(ring_bytes, 0.0);
+}
+
+TEST(CommObservatory, LargeBcastDefaultSplitsIntoScatterAndDoubling) {
+  auto machine = Machine::shared_bus(test_cluster(4), fast_params());
+  auto& tracer = machine.enable_tracing();
+  machine.run([](Comm& comm) -> Task<void> {
+    Payload payload;
+    if (comm.rank() == 0) payload = Payload(1);
+    (void)co_await comm.bcast(0, 1e5, std::move(payload));
+  });
+  double scatter_bytes = 0.0;
+  double doubling_bytes = 0.0;
+  double ring_bytes = 0.0;
+  for (const obs::CommCell& cell : tracer.comm().cells()) {
+    if (cell.phase == static_cast<int>(obs::CommPhase::kBcastScatter)) {
+      scatter_bytes += cell.bytes;
+    }
+    if (cell.phase == static_cast<int>(obs::CommPhase::kBcastDoubling)) {
+      doubling_bytes += cell.bytes;
+    }
+    if (cell.phase == static_cast<int>(obs::CommPhase::kBcastRing)) {
+      ring_bytes += cell.bytes;
+    }
+  }
+  EXPECT_GT(scatter_bytes, 0.0);
+  EXPECT_GT(doubling_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(ring_bytes, 0.0);  // no ring leg in the doubling family
+}
+
+TEST(CommObservatory, BarrierRoundsAttributeToBarrierPhaseNotP2p) {
+  // Satellite (f): dissemination-round sends must land in the `barrier`
+  // CommMatrix phase, never as anonymous p2p traffic.
+  CollectiveTuning tuning;
+  tuning.barrier = BarrierAlgorithm::kDissemination;
+  auto machine = Machine::shared_bus(test_cluster(5), fast_params(), tuning);
+  auto& tracer = machine.enable_tracing();
+  machine.run([](Comm& comm) -> Task<void> { co_await comm.barrier(); });
+  std::uint64_t barrier_msgs = 0;
+  std::uint64_t p2p_msgs = 0;
+  for (const obs::CommCell& cell : tracer.comm().cells()) {
+    if (cell.phase == static_cast<int>(obs::CommPhase::kBarrier)) {
+      barrier_msgs += cell.messages;
+    }
+    if (cell.phase == static_cast<int>(obs::CommPhase::kP2p)) {
+      p2p_msgs += cell.messages;
+    }
+  }
+  // Dissemination at p=5: ceil(log2 5) = 3 rounds, one send per rank each.
+  EXPECT_EQ(barrier_msgs, 15u);
+  EXPECT_EQ(p2p_msgs, 0u);
 }
 
 TEST(CommObservatory, GroupCollectivesGetTheirOwnPhase) {

@@ -30,6 +30,7 @@ _KNOWN_SCHEMAS = (
     "hetscale.bench.pr6/v1",
     "hetscale.bench.pr7/v1",
     "hetscale.bench.pr8/v1",
+    "hetscale.bench.pr9/v1",
 )
 
 

@@ -59,6 +59,7 @@
 #include "hetscale/scal/series.hpp"
 #include "hetscale/scenarios/dist2d.hpp"
 #include "hetscale/scenarios/fault.hpp"
+#include "hetscale/scenarios/large_p.hpp"
 #include "hetscale/scenarios/paper.hpp"
 #include "hetscale/scenarios/profile.hpp"
 #include "hetscale/scenarios/zoo.hpp"
@@ -115,6 +116,7 @@ void register_all_scenarios() {
   scenarios::register_profile_scenarios();
   scenarios::register_dist2d_scenarios();
   scenarios::register_zoo_scenarios();
+  scenarios::register_large_p_scenarios();
 }
 
 /// `hetscale_cli scenarios [substring]` — the registry as a listing, with
