@@ -19,6 +19,7 @@
 // Θ(p) root-processing cost against the combining tree's Θ(log p).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
 
 #include "hetscale/machine/cluster.hpp"
@@ -43,63 +44,107 @@ machine::Cluster blades(int n) {
 
 constexpr int kRounds = 10;
 
+/// One timed run's outputs: the simulated completion time plus the number
+/// of host-side scheduler events it took to produce it.
+struct CollectiveRun {
+  double sim_s = 0.0;
+  std::uint64_t events = 0;
+};
+
 /// One timed run: `rounds` back-to-back collectives on a fresh machine.
-/// Returns the simulated completion time.
 template <class Body>
-double run_collective(const machine::Cluster& cluster,
-                      const vmpi::CollectiveTuning& tuning, Body body) {
+CollectiveRun run_collective(const machine::Cluster& cluster,
+                             const vmpi::CollectiveTuning& tuning, Body body) {
   net::NetworkParams params;  // paper calibration, plus receiver-side cost
   params.recv_overhead_s = params.per_message_overhead_s;
   auto machine = vmpi::Machine::switched(cluster, params, tuning);
-  return machine.run(body).elapsed;
+  const double sim_s = machine.run(body).elapsed;
+  return CollectiveRun{sim_s, machine.scheduler().events_processed()};
+}
+
+/// Publish per-run counters: the simulated completion time, and the host
+/// event-processing rate (scheduler events per wall second) — the engine
+/// throughput number that event-loop and payload-pooling work moves.
+void set_counters(benchmark::State& state, const CollectiveRun& run,
+                  std::uint64_t total_events) {
+  state.counters["sim_s"] = benchmark::Counter(run.sim_s);
+  state.counters["host_events_per_s"] = benchmark::Counter(
+      static_cast<double>(total_events), benchmark::Counter::kIsRate);
 }
 
 void bcast_rounds(benchmark::State& state,
                   const vmpi::CollectiveTuning& tuning) {
   const auto cluster = blades(static_cast<int>(state.range(0)));
-  double sim_s = 0.0;
+  CollectiveRun run;
+  std::uint64_t events = 0;
   for (auto _ : state) {
-    sim_s = run_collective(cluster, tuning, [](vmpi::Comm& comm) -> Task<void> {
+    run = run_collective(cluster, tuning, [](vmpi::Comm& comm) -> Task<void> {
       for (int i = 0; i < kRounds; ++i) {
         vmpi::Payload payload;
         if (comm.rank() == 0) payload = vmpi::Payload(1.0);
         (void)co_await comm.bcast(0, 64.0, std::move(payload));
       }
     });
-    benchmark::DoNotOptimize(sim_s);
+    events += run.events;
+    benchmark::DoNotOptimize(run.sim_s);
   }
   state.SetItemsProcessed(state.iterations() * kRounds * state.range(0));
-  state.counters["sim_s"] = benchmark::Counter(sim_s);
+  set_counters(state, run, events);
 }
 
 void barrier_rounds(benchmark::State& state,
                     const vmpi::CollectiveTuning& tuning) {
   const auto cluster = blades(static_cast<int>(state.range(0)));
-  double sim_s = 0.0;
+  CollectiveRun run;
+  std::uint64_t events = 0;
   for (auto _ : state) {
-    sim_s = run_collective(cluster, tuning, [](vmpi::Comm& comm) -> Task<void> {
+    run = run_collective(cluster, tuning, [](vmpi::Comm& comm) -> Task<void> {
       for (int i = 0; i < kRounds; ++i) co_await comm.barrier();
     });
-    benchmark::DoNotOptimize(sim_s);
+    events += run.events;
+    benchmark::DoNotOptimize(run.sim_s);
   }
   state.SetItemsProcessed(state.iterations() * kRounds * state.range(0));
-  state.counters["sim_s"] = benchmark::Counter(sim_s);
+  set_counters(state, run, events);
 }
 
 void reduce_rounds(benchmark::State& state,
                    const vmpi::CollectiveTuning& tuning) {
   const auto cluster = blades(static_cast<int>(state.range(0)));
-  double sim_s = 0.0;
+  CollectiveRun run;
+  std::uint64_t events = 0;
   for (auto _ : state) {
-    sim_s = run_collective(cluster, tuning, [](vmpi::Comm& comm) -> Task<void> {
+    run = run_collective(cluster, tuning, [](vmpi::Comm& comm) -> Task<void> {
       for (int i = 0; i < kRounds; ++i) {
         (void)co_await comm.reduce_sum(0, 1.0);
       }
     });
-    benchmark::DoNotOptimize(sim_s);
+    events += run.events;
+    benchmark::DoNotOptimize(run.sim_s);
   }
   state.SetItemsProcessed(state.iterations() * kRounds * state.range(0));
-  state.counters["sim_s"] = benchmark::Counter(sim_s);
+  set_counters(state, run, events);
+}
+
+void gather_rounds(benchmark::State& state,
+                   const vmpi::CollectiveTuning& tuning) {
+  // Exercises the pooled-bundle hot path: the binomial gather ships whole
+  // subtrees as native bundle payloads (Payload::make_bundle), so a warm
+  // tree edge moves parts without touching the heap.
+  const auto cluster = blades(static_cast<int>(state.range(0)));
+  CollectiveRun run;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    run = run_collective(cluster, tuning, [](vmpi::Comm& comm) -> Task<void> {
+      for (int i = 0; i < kRounds; ++i) {
+        (void)co_await comm.gather(0, 64.0, vmpi::Payload(1.0));
+      }
+    });
+    events += run.events;
+    benchmark::DoNotOptimize(run.sim_s);
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds * state.range(0));
+  set_counters(state, run, events);
 }
 
 void BM_BcastFlat(benchmark::State& state) {
@@ -120,6 +165,12 @@ void BM_ReduceFlat(benchmark::State& state) {
 void BM_ReduceTree(benchmark::State& state) {
   reduce_rounds(state, vmpi::CollectiveTuning::tree());
 }
+void BM_GatherFlat(benchmark::State& state) {
+  gather_rounds(state, vmpi::CollectiveTuning::legacy_flat());
+}
+void BM_GatherTree(benchmark::State& state) {
+  gather_rounds(state, vmpi::CollectiveTuning::tree());
+}
 
 BENCHMARK(BM_BcastFlat)->Arg(64)->Arg(512)->Arg(2048);
 BENCHMARK(BM_BcastTree)->Arg(64)->Arg(512)->Arg(2048);
@@ -127,5 +178,7 @@ BENCHMARK(BM_BarrierFlat)->Arg(64)->Arg(512)->Arg(2048);
 BENCHMARK(BM_BarrierTree)->Arg(64)->Arg(512)->Arg(2048);
 BENCHMARK(BM_ReduceFlat)->Arg(64)->Arg(512)->Arg(2048);
 BENCHMARK(BM_ReduceTree)->Arg(64)->Arg(512)->Arg(2048);
+BENCHMARK(BM_GatherFlat)->Arg(64)->Arg(512)->Arg(2048);
+BENCHMARK(BM_GatherTree)->Arg(64)->Arg(512)->Arg(2048);
 
 }  // namespace

@@ -1,0 +1,42 @@
+// Internal: per-rank flop-charge ledger.
+//
+// Every algorithm keeps a running total of the flops it charged to
+// comm.compute() so tests can pin charged == modeled work. Rank coroutines
+// may execute on different partition threads (--sim-threads > 1), so a
+// single shared accumulator would race — and even an atomic one would sum
+// in thread-timing order. Each rank therefore owns a slot, and the total
+// folds the slots in rank order: one deterministic value at any thread
+// count. The fold is also bit-equal to the old temporal-order sum for
+// every algorithm whose charges are integer-valued flop counts (all of
+// them well below 2^53), since integer doubles add exactly in any order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetscale::algos {
+
+class ChargeLedger {
+ public:
+  /// Size the ledger for `ranks` slots, all zero. Call before the run.
+  void reset(int ranks) {
+    slots_.assign(static_cast<std::size_t>(ranks), 0.0);
+  }
+
+  /// Charge `flops` to `rank`'s slot. Safe from the rank's own thread only.
+  void add(int rank, double flops) {
+    slots_[static_cast<std::size_t>(rank)] += flops;
+  }
+
+  /// Fold the slots in rank order. Call after the run.
+  double total() const {
+    double sum = 0.0;
+    for (double slot : slots_) sum += slot;
+    return sum;
+  }
+
+ private:
+  std::vector<double> slots_;
+};
+
+}  // namespace hetscale::algos

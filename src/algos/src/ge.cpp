@@ -1,3 +1,4 @@
+#include "charge_ledger.hpp"
 #include "hetscale/algos/ge.hpp"
 
 #include <algorithm>
@@ -47,7 +48,7 @@ struct GeShared {
   std::vector<RankData> ranks;
   numeric::Matrix a0;  ///< original system (kept for the residual)
   std::vector<double> b0;
-  double charged = 0.0;
+  ChargeLedger charged;
   std::vector<double> solution;
   double residual = 0.0;
 };
@@ -172,7 +173,7 @@ Task<void> ge_collect(Comm& comm, GeShared& sh, RankData& mine) {
     }
   }
 
-  sh.charged += kernels::ge_backsub_flops(n);
+  sh.charged.add(rank, kernels::ge_backsub_flops(n));
   co_await comm.compute(kernels::ge_backsub_flops(n));
   if (sh.with_data) {
     sh.solution = numeric::back_substitute(u, y);
@@ -241,7 +242,7 @@ Task<void> ge_eliminate_paper(Comm& comm, GeShared& sh, RankData& mine) {
   const std::int64_t n = sh.n;
 
   auto charge = [&](double flops) {
-    sh.charged += flops;
+    sh.charged.add(rank, flops);
     return comm.compute(flops);
   };
 
@@ -304,7 +305,7 @@ Task<void> ge_eliminate_pipelined(Comm& comm, GeShared& sh, RankData& mine) {
   const std::int64_t n = sh.n;
 
   auto charge = [&](double flops) {
-    sh.charged += flops;
+    sh.charged.add(rank, flops);
     return comm.compute(flops);
   };
 
@@ -401,6 +402,7 @@ GeResult run_parallel_ge(vmpi::Machine& machine, const GeOptions& options) {
   const int p = machine.world_size();
 
   auto shared = std::make_shared<GeShared>();
+  shared->charged.reset(p);
   shared->n = options.n;
   shared->with_data = options.with_data;
   shared->barrier_each_step = options.barrier_each_step;
@@ -438,7 +440,7 @@ GeResult run_parallel_ge(vmpi::Machine& machine, const GeOptions& options) {
   result.run = std::move(run);
   result.n = options.n;
   result.work_flops = numeric::ge_workload(static_cast<double>(options.n));
-  result.charged_flops = shared->charged;
+  result.charged_flops = shared->charged.total();
   result.solution = std::move(shared->solution);
   result.residual = shared->residual;
   return result;

@@ -1,3 +1,4 @@
+#include "charge_ledger.hpp"
 #include "hetscale/algos/ge_pivot.hpp"
 
 #include <algorithm>
@@ -55,7 +56,7 @@ struct Shared {
   std::vector<double> pivot_inv;
   numeric::Matrix a0;  ///< original system (kept for the residual)
   std::vector<double> b0;
-  double charged = 0.0;
+  ChargeLedger charged;
   std::int64_t row_swaps = 0;
   std::vector<double> solution;
   double residual = 0.0;
@@ -191,7 +192,7 @@ Task<void> collect(Comm& comm, Shared& sh, RankData& mine) {
     }
   }
 
-  sh.charged += kernels::ge_backsub_flops(n);
+  sh.charged.add(rank, kernels::ge_backsub_flops(n));
   co_await comm.compute(kernels::ge_backsub_flops(n));
   if (sh.with_data) {
     sh.solution = numeric::back_substitute(u, y);
@@ -235,7 +236,7 @@ Task<void> eliminate(Comm& comm, Shared& sh, RankData& mine) {
   const std::size_t stride = row_stride(sh);
 
   auto charge = [&](double flops) {
-    sh.charged += flops;
+    sh.charged.add(rank, flops);
     return comm.compute(flops);
   };
 
@@ -477,6 +478,7 @@ GePivotResult run_parallel_ge_pivot(vmpi::Machine& machine,
   const int p = machine.world_size();
 
   auto shared = std::make_shared<Shared>();
+  shared->charged.reset(p);
   shared->n = options.n;
   shared->panel = options.panel;
   shared->with_data = options.with_data;
@@ -525,7 +527,7 @@ GePivotResult run_parallel_ge_pivot(vmpi::Machine& machine,
   result.run = std::move(run);
   result.n = options.n;
   result.work_flops = numeric::ge_workload(static_cast<double>(options.n));
-  result.charged_flops = shared->charged;
+  result.charged_flops = shared->charged.total();
   result.row_swaps = shared->row_swaps;
   result.solution = std::move(shared->solution);
   result.residual = shared->residual;

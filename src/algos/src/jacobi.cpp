@@ -1,3 +1,4 @@
+#include "charge_ledger.hpp"
 #include "hetscale/algos/jacobi.hpp"
 
 #include <memory>
@@ -34,7 +35,7 @@ struct JacobiShared {
   std::vector<std::int64_t> offsets;  ///< first interior row per rank (1-based grid row)
   std::vector<double> grid0;          ///< initial grid at root
   std::vector<double> grid;           ///< final grid at root
-  double charged = 0.0;
+  ChargeLedger charged;
 };
 
 std::vector<double> make_grid(std::int64_t n, std::uint64_t seed) {
@@ -150,7 +151,7 @@ Task<void> jacobi_rank(Comm& comm, JacobiShared& sh) {
       }
     }
 
-    sh.charged += kernels::jacobi_sweep_flops(n, count);
+    sh.charged.add(rank, kernels::jacobi_sweep_flops(n, count));
     co_await comm.compute(kernels::jacobi_sweep_flops(n, count));
     if (sh.with_data) sweep_band(local, scratch, n, count);
   }
@@ -204,6 +205,7 @@ JacobiResult run_parallel_jacobi(vmpi::Machine& machine,
                    "Jacobi needs at least one interior row per rank");
 
   auto shared = std::make_shared<JacobiShared>();
+  shared->charged.reset(p);
   shared->n = options.n;
   shared->sweeps = options.sweeps;
   shared->with_data = options.with_data;
@@ -233,7 +235,7 @@ JacobiResult run_parallel_jacobi(vmpi::Machine& machine,
   result.n = options.n;
   result.sweeps = options.sweeps;
   result.work_flops = jacobi_workload(options.n, options.sweeps);
-  result.charged_flops = shared->charged;
+  result.charged_flops = shared->charged.total();
   result.grid = std::move(shared->grid);
   return result;
 }

@@ -1,3 +1,4 @@
+#include "charge_ledger.hpp"
 #include "hetscale/algos/mm.hpp"
 
 #include <algorithm>
@@ -33,7 +34,7 @@ struct MmShared {
   numeric::Matrix a;  ///< root's inputs
   numeric::Matrix b;
   numeric::Matrix c;  ///< gathered result at root
-  double charged = 0.0;
+  ChargeLedger charged;
 };
 
 Task<void> mm_rank(Comm& comm, MmShared& sh) {
@@ -90,7 +91,7 @@ Task<void> mm_rank(Comm& comm, MmShared& sh) {
   // multiply_rows_into is the blocked, panel-packed product over the
   // dispatched SIMD tile kernel; it multiplies straight out of the pooled
   // payload buffers and its output is bit-identical across kernel paths.
-  sh.charged += kernels::mm_rows_flops(n, my_count);
+  sh.charged.add(rank, kernels::mm_rows_flops(n, my_count));
   co_await comm.compute(kernels::mm_rows_flops(n, my_count));
   Payload my_c;
   if (sh.with_data && my_count > 0) {
@@ -144,6 +145,7 @@ MmResult run_parallel_mm(vmpi::Machine& machine, const MmOptions& options) {
   const int p = machine.world_size();
 
   auto shared = std::make_shared<MmShared>();
+  shared->charged.reset(p);
   shared->n = options.n;
   shared->with_data = options.with_data;
 
@@ -180,7 +182,7 @@ MmResult run_parallel_mm(vmpi::Machine& machine, const MmOptions& options) {
   result.run = std::move(run);
   result.n = options.n;
   result.work_flops = numeric::mm_workload(static_cast<double>(options.n));
-  result.charged_flops = shared->charged;
+  result.charged_flops = shared->charged.total();
   result.a = std::move(shared->a);
   result.b = std::move(shared->b);
   result.c = std::move(shared->c);

@@ -1,3 +1,4 @@
+#include "charge_ledger.hpp"
 #include "hetscale/algos/sort.hpp"
 
 #include <algorithm>
@@ -34,7 +35,7 @@ struct SortShared {
   std::vector<double> keys0;         ///< input at root
   std::vector<double> sorted;        ///< output at root
   std::vector<std::int64_t> bucket_counts;
-  double charged = 0.0;
+  ChargeLedger charged;
 };
 
 /// 3 ops per key per log2(N) level — one sorting pass.
@@ -50,7 +51,7 @@ Task<void> sort_rank(Comm& comm, SortShared& sh) {
   const auto my_count = sh.counts[static_cast<std::size_t>(rank)];
 
   auto charge = [&](double flops) {
-    sh.charged += flops;
+    sh.charged.add(rank, flops);
     return comm.compute(flops);
   };
 
@@ -204,6 +205,7 @@ SortResult run_parallel_sort(vmpi::Machine& machine,
                    "sample sort needs n >= p^2 keys");
 
   auto shared = std::make_shared<SortShared>();
+  shared->charged.reset(p);
   shared->n = options.n;
   shared->splitters = options.splitters;
   shared->bucket_counts.assign(static_cast<std::size_t>(p), 0);
@@ -228,7 +230,7 @@ SortResult run_parallel_sort(vmpi::Machine& machine,
   result.run = std::move(run);
   result.n = options.n;
   result.work_flops = sort_workload(options.n);
-  result.charged_flops = shared->charged;
+  result.charged_flops = shared->charged.total();
   result.sorted = std::move(shared->sorted);
   result.bucket_counts = std::move(shared->bucket_counts);
   return result;

@@ -1,3 +1,4 @@
+#include "charge_ledger.hpp"
 #include "hetscale/algos/spmv.hpp"
 
 #include <algorithm>
@@ -41,7 +42,7 @@ struct SpmvShared {
   CsrMatrix csr;          ///< root's matrix (always built: sizes drive time)
   std::vector<double> x;  ///< root's working vector (assembled y each sweep)
   std::vector<double> y;  ///< final result at root
-  double charged = 0.0;
+  ChargeLedger charged;
 };
 
 Task<void> spmv_rank(Comm& comm, SpmvShared& sh) {
@@ -133,7 +134,7 @@ Task<void> spmv_rank(Comm& comm, SpmvShared& sh) {
   const double ring_bytes = vec_bytes / static_cast<double>(p);
   for (std::int64_t s = 0; s < sh.sweeps; ++s) {
     const double flops = 2.0 * static_cast<double>(nnzb);
-    sh.charged += flops;
+    sh.charged.add(rank, flops);
     co_await comm.compute(flops, kSpmvStreamEfficiency);
     Payload y_block;
     if (sh.with_data && cnt > 0) {
@@ -215,6 +216,7 @@ SpmvResult run_parallel_spmv(vmpi::Machine& machine,
   const int p = machine.world_size();
 
   auto shared = std::make_shared<SpmvShared>();
+  shared->charged.reset(p);
   shared->n = options.n;
   shared->sweeps = options.sweeps;
   shared->with_data = options.with_data;
@@ -260,7 +262,7 @@ SpmvResult run_parallel_spmv(vmpi::Machine& machine,
   result.nnz = shared->csr.nnz();
   result.work_flops = static_cast<double>(options.sweeps) * 2.0 *
                       static_cast<double>(result.nnz);
-  result.charged_flops = shared->charged;
+  result.charged_flops = shared->charged.total();
   result.work_imbalance = dist::imbalance(speeds, shared->nnz_counts);
   result.y = std::move(shared->y);
   return result;

@@ -1,3 +1,4 @@
+#include "charge_ledger.hpp"
 #include "hetscale/algos/summa.hpp"
 
 #include <algorithm>
@@ -41,7 +42,7 @@ struct SummaShared {
   numeric::Matrix a;  ///< root's inputs
   numeric::Matrix b;
   numeric::Matrix c;  ///< gathered result at root
-  double charged = 0.0;
+  ChargeLedger charged;
 };
 
 /// Copy one tile out of a row-major n x n matrix into a dense buffer.
@@ -199,7 +200,7 @@ Task<void> summa_rank(Comm& comm, SummaShared& sh) {
       flops += 2.0 * static_cast<double>(t.rows) *
                static_cast<double>(ek) * static_cast<double>(t.cols);
     }
-    sh.charged += flops;
+    sh.charged.add(rank, flops);
     co_await comm.compute(flops);
     if (sh.with_data) {
       // Panel offsets of each tile row / tile column index.
@@ -311,6 +312,7 @@ SummaResult run_parallel_summa(vmpi::Machine& machine,
                    "need one marked speed per rank");
 
   auto shared = std::make_shared<SummaShared>();
+  shared->charged.reset(p);
   shared->n = options.n;
   shared->with_data = options.with_data;
   shared->map.emplace(dist::ProcessGrid::speed_balanced(speeds), options.n,
@@ -336,7 +338,7 @@ SummaResult run_parallel_summa(vmpi::Machine& machine,
   result.grid_rows = shared->map->grid().rows();
   result.grid_cols = shared->map->grid().cols();
   result.work_flops = numeric::mm_workload(static_cast<double>(options.n));
-  result.charged_flops = shared->charged;
+  result.charged_flops = shared->charged.total();
   result.a = std::move(shared->a);
   result.b = std::move(shared->b);
   result.c = std::move(shared->c);

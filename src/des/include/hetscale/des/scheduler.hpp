@@ -87,6 +87,24 @@ class Scheduler {
   /// still suspended when the queue empties (deadlock in the model).
   void run();
 
+  /// Conservative-parallel building block: run every pending event with
+  /// time strictly before `end`, then stop (the clock stays at the last
+  /// executed event, never advancing to `end` itself). Root liveness is NOT
+  /// checked here — a partition legitimately idles between windows while
+  /// its ranks wait on cross-partition messages; call check_roots() once
+  /// the coordinator decides the whole simulation is quiescent.
+  void run_window(SimTime end);
+
+  /// Virtual time of the next pending event, or +infinity when the queue is
+  /// empty. The coordinator folds these across partitions to pick the next
+  /// safe window bound.
+  SimTime next_event_time() const;
+
+  /// The termination checks factored out of run(): throws DeadlockError if
+  /// any root is still suspended, and rethrows the first captured root
+  /// exception (in spawn order) otherwise.
+  void check_roots();
+
   /// Awaitable: suspend for `dt >= 0` seconds of virtual time.
   auto delay(SimTime dt) {
     HETSCALE_REQUIRE(dt >= 0.0, "delay must be non-negative");

@@ -33,6 +33,12 @@ struct QueueTelemetry {
   };
   std::vector<Sample> occupancy;
 
+  /// Rebuild instants that would have been sampled but fell past the
+  /// kMaxSamples cap. A truncated timeline is still useful, but only when
+  /// the truncation is visible — analyze reports this count instead of
+  /// pretending the run ended where the samples do.
+  std::uint64_t samples_dropped = 0;
+
   /// Occupancy samples are capped; past this the counters keep counting
   /// but the timeline stops growing (long runs stay bounded).
   static constexpr std::size_t kMaxSamples = 4096;

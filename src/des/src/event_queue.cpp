@@ -32,6 +32,8 @@ void LadderEventQueue::rebuild() {
     // flight, so +1 restores the true depth.
     if (telemetry_->occupancy.size() < QueueTelemetry::kMaxSamples) {
       telemetry_->occupancy.push_back(QueueTelemetry::Sample{lo, count_ + 1});
+    } else {
+      ++telemetry_->samples_dropped;
     }
   }
   double width = 2.0 * (hi - lo) / static_cast<double>(kBuckets);

@@ -1,5 +1,7 @@
 #include "hetscale/des/scheduler.hpp"
 
+#include <limits>
+
 namespace hetscale::des {
 
 Scheduler::~Scheduler() {
@@ -43,6 +45,34 @@ void Scheduler::run() {
     }
     handle.resume();
   }
+  check_roots();
+}
+
+void Scheduler::run_window(SimTime end) {
+  // Same loop as run(), bounded strictly below `end`: events exactly at the
+  // window edge belong to the next window (the coordinator's lower bound is
+  // inclusive, so the upper bound must be exclusive to partition the event
+  // timeline without overlap).
+  while (front_.handle && front_.time < end) {
+    HETSCALE_DCHECK(front_.time >= now_, "event queue went back in time");
+    now_ = front_.time;
+    ++events_processed_;
+    const std::coroutine_handle<> handle = front_.handle;
+    if (queue_.empty()) {
+      front_.handle = nullptr;
+    } else {
+      front_ = queue_.pop_min();
+    }
+    handle.resume();
+  }
+}
+
+SimTime Scheduler::next_event_time() const {
+  return front_.handle ? front_.time
+                       : std::numeric_limits<SimTime>::infinity();
+}
+
+void Scheduler::check_roots() {
   // Surface failures and deadlocks from root processes.
   for (auto handle : roots_) {
     if (!handle) continue;

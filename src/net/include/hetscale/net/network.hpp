@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "hetscale/des/scheduler.hpp"
 
@@ -88,6 +89,29 @@ class Network {
   const NetworkParams& params() const { return params_; }
   const NetworkStats& stats() const { return stats_; }
 
+  /// Conservative-parallel lookahead: a positive lower bound on the virtual
+  /// time between a message's departure and its visibility at any *other*
+  /// node, or 0 when the model provides no such bound (a shared medium
+  /// serializes every sender globally, so the partitioned scheduler falls
+  /// back to sequential execution on it). Concrete models with per-node
+  /// links override this.
+  virtual double lookahead_s() const { return 0.0; }
+
+  /// Prepare this network for concurrent use by `partitions` simulation
+  /// threads covering nodes [0, node_count): presize lazily-grown per-node
+  /// state and shard the stats counters so the recording hot path never
+  /// shares a sink between threads. Requires lookahead_s() > 0.
+  void begin_partitioned(int partitions, int node_count);
+
+  /// Fold the per-partition stats shards back into stats(), in partition
+  /// order (a fixed fold order keeps the double sums deterministic for a
+  /// given partition count). Call after the partition threads have joined.
+  void end_partitioned();
+
+  /// Bind the calling thread to stats shard `partition` (-1 unbinds). Only
+  /// meaningful between begin_partitioned() and end_partitioned().
+  static void set_thread_partition(int partition);
+
   /// The network whose stats() describe what was physically on the wire.
   /// Decorators that re-route transfers through an inner model (and record
   /// only *nominal* traffic on themselves) forward to it, so profilers can
@@ -98,6 +122,10 @@ class Network {
   /// Model-specific remote path; local transfers are handled by the base.
   virtual TransferResult remote_transfer(int src_node, int dst_node,
                                          double bytes, SimTime depart) = 0;
+
+  /// Model-specific hook of begin_partitioned(): grow any per-node state up
+  /// front so partition threads never race a lazy resize.
+  virtual void presize_nodes(int node_count) { (void)node_count; }
 
   /// Count one message of `bytes` toward stats() (decorators overriding
   /// transfer() call this with the *nominal* size, so traffic reports stay
@@ -111,7 +139,12 @@ class Network {
   NetworkParams params_;
 
  private:
+  /// The stats sink for the calling thread: the bound shard during a
+  /// partitioned run, the shared totals otherwise.
+  NetworkStats& sink();
+
   NetworkStats stats_;
+  std::vector<NetworkStats> shards_;  ///< non-empty only while partitioned
 };
 
 }  // namespace hetscale::net

@@ -4,6 +4,12 @@
 
 namespace hetscale::net {
 
+namespace {
+/// Index of the stats shard the calling simulation thread records into
+/// during a partitioned run; -1 on unbound threads (sequential runs).
+thread_local int t_partition = -1;
+}  // namespace
+
 TransferResult Network::transfer(int src_node, int dst_node, double bytes,
                                  SimTime depart) {
   HETSCALE_REQUIRE(bytes >= 0.0, "message size must be non-negative");
@@ -21,16 +27,52 @@ TransferResult Network::transfer(int src_node, int dst_node, double bytes,
   return remote_transfer(src_node, dst_node, bytes, ready);
 }
 
+void Network::begin_partitioned(int partitions, int node_count) {
+  HETSCALE_REQUIRE(partitions >= 1, "need at least one partition");
+  HETSCALE_REQUIRE(lookahead_s() > 0.0,
+                   "this network model provides no lookahead");
+  presize_nodes(node_count);
+  shards_.assign(static_cast<std::size_t>(partitions), NetworkStats{});
+}
+
+void Network::end_partitioned() {
+  for (const NetworkStats& shard : shards_) {
+    stats_.messages += shard.messages;
+    stats_.bytes += shard.bytes;
+    stats_.wire_seconds += shard.wire_seconds;
+    stats_.contention_seconds += shard.contention_seconds;
+    for (const auto& [node, link] : shard.links) {
+      LinkStats& into = stats_.links[node];
+      into.bytes += link.bytes;
+      into.wire_s += link.wire_s;
+      into.stall_s += link.stall_s;
+    }
+  }
+  shards_.clear();
+}
+
+void Network::set_thread_partition(int partition) { t_partition = partition; }
+
+NetworkStats& Network::sink() {
+  if (!shards_.empty() && t_partition >= 0 &&
+      static_cast<std::size_t>(t_partition) < shards_.size()) {
+    return shards_[static_cast<std::size_t>(t_partition)];
+  }
+  return stats_;
+}
+
 void Network::record_traffic(double bytes) {
-  ++stats_.messages;
-  stats_.bytes += bytes;
+  NetworkStats& stats = sink();
+  ++stats.messages;
+  stats.bytes += bytes;
 }
 
 void Network::record_wire(int src_node, double bytes, double wire_s,
                           double stall_s) {
-  stats_.wire_seconds += wire_s;
-  stats_.contention_seconds += stall_s;
-  LinkStats& link = stats_.links[src_node];
+  NetworkStats& stats = sink();
+  stats.wire_seconds += wire_s;
+  stats.contention_seconds += stall_s;
+  LinkStats& link = stats.links[src_node];
   link.bytes += bytes;
   link.wire_s += wire_s;
   link.stall_s += stall_s;

@@ -4,6 +4,12 @@
 
 namespace hetscale::net {
 
+void SwitchedNetwork::presize_nodes(int node_count) {
+  if (static_cast<std::size_t>(node_count) > tx_ports_.size()) {
+    tx_ports_.resize(static_cast<std::size_t>(node_count));
+  }
+}
+
 des::Timeline& SwitchedNetwork::tx_port(int node) {
   if (static_cast<std::size_t>(node) >= tx_ports_.size()) {
     tx_ports_.resize(static_cast<std::size_t>(node) + 1);

@@ -73,6 +73,9 @@ struct DesQueueStats {
   std::uint64_t pops = 0;
   std::uint64_t far_inserts = 0;
   std::uint64_t rebuilds = 0;
+  /// Occupancy samples discarded once the telemetry cap was hit — nonzero
+  /// means the occupancy timeline below is a truncated view.
+  std::uint64_t samples_dropped = 0;
 
   /// Occupancy timeline: (virtual time, pending events) at every ladder
   /// epoch rebuild, capped at the producer side.

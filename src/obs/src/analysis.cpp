@@ -90,6 +90,7 @@ Analysis::Analysis(const Profiler& profiler, AnalysisOptions options)
     des_queue_.pops += run.des_queue.pops;
     des_queue_.far_inserts += run.des_queue.far_inserts;
     des_queue_.rebuilds += run.des_queue.rebuilds;
+    des_queue_.samples_dropped += run.des_queue.samples_dropped;
     occupancy_samples_ += run.des_queue.occupancy.size();
     for (const DesQueueStats::Sample& sample : run.des_queue.occupancy) {
       occupancy_peak_ = std::max(occupancy_peak_, sample.depth);
@@ -170,6 +171,7 @@ void Analysis::to_json(std::ostream& os) const {
   os << "\"pops\": " << des_queue_.pops << ", ";
   os << "\"far_inserts\": " << des_queue_.far_inserts << ", ";
   os << "\"rebuilds\": " << des_queue_.rebuilds << ", ";
+  os << "\"samples_dropped\": " << des_queue_.samples_dropped << ", ";
   os << "\"occupancy_peak\": " << occupancy_peak_ << ", ";
   os << "\"occupancy_samples\": " << occupancy_samples_ << ", ";
   os << "\"population_peak\": " << population_peak_ << ", ";
@@ -230,6 +232,7 @@ std::string Analysis::to_text() const {
   queue.add_row({"rebuilds", std::to_string(des_queue_.rebuilds)});
   queue.add_row({"occupancy peak", std::to_string(occupancy_peak_)});
   queue.add_row({"occupancy samples", std::to_string(occupancy_samples_)});
+  queue.add_row({"samples dropped", std::to_string(des_queue_.samples_dropped)});
   queue.add_row({"population peak", std::to_string(population_peak_)});
   queue.add_row({"frame live peak", std::to_string(frame_live_peak_)});
   out << "\n" << queue;

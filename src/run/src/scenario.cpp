@@ -74,6 +74,7 @@ int scenario_main(const std::string& name, int argc,
                   "profile the run; prints a time-budget report to stderr");
     args.add_bool("help", "show this help");
     add_jobs_flag(args);
+    add_sim_threads_flag(args);
     add_seed_flag(args);
     args.parse(argc > 0 ? argc - 1 : 0, argv + 1);
 
@@ -87,6 +88,7 @@ int scenario_main(const std::string& name, int argc,
     }
 
     Runner runner(resolve_jobs(args));
+    set_global_sim_threads(resolve_sim_threads(args));
     std::optional<obs::Profiler> profiler;
     std::optional<obs::ProfilerScope> profiler_scope;
     if (args.has("profile")) {

@@ -78,6 +78,33 @@ ArgParser& add_jobs_flag(ArgParser& args);
 /// concurrency), or default_jobs() when the flag was not given.
 int resolve_jobs(const ArgParser& args);
 
+/// Map a requested simulation-thread count to an effective one: 0 means
+/// "use the hardware concurrency" (at least 1), positive values pass
+/// through, negative values throw. Mirrors normalize_jobs() so --sim-threads,
+/// HETSCALE_SIM_THREADS, and set_global_sim_threads() agree on what 0 means.
+int normalize_sim_threads(std::int64_t threads);
+
+/// The process-wide default simulation-thread count per machine: the
+/// HETSCALE_SIM_THREADS environment variable when set to a non-negative
+/// integer (0 = hardware concurrency), otherwise 1 — the classic sequential
+/// scheduler, which every golden artifact was recorded with.
+int default_sim_threads();
+
+/// Declare the conventional `--sim-threads N` flag.
+ArgParser& add_sim_threads_flag(ArgParser& args);
+
+/// The parsed --sim-threads value (must be >= 0; 0 picks the hardware
+/// concurrency), or default_sim_threads() when the flag was not given.
+int resolve_sim_threads(const ArgParser& args);
+
+/// The effective process-wide sim-thread count new machines inherit:
+/// set_global_sim_threads() when called, otherwise default_sim_threads().
+/// A process global — exactly like the --jobs convention — so Machine
+/// construction sites need no per-call plumbing; CLI entry points call
+/// set_global_sim_threads(resolve_sim_threads(args)) once after parsing.
+int global_sim_threads();
+void set_global_sim_threads(int threads);
+
 /// The process-wide default fault/experiment seed: the HETSCALE_SEED
 /// environment variable when set to a non-negative integer, otherwise 0.
 std::uint64_t default_seed();

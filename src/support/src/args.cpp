@@ -1,5 +1,6 @@
 #include "hetscale/support/args.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <sstream>
 #include <thread>
@@ -179,6 +180,58 @@ int resolve_jobs(const ArgParser& args) {
   HETSCALE_REQUIRE(jobs >= 0,
                    "--jobs must be >= 0 (0 means hardware concurrency)");
   return normalize_jobs(jobs);
+}
+
+int normalize_sim_threads(std::int64_t threads) {
+  HETSCALE_REQUIRE(threads >= 0,
+                   "sim-threads must be >= 0 (0 means hardware concurrency)");
+  if (threads > 0) return static_cast<int>(threads);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware >= 1 ? static_cast<int>(hardware) : 1;
+}
+
+int default_sim_threads() {
+  if (const char* env = std::getenv("HETSCALE_SIM_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 0) {
+      return normalize_sim_threads(value);
+    }
+  }
+  return 1;
+}
+
+ArgParser& add_sim_threads_flag(ArgParser& args) {
+  args.add_flag("sim-threads",
+                "OS threads per simulated machine; 0 = hardware concurrency, "
+                "1 = sequential (default: HETSCALE_SIM_THREADS or 1)");
+  return args;
+}
+
+int resolve_sim_threads(const ArgParser& args) {
+  if (!args.has("sim-threads")) return default_sim_threads();
+  const auto threads = args.get_int("sim-threads", 1);
+  HETSCALE_REQUIRE(
+      threads >= 0,
+      "--sim-threads must be >= 0 (0 means hardware concurrency)");
+  return normalize_sim_threads(threads);
+}
+
+namespace {
+/// 0 = unset: fall through to the HETSCALE_SIM_THREADS/1 default. Relaxed
+/// atomics suffice — this is a configuration knob read at Machine
+/// construction, not a synchronization point.
+std::atomic<int> g_sim_threads{0};
+}  // namespace
+
+int global_sim_threads() {
+  const int value = g_sim_threads.load(std::memory_order_relaxed);
+  return value > 0 ? value : default_sim_threads();
+}
+
+void set_global_sim_threads(int threads) {
+  HETSCALE_REQUIRE(threads >= 1, "sim-threads must be >= 1");
+  g_sim_threads.store(threads, std::memory_order_relaxed);
 }
 
 std::uint64_t default_seed() {

@@ -32,6 +32,11 @@ class Comm {
   Comm(Machine& machine, int rank, int size)
       : machine_(&machine), rank_(rank), size_(size) {}
 
+  /// Rebind the scheduler this rank's time flows through. The Machine wires
+  /// this: the shared scheduler at construction, the rank's partition
+  /// scheduler for a partitioned (--sim-threads > 1) run.
+  void bind_scheduler(des::Scheduler* scheduler) { sched_ = scheduler; }
+
   int rank() const { return rank_; }
   int size() const { return size_; }
 
@@ -189,7 +194,10 @@ class Comm {
   /// Modeled size of a zero-payload control token (MPI header-ish).
   static constexpr double kTokenBytes = 16.0;
 
+  des::Scheduler& scheduler() const { return *sched_; }
+
   Machine* machine_;
+  des::Scheduler* sched_ = nullptr;
   int rank_;
   int size_;
 };

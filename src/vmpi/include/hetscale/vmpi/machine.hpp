@@ -2,6 +2,7 @@
 // virtual parallel computer, and launches SPMD programs on it.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -148,8 +149,41 @@ class Machine {
   const machine::Processor& processor(int rank) const;
   net::Network& network() { return *network_; }
   des::Scheduler& scheduler() { return scheduler_; }
+
+  /// Host events processed by the finished run: the sequential scheduler's
+  /// count, plus every partition scheduler's when the run was partitioned.
+  std::uint64_t events_processed() const;
+
   Mailbox& mailbox(int rank);
   RankStats& rank_stats(int rank);
+
+  /// OS threads this machine's simulation may use (--sim-threads). New
+  /// machines inherit global_sim_threads(); 1 runs the classic sequential
+  /// scheduler. With more, run() partitions the ranks across threads and
+  /// advances each partition in conservative windows bounded by the
+  /// network's lookahead — results are bit-identical to sequential runs.
+  /// Runs that are not eligible (zero-lookahead network, tracing/profiling/
+  /// fault hooks attached, or several ranks sharing a node) silently fall
+  /// back to the sequential path.
+  int sim_threads() const { return sim_threads_; }
+  void set_sim_threads(int threads);
+
+  /// True while run() is inside the partitioned path (Comm consults this to
+  /// reject wildcard receives, whose matching order would depend on how
+  /// cross-partition deliveries batch).
+  bool partitioned() const { return partitioned_; }
+
+  /// The scheduler driving `rank`: the shared one, or the rank's partition
+  /// scheduler inside a partitioned run.
+  des::Scheduler& scheduler_for(int rank);
+
+  /// Deliver a message from `src` into `dst`'s mailbox. Sequential runs
+  /// post directly. A partitioned run posts same-partition messages
+  /// directly too, but parks cross-partition ones in an outbox; they are
+  /// drained into the destination at the next window boundary in a
+  /// canonical (post-time, source, sequence) order, so delivery order —
+  /// and hence every golden artifact — is independent of the thread count.
+  void post_message(int src, int dst, Message message);
 
   const CollectiveTuning& tuning() const { return tuning_; }
   void set_tuning(const CollectiveTuning& tuning) { tuning_ = tuning; }
@@ -179,6 +213,21 @@ class Machine {
   RunResult run(const Program& program);
 
  private:
+  /// One cross-partition message with its canonical delivery key.
+  struct Handoff {
+    des::SimTime post_time = 0.0;  ///< sender's virtual time at post
+    int src = 0;
+    int dst = 0;
+    std::uint64_t seq = 0;  ///< per-source post counter (total order per src)
+    Message message;
+  };
+
+  bool partition_eligible() const;
+  RunResult run_partitioned(const Program& program, int partitions);
+  void deliver_inboxes(int partition);
+  [[noreturn]] void rethrow_with_deadlock_diagnosis(
+      const des::DeadlockError& deadlock) const;
+
   machine::Cluster cluster_;
   std::unique_ptr<net::Network> network_;
   des::Scheduler scheduler_;
@@ -192,6 +241,20 @@ class Machine {
   obs::Profiler* profiler_ = nullptr;
   des::QueueTelemetry queue_telemetry_;  ///< bound only when profiled
   bool ran_ = false;
+
+  int sim_threads_ = 1;
+  bool partitioned_ = false;
+  int partition_count_ = 0;
+  std::vector<int> partition_of_;  ///< rank -> partition (contiguous blocks)
+  std::vector<std::unique_ptr<des::Scheduler>> partition_schedulers_;
+  std::vector<des::Scheduler*> rank_scheduler_;  ///< rank -> its scheduler
+  /// outboxes_[src_partition * partition_count_ + dst_partition]: messages
+  /// parked between window boundaries. Only the source partition's thread
+  /// appends; only the destination's drains — and never concurrently (the
+  /// drain happens inside the barrier-fenced delivery phase).
+  std::vector<std::vector<Handoff>> outboxes_;
+  std::vector<std::uint64_t> handoff_seq_;      ///< per-source post counter
+  std::vector<std::vector<Handoff>> inbox_scratch_;  ///< per-partition sort buffer
 };
 
 }  // namespace hetscale::vmpi

@@ -46,6 +46,11 @@ class Mailbox {
  public:
   explicit Mailbox(des::Scheduler& scheduler) : scheduler_(&scheduler) {}
 
+  /// Point wakes at a different scheduler. The partitioned Machine rebinds
+  /// each mailbox to its owning rank's partition scheduler before the run;
+  /// must not be called while a receiver is suspended on this mailbox.
+  void rebind(des::Scheduler& scheduler) { scheduler_ = &scheduler; }
+
   /// Deposit a message (called from the sender's coroutine). If the rank is
   /// blocked in recv, its resumption is scheduled at the message's arrival.
   void post(Message message);

@@ -7,14 +7,19 @@
 //   * empty        — timing-only traffic (the common case in sweeps);
 //   * scalar       — one double, stored inline (reductions, rhs values);
 //   * buffer       — a pooled, refcounted block of doubles with span views;
+//   * bundle       — a pooled, refcounted vector of per-rank slices (what
+//                    the binomial gather/scatter trees ship up and down);
 //   * boxed        — a std::any fallback for arbitrary user types.
 //
-// Buffer blocks come from a thread-local size-class pool (the arena): a
-// simulation runs entirely on one OS thread (the Runner gives each machine
-// its own worker), so blocks recycle without locks or atomics, copies are a
-// non-atomic refcount bump, and steady-state message traffic allocates
-// nothing. Blocks must not be shared across simulations/threads — nothing in
-// the runtime does.
+// Buffer and bundle blocks come from thread-local pools (the arena): a
+// simulation partition runs entirely on one OS thread, so blocks recycle
+// without locks or atomics, copies are a non-atomic refcount bump, and
+// steady-state message traffic allocates nothing. Blocks must never be
+// *shared* across threads; a partitioned run (Machine with --sim-threads
+// > 1) calls detach_for_transfer() on every payload that crosses a
+// partition boundary so the receiving thread gets sole ownership. Frees may
+// then land on a different thread than the allocation — that is safe (the
+// block simply parks on the freeing thread's freelist).
 //
 // Virtual time and real data stay decoupled (DESIGN.md §6.1): the modeled
 // byte count of a message is independent of what its Payload holds.
@@ -26,6 +31,7 @@
 #include <span>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "hetscale/support/error.hpp"
 
@@ -53,11 +59,22 @@ struct BufferBlock {
 BufferBlock* arena_acquire(std::size_t count);
 void arena_release(BufferBlock* block) noexcept;
 
+/// Header of one pooled bundle block (defined in payload.cpp; it embeds a
+/// std::vector<BundlePart>, which needs the complete Payload type).
+struct BundleBlock;
+
+BundleBlock* bundle_acquire();
+void bundle_add_ref(BundleBlock* block) noexcept;
+void bundle_unref(BundleBlock* block) noexcept;
+
 /// Statistics for benchmarks: blocks currently parked on this thread's
 /// freelists.
 std::size_t arena_parked();
+std::size_t bundle_parked();
 
 }  // namespace hetscale::vmpi::detail
+
+struct BundlePart;
 
 class Payload {
  public:
@@ -92,6 +109,12 @@ class Payload {
   /// A pooled buffer initialized from `values`.
   static Payload copy_of(std::span<const double> values);
 
+  /// An empty pooled bundle — append BundleParts via bundle_parts(). This is
+  /// the native carrier for tree collectives: a parent ships its whole
+  /// subtree as one message without boxing (no std::any, no shared_ptr, no
+  /// per-hop vector allocation once the pools are warm).
+  static Payload make_bundle();
+
   Payload(const Payload& other) { copy_from(other); }
   Payload& operator=(const Payload& other) {
     if (this != &other) {
@@ -113,6 +136,7 @@ class Payload {
   bool empty() const noexcept { return kind_ == Kind::kEmpty; }
   bool is_scalar() const noexcept { return kind_ == Kind::kScalar; }
   bool is_buffer() const noexcept { return kind_ == Kind::kBuffer; }
+  bool is_bundle() const noexcept { return kind_ == Kind::kBundle; }
   bool is_boxed() const noexcept { return kind_ == Kind::kBoxed; }
 
   /// The inline double (requires is_scalar()).
@@ -142,6 +166,19 @@ class Payload {
     return kind_ == Kind::kBuffer ? block_->count : 0;
   }
 
+  /// The bundle's parts (requires is_bundle()). Mutable access is how
+  /// collectives build and unpack trees; the vector lives in the pooled
+  /// block, so growth amortizes across reuses.
+  std::vector<BundlePart>& bundle_parts();
+  const std::vector<BundlePart>& bundle_parts() const;
+
+  /// Make every block reachable from this payload uniquely owned by the
+  /// caller, deep-copying any block whose refcount is shared (recursing into
+  /// bundles). The partitioned Machine calls this on messages that cross a
+  /// partition boundary: afterwards the receiving thread can copy/free the
+  /// payload without ever touching a refcount another thread can see.
+  void detach_for_transfer();
+
   /// The boxed std::any (requires is_boxed()).
   const std::any& boxed() const {
     HETSCALE_REQUIRE(kind_ == Kind::kBoxed, "payload holds no boxed value");
@@ -162,7 +199,7 @@ class Payload {
   }
 
  private:
-  enum class Kind : std::uint8_t { kEmpty, kScalar, kBuffer, kBoxed };
+  enum class Kind : std::uint8_t { kEmpty, kScalar, kBuffer, kBundle, kBoxed };
 
   void copy_from(const Payload& other) {
     kind_ = other.kind_;
@@ -174,7 +211,11 @@ class Payload {
         break;
       case Kind::kBuffer:
         block_ = other.block_;
-        ++block_->refs;  // non-atomic: blocks never cross threads
+        ++block_->refs;  // non-atomic: blocks never shared across threads
+        break;
+      case Kind::kBundle:
+        bundle_ = other.bundle_;
+        detail::bundle_add_ref(bundle_);
         break;
       case Kind::kBoxed:
         boxed_ = new std::any(*other.boxed_);
@@ -193,6 +234,9 @@ class Payload {
       case Kind::kBuffer:
         block_ = other.block_;
         break;
+      case Kind::kBundle:
+        bundle_ = other.bundle_;
+        break;
       case Kind::kBoxed:
         boxed_ = other.boxed_;
         break;
@@ -203,6 +247,8 @@ class Payload {
   void reset() noexcept {
     if (kind_ == Kind::kBuffer) {
       if (--block_->refs == 0) detail::arena_release(block_);
+    } else if (kind_ == Kind::kBundle) {
+      detail::bundle_unref(bundle_);
     } else if (kind_ == Kind::kBoxed) {
       delete boxed_;
     }
@@ -213,8 +259,19 @@ class Payload {
   union {
     double scalar_;
     detail::BufferBlock* block_;
+    detail::BundleBlock* bundle_;
     std::any* boxed_;
   };
+};
+
+/// One rank's slice riding inside a bundle payload: the binomial gather
+/// tree accumulates these on the way up, the scatter tree peels them off on
+/// the way down. The modeled `bytes` travel with the slice so intermediate
+/// hops can charge the network for exactly the data they forward.
+struct BundlePart {
+  int rank = 0;
+  double bytes = 0.0;
+  Payload payload;
 };
 
 }  // namespace hetscale::vmpi

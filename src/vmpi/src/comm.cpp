@@ -1,7 +1,6 @@
 #include "hetscale/vmpi/comm.hpp"
 
 #include <algorithm>
-#include <memory>
 #include <utility>
 
 #include "hetscale/support/error.hpp"
@@ -9,7 +8,7 @@
 
 namespace hetscale::vmpi {
 
-des::SimTime Comm::now() const { return machine_->scheduler().now(); }
+des::SimTime Comm::now() const { return scheduler().now(); }
 
 double Comm::rate_flops() const {
   return machine_->processor(rank_).rate_flops;
@@ -49,9 +48,9 @@ des::Task<void> Comm::compute(double flops, double efficiency) {
   if (auto* hooks = machine_->fault_hooks()) {
     const des::SimTime end = hooks->compute_end(rank_, start, duration);
     HETSCALE_CHECK(end >= start, "fault hooks moved a compute into the past");
-    co_await machine_->scheduler().resume_at(end);
+    co_await scheduler().resume_at(end);
   } else {
-    co_await machine_->scheduler().delay(duration);
+    co_await scheduler().delay(duration);
   }
   if (auto* tracer = machine_->tracer()) {
     tracer->record_interval({rank_, TraceInterval::Kind::kCompute, start,
@@ -92,12 +91,12 @@ des::Task<void> Comm::send(int dst, int tag, double bytes, Payload payload) {
   auto& stats = machine_->rank_stats(rank_);
   const des::SimTime start = now();
   const auto result = transmit(dst, bytes, start);
-  machine_->mailbox(dst).post(
-      Message{rank_, tag, bytes, std::move(payload), result.arrival});
+  machine_->post_message(
+      rank_, dst, Message{rank_, tag, bytes, std::move(payload), result.arrival});
   ++stats.messages_sent;
   stats.bytes_sent += bytes;
   if (result.sender_free > start) {
-    co_await machine_->scheduler().resume_at(result.sender_free);
+    co_await scheduler().resume_at(result.sender_free);
   }
   stats.comm_s += now() - start;
   if (auto* tracer = machine_->tracer()) {
@@ -116,8 +115,8 @@ Comm::SendRequest Comm::isend(int dst, int tag, double bytes,
   auto& stats = machine_->rank_stats(rank_);
   const des::SimTime start = now();
   const auto result = transmit(dst, bytes, start);
-  machine_->mailbox(dst).post(
-      Message{rank_, tag, bytes, std::move(payload), result.arrival});
+  machine_->post_message(
+      rank_, dst, Message{rank_, tag, bytes, std::move(payload), result.arrival});
   ++stats.messages_sent;
   stats.bytes_sent += bytes;
   if (auto* tracer = machine_->tracer()) {
@@ -136,7 +135,7 @@ des::Task<void> Comm::wait_send(const SendRequest& request) {
   if (request.sender_free > now()) {
     auto& stats = machine_->rank_stats(rank_);
     const des::SimTime start = now();
-    co_await machine_->scheduler().resume_at(request.sender_free);
+    co_await scheduler().resume_at(request.sender_free);
     stats.comm_s += now() - start;
   }
 }
@@ -144,20 +143,28 @@ des::Task<void> Comm::wait_send(const SendRequest& request) {
 des::Task<Message> Comm::recv(int source, int tag) {
   HETSCALE_REQUIRE(source == kAnySource || (source >= 0 && source < size_),
                    "source rank out of range");
+  // Partitioned runs batch cross-partition deliveries at window boundaries,
+  // so a wildcard's post-order matching would depend on the thread count;
+  // source- and tag-specific receives (every collective and algorithm in
+  // the tree) match per-sender program order, which is mode-independent.
+  HETSCALE_REQUIRE(!machine_->partitioned() ||
+                       (source != kAnySource && tag != kAnyTag),
+                   "wildcard receives are not supported when --sim-threads "
+                   "> 1; receive from a specific (source, tag) instead");
   auto& stats = machine_->rank_stats(rank_);
   const des::SimTime start = now();
   Mailbox& box = machine_->mailbox(rank_);
   for (;;) {
     if (auto message = box.take_match(source, tag)) {
       if (message->arrival > now()) {
-        co_await machine_->scheduler().resume_at(message->arrival);
+        co_await scheduler().resume_at(message->arrival);
       }
       // Receive processing occupies this rank's CPU, so back-to-back
       // receives (incast at a flat-gather root) serialize here. Guarded so
       // the default (0.0) leaves the event schedule untouched.
       const double recv_cost = machine_->network().params().recv_overhead_s;
       if (recv_cost > 0.0) {
-        co_await machine_->scheduler().delay(recv_cost);
+        co_await scheduler().delay(recv_cost);
       }
       stats.comm_s += now() - start;
       if (auto* tracer = machine_->tracer()) {
@@ -390,55 +397,6 @@ des::Task<void> Comm::barrier_dissemination() {
   }
 }
 
-namespace {
-
-/// One rank's contribution riding inside a tree-collective bundle.
-struct RankPart {
-  int rank = 0;
-  double bytes = 0.0;
-  Payload payload;
-};
-using PartsVec = std::vector<RankPart>;
-
-/// Thread-local freelist for bundle vectors: a binomial gather/scatter at
-/// p=4096 would otherwise allocate a fresh vector per tree edge. A
-/// simulation runs entirely on one thread (the Runner pins each machine to
-/// a worker), so no locks are needed.
-std::vector<PartsVec>& parts_pool() {
-  thread_local std::vector<PartsVec> pool;
-  return pool;
-}
-
-PartsVec acquire_parts() {
-  auto& pool = parts_pool();
-  if (pool.empty()) return {};
-  PartsVec out = std::move(pool.back());
-  pool.pop_back();
-  out.clear();
-  return out;
-}
-
-void release_parts(PartsVec&& parts) {
-  auto& pool = parts_pool();
-  if (parts.capacity() > 0 && pool.size() < 64) {
-    pool.push_back(std::move(parts));
-  }
-}
-
-/// Subtree bundle shipped along one edge of a binomial gather/scatter.
-/// Boxed as a shared_ptr so forwarding a bundle bumps a refcount instead of
-/// deep-copying p payloads; the destructor returns the vector to the pool.
-struct TreeBundle {
-  PartsVec parts;
-  explicit TreeBundle(PartsVec p) : parts(std::move(p)) {}
-  TreeBundle(const TreeBundle&) = delete;
-  TreeBundle& operator=(const TreeBundle&) = delete;
-  ~TreeBundle() { release_parts(std::move(parts)); }
-};
-using TreeBundlePtr = std::shared_ptr<TreeBundle>;
-
-}  // namespace
-
 des::Task<std::vector<Payload>> Comm::gather(int root, double bytes,
                                               Payload payload) {
   HETSCALE_REQUIRE(root >= 0 && root < size_, "root rank out of range");
@@ -472,31 +430,30 @@ des::Task<std::vector<Payload>> Comm::gather_binomial(int root, double bytes,
   // vrank + 2^k. p-1 messages in Θ(log p) rounds; the modeled size of a
   // bundle is the sum of its members' contributions.
   const int vrank = (rank_ - root + size_) % size_;
-  PartsVec bundle = acquire_parts();
-  bundle.push_back(RankPart{rank_, bytes, std::move(payload)});
+  Payload bundle = Payload::make_bundle();
+  bundle.bundle_parts().push_back(BundlePart{rank_, bytes, std::move(payload)});
   double bundle_bytes = bytes;
   int mask = 1;
   while (mask < size_) {
     if (vrank & mask) {
       const int dst = ((vrank - mask) + root) % size_;
-      co_await send(dst, kTagGather, bundle_bytes,
-                    Payload(std::make_shared<TreeBundle>(std::move(bundle))));
+      co_await send(dst, kTagGather, bundle_bytes, std::move(bundle));
       co_return std::vector<Payload>{};
     }
     if (vrank + mask < size_) {
       const int src = ((vrank + mask) + root) % size_;
       Message message = co_await recv(src, kTagGather);
-      const auto sub = message.payload.as<TreeBundlePtr>();
-      for (RankPart& part : sub->parts) bundle.push_back(std::move(part));
+      std::vector<BundlePart>& sub = message.payload.bundle_parts();
+      std::vector<BundlePart>& parts = bundle.bundle_parts();
+      for (BundlePart& part : sub) parts.push_back(std::move(part));
       bundle_bytes += message.bytes;
     }
     mask <<= 1;
   }
   std::vector<Payload> parts(static_cast<std::size_t>(size_));
-  for (RankPart& part : bundle) {
+  for (BundlePart& part : bundle.bundle_parts()) {
     parts[static_cast<std::size_t>(part.rank)] = std::move(part.payload);
   }
-  release_parts(std::move(bundle));
   co_return parts;
 }
 
@@ -539,45 +496,44 @@ des::Task<Payload> Comm::scatter_binomial(
   // subtree. Bundles are ordered by vrank, so a subtree rooted at vrank v
   // with span m holds the parts for vranks [v, v+m) at indices [0, m).
   const int vrank = (rank_ - root + size_) % size_;
-  PartsVec bundle;
+  Payload bundle;
   Payload mine;
   int mask = 1;
   if (vrank == 0) {
-    bundle = acquire_parts();
-    bundle.reserve(static_cast<std::size_t>(size_));
+    bundle = Payload::make_bundle();
+    std::vector<BundlePart>& all = bundle.bundle_parts();
+    all.reserve(static_cast<std::size_t>(size_));
     for (int v = 0; v < size_; ++v) {
       const int r = (v + root) % size_;
-      bundle.push_back(RankPart{r, parts_bytes[static_cast<std::size_t>(r)],
-                                std::move(parts[static_cast<std::size_t>(r)])});
+      all.push_back(BundlePart{r, parts_bytes[static_cast<std::size_t>(r)],
+                               std::move(parts[static_cast<std::size_t>(r)])});
     }
     while (mask < size_) mask <<= 1;
   } else {
     while (!(vrank & mask)) mask <<= 1;
     const int src = ((vrank - mask) + root) % size_;
     Message message = co_await recv(src, kTagScatter);
-    const auto sub = message.payload.as<TreeBundlePtr>();
-    bundle = std::move(sub->parts);
+    bundle = std::move(message.payload);
   }
-  mine = std::move(bundle.front().payload);
+  mine = std::move(bundle.bundle_parts().front().payload);
   mask >>= 1;
   while (mask > 0) {
     if (vrank + mask < size_) {
       const int len = std::min(mask, size_ - (vrank + mask));
-      PartsVec child = acquire_parts();
-      child.reserve(static_cast<std::size_t>(len));
+      Payload child = Payload::make_bundle();
+      std::vector<BundlePart>& child_parts = child.bundle_parts();
+      child_parts.reserve(static_cast<std::size_t>(len));
       double child_bytes = 0.0;
       for (int i = 0; i < len; ++i) {
-        RankPart& part = bundle[static_cast<std::size_t>(mask + i)];
+        BundlePart& part = bundle.bundle_parts()[static_cast<std::size_t>(mask + i)];
         child_bytes += part.bytes;
-        child.push_back(std::move(part));
+        child_parts.push_back(std::move(part));
       }
       const int dst = ((vrank + mask) + root) % size_;
-      co_await send(dst, kTagScatter, child_bytes,
-                    Payload(std::make_shared<TreeBundle>(std::move(child))));
+      co_await send(dst, kTagScatter, child_bytes, std::move(child));
     }
     mask >>= 1;
   }
-  release_parts(std::move(bundle));
   co_return std::move(mine);
 }
 

@@ -1,13 +1,19 @@
 #include "hetscale/vmpi/machine.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <sstream>
+#include <string>
+#include <unordered_set>
+#include <utility>
 
 #include "hetscale/des/frame_pool.hpp"
+#include "hetscale/des/parallel.hpp"
 #include "hetscale/net/shared_bus.hpp"
 #include "hetscale/net/switched.hpp"
 #include "hetscale/obs/budget.hpp"
 #include "hetscale/obs/critical_path.hpp"
+#include "hetscale/support/args.hpp"
 #include "hetscale/support/error.hpp"
 
 namespace hetscale::vmpi {
@@ -41,7 +47,9 @@ Machine::Machine(machine::Cluster cluster,
   for (int r = 0; r < size; ++r) {
     mailboxes_.emplace_back(scheduler_);
     comms_.emplace_back(*this, r, size);
+    comms_.back().bind_scheduler(&scheduler_);
   }
+  sim_threads_ = global_sim_threads();
   // Profiling is ambient: a machine built inside a ProfilerScope traces
   // itself and publishes a RunProfile when run() completes, so every
   // scenario is profileable without plumbing.
@@ -79,6 +87,93 @@ Mailbox& Machine::mailbox(int rank) {
 RankStats& Machine::rank_stats(int rank) {
   HETSCALE_REQUIRE(rank >= 0 && rank < world_size(), "rank out of range");
   return stats_[static_cast<std::size_t>(rank)];
+}
+
+void Machine::set_sim_threads(int threads) {
+  HETSCALE_REQUIRE(!ran_, "set sim-threads before running the machine");
+  HETSCALE_REQUIRE(threads >= 1, "sim-threads must be >= 1");
+  sim_threads_ = threads;
+}
+
+std::uint64_t Machine::events_processed() const {
+  std::uint64_t events = scheduler_.events_processed();
+  for (const auto& scheduler : partition_schedulers_) {
+    events += scheduler->events_processed();
+  }
+  return events;
+}
+
+des::Scheduler& Machine::scheduler_for(int rank) {
+  HETSCALE_REQUIRE(rank >= 0 && rank < world_size(), "rank out of range");
+  if (!partitioned_) return scheduler_;
+  return *rank_scheduler_[static_cast<std::size_t>(rank)];
+}
+
+void Machine::post_message(int src, int dst, Message message) {
+  if (!partitioned_) {
+    mailbox(dst).post(std::move(message));
+    return;
+  }
+  const int src_part = partition_of_[static_cast<std::size_t>(src)];
+  const int dst_part = partition_of_[static_cast<std::size_t>(dst)];
+  if (src_part == dst_part) {
+    mailboxes_[static_cast<std::size_t>(dst)].post(std::move(message));
+    return;
+  }
+  // The payload is about to cross threads: make every block it references
+  // uniquely owned first, so its non-atomic refcounts never straddle a
+  // partition boundary.
+  message.payload.detach_for_transfer();
+  auto& outbox = outboxes_[static_cast<std::size_t>(
+      src_part * partition_count_ + dst_part)];
+  outbox.push_back(Handoff{
+      rank_scheduler_[static_cast<std::size_t>(src)]->now(), src, dst,
+      handoff_seq_[static_cast<std::size_t>(src)]++, std::move(message)});
+}
+
+bool Machine::partition_eligible() const {
+  // A zero-lookahead network (the shared bus) serializes every sender
+  // globally: no window can safely advance past the next global event.
+  if (network_->lookahead_s() <= 0.0) return false;
+  // Tracing, profiling, and fault hooks all funnel per-event records into
+  // shared sinks; keep those runs on the sequential path rather than
+  // locking the hot paths.
+  if (tracer_ != nullptr || profiler_ != nullptr || fault_hooks_ != nullptr) {
+    return false;
+  }
+  // The per-node network state (injection ports, intra-node fast path) is
+  // only partition-exclusive when no two ranks share a node.
+  std::unordered_set<int> nodes;
+  nodes.reserve(processors_.size());
+  for (const machine::Processor& proc : processors_) {
+    if (!nodes.insert(proc.node).second) return false;
+  }
+  return true;
+}
+
+void Machine::deliver_inboxes(int partition) {
+  auto& scratch = inbox_scratch_[static_cast<std::size_t>(partition)];
+  scratch.clear();
+  for (int src_part = 0; src_part < partition_count_; ++src_part) {
+    auto& inbox = outboxes_[static_cast<std::size_t>(
+        src_part * partition_count_ + partition)];
+    for (Handoff& handoff : inbox) scratch.push_back(std::move(handoff));
+    inbox.clear();
+  }
+  // Canonical order: post time, then source rank, then per-source sequence.
+  // This is a total order on the handoffs (the per-source counter breaks
+  // every remaining tie), so the mailbox post order — and with it every
+  // downstream artifact — is independent of the partition count.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const Handoff& a, const Handoff& b) {
+              if (a.post_time != b.post_time) return a.post_time < b.post_time;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (Handoff& handoff : scratch) {
+    mailboxes_[static_cast<std::size_t>(handoff.dst)].post(
+        std::move(handoff.message));
+  }
 }
 
 namespace {
@@ -124,8 +219,29 @@ std::string describe_rank_wait(int rank, const Mailbox& box) {
 }
 }  // namespace
 
+void Machine::rethrow_with_deadlock_diagnosis(
+    const des::DeadlockError& deadlock) const {
+  // Quiescence with pending receivers: name what every blocked rank was
+  // waiting for and what sat unmatched in its mailbox — the usual causes
+  // are a tag mismatch or a rank that exited early (mailbox exhaustion).
+  std::ostringstream out;
+  out << deadlock.what() << "\n";
+  for (int r = 0; r < world_size(); ++r) {
+    const Mailbox& box = mailboxes_[static_cast<std::size_t>(r)];
+    if (!box.waiting_recv()) continue;
+    out << describe_rank_wait(r, box) << "\n";
+  }
+  out << "check that every posted tag has a matching receive and that no "
+         "rank returned while peers still expected its messages";
+  throw des::DeadlockError(out.str());
+}
+
 RunResult Machine::run(const Program& program) {
   HETSCALE_REQUIRE(!ran_, "a Machine is single-shot; construct a fresh one");
+  const int partitions = std::min(sim_threads_, world_size());
+  if (partitions > 1 && partition_eligible()) {
+    return run_partitioned(program, partitions);
+  }
   ran_ = true;
   // Start the coroutine-frame high-water mark at this run's baseline; the
   // whole simulation runs on this thread, so the peak read after the run is
@@ -138,19 +254,7 @@ RunResult Machine::run(const Program& program) {
   try {
     scheduler_.run();
   } catch (const des::DeadlockError& deadlock) {
-    // Quiescence with pending receivers: name what every blocked rank was
-    // waiting for and what sat unmatched in its mailbox — the usual causes
-    // are a tag mismatch or a rank that exited early (mailbox exhaustion).
-    std::ostringstream out;
-    out << deadlock.what() << "\n";
-    for (int r = 0; r < world_size(); ++r) {
-      const Mailbox& box = mailboxes_[static_cast<std::size_t>(r)];
-      if (!box.waiting_recv()) continue;
-      out << describe_rank_wait(r, box) << "\n";
-    }
-    out << "check that every posted tag has a matching receive and that no "
-           "rank returned while peers still expected its messages";
-    throw des::DeadlockError(out.str());
+    rethrow_with_deadlock_diagnosis(deadlock);
   }
 
   RunResult result;
@@ -191,6 +295,7 @@ RunResult Machine::run(const Program& program) {
     profile.des_queue.pops = queue_telemetry_.pops;
     profile.des_queue.far_inserts = queue_telemetry_.far_inserts;
     profile.des_queue.rebuilds = queue_telemetry_.rebuilds;
+    profile.des_queue.samples_dropped = queue_telemetry_.samples_dropped;
     profile.des_queue.occupancy.reserve(queue_telemetry_.occupancy.size());
     for (const des::QueueTelemetry::Sample& s : queue_telemetry_.occupancy) {
       profile.des_queue.occupancy.push_back(
@@ -206,6 +311,103 @@ RunResult Machine::run(const Program& program) {
           faults.retries};
     }
     profiler_->add_run(std::move(profile));
+  }
+  return result;
+}
+
+RunResult Machine::run_partitioned(const Program& program, int partitions) {
+  ran_ = true;
+  const int world = world_size();
+  partition_count_ = partitions;
+  partition_of_.resize(static_cast<std::size_t>(world));
+  rank_scheduler_.assign(static_cast<std::size_t>(world), nullptr);
+  partition_schedulers_.clear();
+  partition_schedulers_.reserve(static_cast<std::size_t>(partitions));
+  for (int p = 0; p < partitions; ++p) {
+    partition_schedulers_.push_back(std::make_unique<des::Scheduler>());
+  }
+  for (int r = 0; r < world; ++r) {
+    // Contiguous blocks, balanced to within one rank. Contiguity keeps the
+    // tree collectives' heaviest edges (rank r <-> r +/- small powers of
+    // two) mostly inside one partition.
+    const int p = static_cast<int>(
+        (static_cast<long long>(r) * partitions) / world);
+    partition_of_[static_cast<std::size_t>(r)] = p;
+    rank_scheduler_[static_cast<std::size_t>(r)] =
+        partition_schedulers_[static_cast<std::size_t>(p)].get();
+  }
+  for (int r = 0; r < world; ++r) {
+    mailboxes_[static_cast<std::size_t>(r)].rebind(
+        *rank_scheduler_[static_cast<std::size_t>(r)]);
+    comms_[static_cast<std::size_t>(r)].bind_scheduler(
+        rank_scheduler_[static_cast<std::size_t>(r)]);
+  }
+  outboxes_.assign(static_cast<std::size_t>(partitions) *
+                       static_cast<std::size_t>(partitions),
+                   {});
+  inbox_scratch_.assign(static_cast<std::size_t>(partitions), {});
+  handoff_seq_.assign(static_cast<std::size_t>(world), 0);
+  int max_node = 0;
+  for (const machine::Processor& proc : processors_) {
+    max_node = std::max(max_node, proc.node);
+  }
+  network_->begin_partitioned(partitions, max_node + 1);
+  partitioned_ = true;
+
+  des::PartitionHooks hooks;
+  hooks.bootstrap = [&](int p) {
+    // Bind this thread's network-stats shard, then spawn the partition's
+    // ranks HERE so their coroutine frames come from (and return to) this
+    // thread's frame pool.
+    net::Network::set_thread_partition(p);
+    for (int r = 0; r < world; ++r) {
+      if (partition_of_[static_cast<std::size_t>(r)] != p) continue;
+      rank_scheduler_[static_cast<std::size_t>(r)]->spawn(
+          rank_main(*this, comms_[static_cast<std::size_t>(r)], program));
+    }
+  };
+  hooks.deliver = [&](int p) { deliver_inboxes(p); };
+
+  std::vector<des::Scheduler*> schedulers;
+  schedulers.reserve(partition_schedulers_.size());
+  for (const auto& scheduler : partition_schedulers_) {
+    schedulers.push_back(scheduler.get());
+  }
+  const std::vector<std::exception_ptr> errors =
+      des::run_conservative(schedulers, network_->lookahead_s(), hooks);
+  partitioned_ = false;
+  network_->end_partitioned();
+
+  // Surface errors the way the sequential path would: a real exception from
+  // a rank program wins (lowest partition first — partitions are rank-
+  // ordered, so this matches sequential root order); otherwise any
+  // partition-local deadlock gets the machine-wide diagnosis.
+  std::exception_ptr first_error;
+  bool deadlocked = false;
+  std::string deadlock_what;
+  for (const std::exception_ptr& error : errors) {
+    if (!error) continue;
+    try {
+      std::rethrow_exception(error);
+    } catch (const des::DeadlockError& deadlock) {
+      if (!deadlocked) {
+        deadlocked = true;
+        deadlock_what = deadlock.what();
+      }
+    } catch (...) {
+      if (!first_error) first_error = error;
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  if (deadlocked) {
+    rethrow_with_deadlock_diagnosis(des::DeadlockError(deadlock_what));
+  }
+
+  RunResult result;
+  result.ranks = stats_;
+  result.network = network_->stats();
+  for (const auto& r : stats_) {
+    result.elapsed = std::max(result.elapsed, r.finish);
   }
   return result;
 }

@@ -18,7 +18,9 @@ constexpr std::size_t kIndexKeyCap = 64;
 void Mailbox::post(Message message) {
   const des::SimTime wake_at =
       std::max(scheduler_->now(), message.arrival);
-  SlotQueue& queue = index_[index_key(message.source, message.tag)];
+  const int source = message.source;
+  const int tag = message.tag;
+  SlotQueue& queue = index_[index_key(source, tag)];
   if (queue.epoch != drain_epoch_) {
     queue.slots.clear();
     queue.head = 0;
@@ -28,9 +30,21 @@ void Mailbox::post(Message message) {
   pending_.push_back(std::move(message));
   ++live_count_;
   if (waiter_) {
-    // The waiting recv re-checks the queue when it resumes; waking it at the
-    // arrival time makes "recv completes at max(call time, arrival)" emerge.
-    scheduler_->schedule_at(wake_at, std::exchange(waiter_, nullptr));
+    // Wake the waiting recv only if THIS message matches what it asked for.
+    // (A spurious wake would not be a correctness bug — the recv re-checks
+    // the queue — but it could complete the recv at the non-matching
+    // message's arrival time instead of the matching one's, making timing
+    // depend on cross-source post order. Gating keeps recv completion a
+    // function of the matching message alone, which is what lets the
+    // partitioned scheduler batch cross-partition deliveries.)
+    const bool matches =
+        (waiting_->source == kAnySource || waiting_->source == source) &&
+        (waiting_->tag == kAnyTag || waiting_->tag == tag);
+    if (matches) {
+      // Waking at the arrival time makes "recv completes at max(call time,
+      // arrival)" emerge.
+      scheduler_->schedule_at(wake_at, std::exchange(waiter_, nullptr));
+    }
   }
 }
 

@@ -123,12 +123,121 @@ std::size_t arena_parked() {
   return total;
 }
 
+/// One pooled bundle block. Reuse keeps the parts vector's capacity, so a
+/// steady-state gather/scatter tree allocates nothing once warm.
+struct BundleBlock {
+  std::uint32_t refs = 0;
+  BundleBlock* next_free = nullptr;
+  std::vector<BundlePart> parts;
+};
+
+namespace {
+
+constexpr std::size_t kMaxParkedBundles = 64;
+
+struct BundlePool {
+  BundleBlock* head = nullptr;
+  std::size_t count = 0;
+
+  ~BundlePool() {
+    while (head != nullptr) {
+      BundleBlock* next = head->next_free;
+      delete head;
+      head = next;
+    }
+    count = 0;
+  }
+};
+
+thread_local BundlePool t_bundles;
+
+}  // namespace
+
+BundleBlock* bundle_acquire() {
+  BundlePool& pool = t_bundles;
+  if (pool.head != nullptr) {
+    BundleBlock* block = pool.head;
+    pool.head = block->next_free;
+    --pool.count;
+    block->next_free = nullptr;
+    block->refs = 1;
+    return block;
+  }
+  BundleBlock* block = new BundleBlock;
+  block->refs = 1;
+  return block;
+}
+
+void bundle_add_ref(BundleBlock* block) noexcept { ++block->refs; }
+
+void bundle_unref(BundleBlock* block) noexcept {
+  if (--block->refs != 0) return;
+  block->parts.clear();  // releases nested payload blocks on this thread
+  BundlePool& pool = t_bundles;
+  if (pool.count >= kMaxParkedBundles) {
+    delete block;
+    return;
+  }
+  block->next_free = pool.head;
+  pool.head = block;
+  ++pool.count;
+}
+
+std::size_t bundle_parked() { return t_bundles.count; }
+
 }  // namespace detail
 
 Payload Payload::copy_of(std::span<const double> values) {
   Payload p = buffer(values.size());
   std::copy(values.begin(), values.end(), p.block_->data());
   return p;
+}
+
+Payload Payload::make_bundle() {
+  Payload p;
+  p.kind_ = Kind::kBundle;
+  p.bundle_ = detail::bundle_acquire();
+  return p;
+}
+
+std::vector<BundlePart>& Payload::bundle_parts() {
+  HETSCALE_REQUIRE(kind_ == Kind::kBundle, "payload holds no bundle");
+  return bundle_->parts;
+}
+
+const std::vector<BundlePart>& Payload::bundle_parts() const {
+  HETSCALE_REQUIRE(kind_ == Kind::kBundle, "payload holds no bundle");
+  return bundle_->parts;
+}
+
+void Payload::detach_for_transfer() {
+  switch (kind_) {
+    case Kind::kEmpty:
+    case Kind::kScalar:
+    case Kind::kBoxed:  // boxed copies are already deep (new std::any)
+      return;
+    case Kind::kBuffer: {
+      if (block_->refs == 1) return;
+      detail::BufferBlock* fresh = detail::arena_acquire(block_->count);
+      fresh->refs = 1;
+      std::copy_n(block_->data(), block_->count, fresh->data());
+      --block_->refs;  // still on the owning thread: plain decrement is safe
+      block_ = fresh;
+      return;
+    }
+    case Kind::kBundle: {
+      if (bundle_->refs > 1) {
+        detail::BundleBlock* fresh = detail::bundle_acquire();
+        fresh->parts = bundle_->parts;  // copies bump nested refs locally
+        --bundle_->refs;
+        bundle_ = fresh;
+      }
+      for (BundlePart& part : bundle_->parts) {
+        part.payload.detach_for_transfer();
+      }
+      return;
+    }
+  }
 }
 
 }  // namespace hetscale::vmpi

@@ -1,0 +1,218 @@
+#include "hetscale/des/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "hetscale/des/scheduler.hpp"
+
+namespace hetscale::des {
+namespace {
+
+TEST(SpinBarrier, RendezvousPublishesPriorWrites) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        barrier.arrive_and_wait();
+        // Every participant's increment for this round must be visible.
+        if (counter.load(std::memory_order_relaxed) < (round + 1) * kThreads) {
+          failed.store(true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+TEST(SchedulerWindow, NextEventTimeSeesPendingFront) {
+  Scheduler sched;
+  EXPECT_TRUE(std::isinf(sched.next_event_time()));
+  sched.spawn([](Scheduler& s) -> Task<void> {
+    co_await s.delay(2.0);
+  }(sched));
+  // spawn is lazy: the root's first resumption pends at the current time.
+  EXPECT_DOUBLE_EQ(sched.next_event_time(), 0.0);
+  sched.run_window(1.0);
+  EXPECT_DOUBLE_EQ(sched.next_event_time(), 2.0);  // the delay remains
+  sched.run_window(3.0);
+  EXPECT_TRUE(std::isinf(sched.next_event_time()));
+}
+
+TEST(SchedulerWindow, RunWindowStopsStrictlyBeforeEnd) {
+  Scheduler sched;
+  std::vector<double> fired;
+  auto proc = [](Scheduler& s, std::vector<double>& out,
+                 double at) -> Task<void> {
+    co_await s.delay(at);
+    out.push_back(s.now());
+  };
+  sched.spawn(proc(sched, fired, 1.0));
+  sched.spawn(proc(sched, fired, 2.0));
+  sched.spawn(proc(sched, fired, 3.0));
+  sched.run_window(2.0);  // half-open: events with time < 2.0
+  EXPECT_EQ(fired, (std::vector<double>{1.0}));
+  sched.run_window(std::numeric_limits<SimTime>::infinity());
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0}));
+  sched.check_roots();  // all roots finished; must not throw
+}
+
+TEST(SchedulerWindow, WindowedRunMatchesSequentialRun) {
+  auto model = [](Scheduler& s, std::vector<double>& out) {
+    auto proc = [](Scheduler& sc, std::vector<double>& o, double step,
+                   int hops) -> Task<void> {
+      for (int i = 0; i < hops; ++i) {
+        co_await sc.delay(step);
+        o.push_back(sc.now());
+      }
+    };
+    s.spawn(proc(s, out, 0.75, 5));
+    s.spawn(proc(s, out, 1.0, 4));
+  };
+
+  Scheduler whole;
+  std::vector<double> sequential;
+  model(whole, sequential);
+  whole.run();
+
+  Scheduler windowed;
+  std::vector<double> chunked;
+  model(windowed, chunked);
+  // Arbitrary uneven windows: chunking must not reorder anything.
+  for (double end : {0.5, 1.6, 1.7, 3.0, 10.0}) windowed.run_window(end);
+  EXPECT_EQ(sequential, chunked);
+  EXPECT_EQ(whole.events_processed(), windowed.events_processed());
+  EXPECT_EQ(whole.now(), windowed.now());  // bit-equal
+}
+
+TEST(RunConservative, DrivesPartitionsToQuiescence) {
+  Scheduler a;
+  Scheduler b;
+  std::vector<double> seen_a;
+  std::vector<double> seen_b;
+  auto ticks = [](Scheduler& s, std::vector<double>& out, double step,
+                  int hops) -> Task<void> {
+    for (int i = 0; i < hops; ++i) {
+      co_await s.delay(step);
+      out.push_back(s.now());
+    }
+  };
+  PartitionHooks hooks;
+  hooks.bootstrap = [&](int partition) {
+    if (partition == 0) {
+      a.spawn(ticks(a, seen_a, 0.5, 6));
+    } else {
+      b.spawn(ticks(b, seen_b, 0.7, 4));
+    }
+  };
+  hooks.deliver = [](int) {};
+  const auto errors = run_conservative({&a, &b}, 0.25, hooks);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0], nullptr);
+  EXPECT_EQ(errors[1], nullptr);
+  EXPECT_EQ(seen_a.size(), 6u);
+  EXPECT_EQ(seen_b.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.now(), 3.0);
+  EXPECT_DOUBLE_EQ(b.now(), 2.8);
+}
+
+TEST(RunConservative, CrossPartitionHandoffDeliversInWindows) {
+  // Partition 0 produces timestamps, partition 1 consumes them one window
+  // later through the deliver hook — the vmpi machine's hand-off pattern
+  // in miniature.
+  Scheduler producer;
+  Scheduler consumer;
+  constexpr double kLookahead = 0.1;
+  std::vector<double> handoff;     // written by partition 0's window
+  std::vector<double> delivered;   // observed by partition 1
+  PartitionHooks hooks;
+  hooks.bootstrap = [&](int partition) {
+    if (partition == 0) {
+      producer.spawn([](Scheduler& s, std::vector<double>& out) -> Task<void> {
+        for (int i = 0; i < 3; ++i) {
+          co_await s.delay(1.0);
+          out.push_back(s.now());
+        }
+      }(producer, handoff));
+    }
+  };
+  hooks.deliver = [&](int partition) {
+    if (partition != 1) return;
+    for (double t : handoff) delivered.push_back(t);
+    handoff.clear();
+  };
+  const auto errors = run_conservative({&producer, &consumer}, kLookahead,
+                                       hooks);
+  EXPECT_EQ(errors[0], nullptr);
+  EXPECT_EQ(errors[1], nullptr);
+  EXPECT_EQ(delivered, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(RunConservative, PartitionFailureReachesItsErrorSlot) {
+  Scheduler healthy;
+  Scheduler faulty;
+  PartitionHooks hooks;
+  hooks.bootstrap = [&](int partition) {
+    if (partition == 0) {
+      healthy.spawn([](Scheduler& s) -> Task<void> {
+        for (int i = 0; i < 100; ++i) co_await s.delay(1.0);
+      }(healthy));
+    } else {
+      faulty.spawn([](Scheduler& s) -> Task<void> {
+        co_await s.delay(5.0);
+        throw std::runtime_error("partition blew up");
+      }(faulty));
+    }
+  };
+  hooks.deliver = [](int) {};
+  const auto errors = run_conservative({&healthy, &faulty}, 0.5, hooks);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0], nullptr);
+  ASSERT_NE(errors[1], nullptr);
+  EXPECT_THROW(std::rethrow_exception(errors[1]), std::runtime_error);
+}
+
+TEST(RunConservative, SuspendedRootReportsDeadlock) {
+  // A root that suspends forever (its continuation handle is dropped) can
+  // never finish: quiescence must surface DeadlockError for that
+  // partition, exactly as the sequential Scheduler::run() would.
+  struct Never {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept {}
+  };
+  Scheduler stuck;
+  Scheduler fine;
+  PartitionHooks hooks;
+  hooks.bootstrap = [&](int partition) {
+    if (partition == 0) {
+      stuck.spawn([](Scheduler&) -> Task<void> { co_await Never{}; }(stuck));
+    } else {
+      fine.spawn([](Scheduler& s) -> Task<void> {
+        co_await s.delay(1.0);
+      }(fine));
+    }
+  };
+  hooks.deliver = [](int) {};
+  const auto errors = run_conservative({&stuck, &fine}, 1.0, hooks);
+  ASSERT_NE(errors[0], nullptr);
+  EXPECT_THROW(std::rethrow_exception(errors[0]), DeadlockError);
+  EXPECT_EQ(errors[1], nullptr);
+}
+
+}  // namespace
+}  // namespace hetscale::des

@@ -20,6 +20,7 @@
 #include "hetscale/algos/ge.hpp"
 #include "hetscale/machine/sunwulf.hpp"
 #include "hetscale/run/runner.hpp"
+#include "hetscale/support/args.hpp"
 #include "hetscale/run/scenario.hpp"
 #include "hetscale/scal/combination.hpp"
 #include "hetscale/scal/measure_store.hpp"
@@ -73,6 +74,21 @@ std::string read_golden(const std::string& scenario_name) {
   return content.str();
 }
 
+/// Pin the process-wide --sim-threads knob for one scope. New machines
+/// read global_sim_threads() at construction, so this is all a scenario
+/// render needs to run partitioned.
+class ScopedSimThreads {
+ public:
+  explicit ScopedSimThreads(int threads)
+      : previous_(global_sim_threads()) {
+    set_global_sim_threads(threads);
+  }
+  ~ScopedSimThreads() { set_global_sim_threads(previous_); }
+
+ private:
+  int previous_;
+};
+
 class ScenarioDeterminism : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(ScenarioDeterminism, JobInvariantAndMatchesGolden) {
@@ -85,6 +101,49 @@ TEST_P(ScenarioDeterminism, JobInvariantAndMatchesGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperArtifacts, ScenarioDeterminism,
+                         ::testing::Values("table1_marked_speed",
+                                           "table2_ge_two_nodes",
+                                           "table3_ge_required_rank",
+                                           "table4_ge_scalability",
+                                           "table5_mm_scalability",
+                                           "table6_ge_predicted_rank",
+                                           "table7_ge_predicted_scalability",
+                                           "fig1_ge_speed_efficiency",
+                                           "fig2_mm_speed_efficiency",
+                                           "summa_mm_scalability",
+                                           "ge_pivot_scalability",
+                                           "spmv_imbalance",
+                                           "model_zoo_ranking",
+                                           "large_p_scalability"));
+
+// Sim-thread invariance: the partitioned conservative scheduler
+// (--sim-threads > 1) must render every golden artifact byte-identically.
+// Scenarios whose machines are ineligible for partitioning (shared bus, no
+// lookahead) fall back to the sequential schedule and pass trivially —
+// that fallback staying silent and exact is part of the contract too.
+class SimThreadInvariance : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SimThreadInvariance, PartitionedRenderMatchesGolden) {
+  const std::string name = GetParam();
+  StoreDisabledScope no_store;
+  const std::string golden = read_golden(name);
+  {
+    ScopedSimThreads two(2);
+    EXPECT_EQ(render_csv(name, 1), golden)
+        << name << ": artifact depends on --sim-threads 2";
+  }
+  {
+    ScopedSimThreads eight(8);
+    EXPECT_EQ(render_csv(name, 1), golden)
+        << name << ": artifact depends on --sim-threads 8";
+    // Replication parallelism (--jobs) on top of simulation parallelism:
+    // the two knobs must compose without touching the bytes.
+    EXPECT_EQ(render_csv(name, 4), golden)
+        << name << ": --jobs x --sim-threads interaction leaks into bytes";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GoldenArtifacts, SimThreadInvariance,
                          ::testing::Values("table1_marked_speed",
                                            "table2_ge_two_nodes",
                                            "table3_ge_required_rank",

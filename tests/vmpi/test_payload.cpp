@@ -130,5 +130,86 @@ TEST(Arena, CopyOfCountZeroIsAValidBuffer) {
   EXPECT_TRUE(p.doubles().empty());
 }
 
+TEST(Bundle, PartsRoundTrip) {
+  Payload bundle = Payload::make_bundle();
+  EXPECT_TRUE(bundle.is_bundle());
+  bundle.bundle_parts().push_back(BundlePart{3, 24.0, Payload(1.5)});
+  const std::vector<double> pair{2.0, 4.0};
+  bundle.bundle_parts().push_back(BundlePart{7, 16.0, Payload::copy_of(pair)});
+  ASSERT_EQ(bundle.bundle_parts().size(), 2u);
+  EXPECT_EQ(bundle.bundle_parts()[0].rank, 3);
+  EXPECT_EQ(bundle.bundle_parts()[0].payload.scalar(), 1.5);
+  EXPECT_EQ(bundle.bundle_parts()[1].bytes, 16.0);
+  EXPECT_EQ(bundle.bundle_parts()[1].payload.doubles()[1], 4.0);
+}
+
+TEST(Bundle, CopiesShareTheBlock) {
+  Payload a = Payload::make_bundle();
+  a.bundle_parts().push_back(BundlePart{0, 8.0, Payload(9.0)});
+  Payload b = a;  // refcounted share, not a deep copy
+  ASSERT_TRUE(b.is_bundle());
+  EXPECT_EQ(&a.bundle_parts(), &b.bundle_parts());
+  a = Payload();  // releasing a's reference must not free the block
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.bundle_parts().size(), 1u);  // b keeps the block alive
+}
+
+TEST(Bundle, BlocksRecycleThroughThePool) {
+  std::size_t live_baseline = 0;
+  {
+    Payload bundle = Payload::make_bundle();
+    bundle.bundle_parts().push_back(BundlePart{0, 8.0, Payload(1.0)});
+    live_baseline = detail::bundle_parked();  // this block is checked out
+  }
+  // The released block parked instead of being freed...
+  ASSERT_EQ(detail::bundle_parked(), live_baseline + 1);
+  Payload again = Payload::make_bundle();  // ...and the next acquire pops it
+  EXPECT_EQ(detail::bundle_parked(), live_baseline);
+  EXPECT_TRUE(again.bundle_parts().empty());  // recycled blocks come clean
+}
+
+TEST(DetachForTransfer, UniqueOwnerIsUntouched) {
+  const std::vector<double> data{1.0, 2.0};
+  Payload p = Payload::copy_of(data);
+  const double* before = p.doubles().data();
+  p.detach_for_transfer();
+  EXPECT_EQ(p.doubles().data(), before);  // sole owner: no copy needed
+}
+
+TEST(DetachForTransfer, SharedBufferDeepCopies) {
+  const std::vector<double> data{1.0, 2.0, 3.0};
+  Payload a = Payload::copy_of(data);
+  Payload b = a;
+  b.detach_for_transfer();
+  ASSERT_TRUE(b.is_buffer());
+  EXPECT_NE(a.doubles().data(), b.doubles().data());
+  EXPECT_EQ(b.doubles()[2], 3.0);
+  a.doubles()[2] = -1.0;  // writes through a no longer alias b
+  EXPECT_EQ(b.doubles()[2], 3.0);
+}
+
+TEST(DetachForTransfer, SharedBundleDeepCopiesRecursively) {
+  Payload a = Payload::make_bundle();
+  const std::vector<double> five{5.0};
+  a.bundle_parts().push_back(BundlePart{0, 8.0, Payload::copy_of(five)});
+  Payload b = a;
+  b.detach_for_transfer();
+  ASSERT_TRUE(b.is_bundle());
+  EXPECT_NE(&a.bundle_parts(), &b.bundle_parts());
+  // The nested buffer detached too: no block is shared across the copy.
+  EXPECT_NE(a.bundle_parts()[0].payload.doubles().data(),
+            b.bundle_parts()[0].payload.doubles().data());
+  EXPECT_EQ(b.bundle_parts()[0].payload.doubles()[0], 5.0);
+}
+
+TEST(DetachForTransfer, ScalarAndEmptyAreNoOps) {
+  Payload empty;
+  empty.detach_for_transfer();
+  EXPECT_TRUE(empty.empty());
+  Payload scalar(4.0);
+  scalar.detach_for_transfer();
+  EXPECT_EQ(scalar.scalar(), 4.0);
+}
+
 }  // namespace
 }  // namespace hetscale::vmpi

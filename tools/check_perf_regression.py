@@ -15,11 +15,22 @@ current / after_ns exceeds --max-ratio; benchmarks present on only one
 side are reported but never fail the check (new benchmarks and renames
 should not break CI).
 
+A baseline may also carry `speedup_pairs`: assertions on the *ratio*
+between two rows of the current run, `current[num] / current[den] >=
+min_ratio`. Each pair can set `min_cpus`; on hosts with fewer cores the
+pair is skipped with a notice instead of failing (the PR10 partitioned-DES
+gate works this way — a single-core host serializes the simulation
+threads, so an absolute speedup requirement would be meaningless there).
+The host core count is taken from the scheduling affinity mask when the
+OS exposes one (the honest number inside cgroup-confined CI containers),
+or --host-cpus when given.
+
 Exit status: 0 when no tracked benchmark exceeds the ratio, 1 otherwise.
 """
 
 import argparse
 import json
+import os
 import sys
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -31,7 +42,50 @@ _KNOWN_SCHEMAS = (
     "hetscale.bench.pr7/v1",
     "hetscale.bench.pr8/v1",
     "hetscale.bench.pr9/v1",
+    "hetscale.bench.pr10/v1",
 )
+
+
+def host_cpus():
+    """Usable core count: the affinity mask where available (cgroup-aware),
+    os.cpu_count() otherwise."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def check_speedup_pairs(pairs, current, cpus):
+    """Verify current[num] / current[den] >= min_ratio for each pair.
+
+    Returns the list of failed pair labels. Pairs whose min_cpus exceeds
+    `cpus`, or whose endpoints are missing from the current run, are
+    reported and skipped — never failed.
+    """
+    failures = []
+    for pair in pairs:
+        num, den = pair["num"], pair["den"]
+        label = f"{num} / {den}"
+        min_cpus = int(pair.get("min_cpus", 1))
+        if cpus < min_cpus:
+            print(f"SKIP  speedup {label}: host has {cpus} cpu(s), "
+                  f"pair needs >= {min_cpus}")
+            continue
+        if num not in current or den not in current:
+            missing = num if num not in current else den
+            print(f"SKIP  speedup {label}: {missing} not in current run")
+            continue
+        if current[den] <= 0.0:
+            print(f"SKIP  speedup {label}: non-positive denominator")
+            continue
+        ratio = current[num] / current[den]
+        min_ratio = float(pair["min_ratio"])
+        verdict = "ok" if ratio >= min_ratio else "FAIL"
+        print(f"{verdict:<5} speedup {label}: {ratio:.2f}x "
+              f"(needs >= {min_ratio}x)")
+        if ratio < min_ratio:
+            failures.append(label)
+    return failures
 
 
 def load_current(path):
@@ -52,6 +106,9 @@ def main():
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--current", required=True)
     parser.add_argument("--max-ratio", type=float, default=2.0)
+    parser.add_argument(
+        "--host-cpus", type=int, default=None,
+        help="override the detected core count for speedup_pairs gating")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -79,9 +136,14 @@ def main():
     for name in sorted(set(current) - set(baseline["benchmarks"])):
         print(f"NEW   {name}: no baseline entry")
 
+    pairs = baseline.get("speedup_pairs", [])
+    if pairs:
+        cpus = args.host_cpus if args.host_cpus is not None else host_cpus()
+        failures += check_speedup_pairs(pairs, current, cpus)
+
     if failures:
-        print(f"\n{len(failures)} benchmark(s) regressed beyond "
-              f"{args.max_ratio}x: {', '.join(failures)}", file=sys.stderr)
+        print(f"\n{len(failures)} check(s) failed: {', '.join(failures)}",
+              file=sys.stderr)
         return 1
     print("\nall tracked benchmarks within the regression budget")
     return 0

@@ -631,9 +631,11 @@ int main(int argc, char** argv) {
                 "measurement-store file: loaded before the command, "
                 "saved after");
   add_jobs_flag(args);
+  add_sim_threads_flag(args);
   add_seed_flag(args);
   try {
     args.parse(argc - 1, argv + 1);
+    set_global_sim_threads(resolve_sim_threads(args));
     auto& store = scal::MeasurementStore::global();
     if (args.has("no-measure-cache")) store.set_enabled(false);
     const std::string cache_path = args.get_or("measure-cache", "");
